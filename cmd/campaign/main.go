@@ -1,0 +1,56 @@
+// Command campaign runs a measurement campaign across the operator registry
+// and writes one XCAL-style trace per session, reproducing the data
+// collection methodology of §2.
+//
+// Usage:
+//
+//	campaign [-out DIR] [-duration 10s] [-seed N] [-ops V_Sp,Tmb_US]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/midband5g/midband/internal/core"
+	"github.com/midband5g/midband/internal/operators"
+	"github.com/midband5g/midband/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("campaign: ")
+	out := flag.String("out", "traces", "directory for .xcal traces")
+	duration := flag.Duration("duration", 10*time.Second, "bulk-transfer duration per operator")
+	seed := flag.Int64("seed", 2024, "simulation seed")
+	ops := flag.String("ops", "", "comma-separated operator acronyms (default: all mid-band)")
+	flag.Parse()
+
+	var selected []operators.Operator
+	if *ops != "" {
+		for _, acr := range strings.Split(*ops, ",") {
+			op, err := operators.ByAcronym(strings.TrimSpace(acr))
+			if err != nil {
+				log.Fatal(err)
+			}
+			selected = append(selected, op)
+		}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	stats, err := core.RunCampaign(core.CampaignConfig{
+		Operators:       selected,
+		SessionDuration: *duration,
+		TraceDir:        *out,
+		Seed:            *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report.Table1(os.Stdout, stats)
+	fmt.Printf("\n%d traces written to %s\n", stats.TraceFiles, *out)
+}

@@ -1,0 +1,320 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation and prints the rows/series each one plots.
+//
+// Usage:
+//
+//	figures [-quick] [-seed N] [-only fig11,fig12,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"github.com/midband5g/midband/internal/experiments"
+	"github.com/midband5g/midband/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	quick := flag.Bool("quick", false, "run shortened sessions")
+	seed := flag.Int64("seed", 2024, "simulation seed")
+	only := flag.String("only", "", "comma-separated subset, e.g. fig01,fig11,table1")
+	csvDir := flag.String("csv", "", "also write machine-readable CSV files to this directory")
+	flag.Parse()
+
+	o := experiments.Options{Quick: *quick, Seed: *seed}
+	w := os.Stdout
+
+	wanted := map[string]bool{}
+	for _, k := range strings.Split(*only, ",") {
+		if k = strings.TrimSpace(strings.ToLower(k)); k != "" {
+			wanted[k] = true
+		}
+	}
+	want := func(k string) bool { return len(wanted) == 0 || wanted[k] }
+
+	type job struct {
+		key string
+		run func() error
+	}
+	var fig1 []experiments.Fig01Row
+	var fig9 []experiments.Fig09Row
+	var fig11 []experiments.Fig11Row
+	jobs := []job{
+		{"table1", func() error {
+			s, err := experiments.Table1(o)
+			if err != nil {
+				return err
+			}
+			report.Table1(w, s)
+			return nil
+		}},
+		{"tables23", func() error {
+			rows, err := experiments.Tables23(o)
+			if err != nil {
+				return err
+			}
+			report.Tables23(w, rows)
+			return nil
+		}},
+		{"sec32", func() error {
+			rows, err := experiments.Sec32(o)
+			if err != nil {
+				return err
+			}
+			report.Sec32(w, rows)
+			return nil
+		}},
+		{"fig01", func() error {
+			rows, err := experiments.Fig01(o)
+			if err != nil {
+				return err
+			}
+			fig1 = rows
+			report.Fig01(w, rows)
+			return csvOut(*csvDir, func(d string) error { return report.Fig01CSV(d, rows) })
+		}},
+		{"fig02", func() error {
+			rows, err := experiments.Fig02(o)
+			if err != nil {
+				return err
+			}
+			report.Fig02(w, rows)
+			return csvOut(*csvDir, func(d string) error { return report.Fig02CSV(d, rows) })
+		}},
+		{"fig03", func() error {
+			rows, err := experiments.Fig03(o)
+			if err != nil {
+				return err
+			}
+			report.Fig03(w, rows)
+			return nil
+		}},
+		{"fig04", func() error {
+			rows, err := experiments.Fig04(o)
+			if err != nil {
+				return err
+			}
+			report.Fig04(w, rows)
+			return nil
+		}},
+		{"fig05", func() error {
+			rows, err := experiments.Fig05(o)
+			if err != nil {
+				return err
+			}
+			report.Fig05(w, rows)
+			return nil
+		}},
+		{"fig06", func() error {
+			rows, err := experiments.Fig06(o)
+			if err != nil {
+				return err
+			}
+			report.Fig06(w, rows)
+			return nil
+		}},
+		{"fig07", func() error {
+			rows, err := experiments.Fig07(o)
+			if err != nil {
+				return err
+			}
+			report.Fig07(w, rows)
+			return nil
+		}},
+		{"fig08", func() error {
+			rows, err := experiments.Fig08(o)
+			if err != nil {
+				return err
+			}
+			report.Fig08(w, rows)
+			return nil
+		}},
+		{"fig09", func() error {
+			rows, err := experiments.Fig09(o)
+			if err != nil {
+				return err
+			}
+			fig9 = rows
+			report.Fig09(w, rows)
+			return csvOut(*csvDir, func(d string) error { return report.Fig09CSV(d, rows) })
+		}},
+		{"fig10", func() error {
+			rows, err := experiments.Fig10(o)
+			if err != nil {
+				return err
+			}
+			report.Fig10(w, rows)
+			return nil
+		}},
+		{"fig11", func() error {
+			rows, err := experiments.Fig11(o)
+			if err != nil {
+				return err
+			}
+			fig11 = rows
+			report.Fig11(w, rows)
+			return csvOut(*csvDir, func(d string) error { return report.Fig11CSV(d, rows) })
+		}},
+		{"fig12", func() error {
+			rows, err := experiments.Fig12(o)
+			if err != nil {
+				return err
+			}
+			report.Fig12(w, rows)
+			return csvOut(*csvDir, func(d string) error { return report.Fig12CSV(d, rows) })
+		}},
+		{"fig13", func() error {
+			r, err := experiments.Fig13(o)
+			if err != nil {
+				return err
+			}
+			report.Fig13(w, r)
+			return nil
+		}},
+		{"fig14", func() error {
+			rows, err := experiments.Fig14(o)
+			if err != nil {
+				return err
+			}
+			report.Fig14(w, rows)
+			return nil
+		}},
+		{"fig15", func() error {
+			rows, err := experiments.Fig15(o)
+			if err != nil {
+				return err
+			}
+			report.Fig15(w, rows)
+			return nil
+		}},
+		{"fig16", func() error {
+			r, err := experiments.Fig16(o)
+			if err != nil {
+				return err
+			}
+			report.Fig16(w, r)
+			return nil
+		}},
+		{"fig17", func() error {
+			rows, err := experiments.Fig17(o)
+			if err != nil {
+				return err
+			}
+			report.Fig17(w, rows)
+			return csvOut(*csvDir, func(d string) error { return report.Fig17CSV(d, rows) })
+		}},
+		{"fig18", func() error {
+			rows, err := experiments.Fig18(o)
+			if err != nil {
+				return err
+			}
+			report.Fig18(w, rows)
+			return csvOut(*csvDir, func(d string) error { return report.Fig18CSV(d, rows) })
+		}},
+		{"fig19", func() error {
+			rows, err := experiments.Fig19(o)
+			if err != nil {
+				return err
+			}
+			report.Fig19(w, rows)
+			return nil
+		}},
+		{"fig23", func() error {
+			rows, err := experiments.Fig23(o)
+			if err != nil {
+				return err
+			}
+			report.Fig23(w, rows)
+			return nil
+		}},
+		{"fig24", func() error {
+			rows, err := experiments.Fig24(o)
+			if err != nil {
+				return err
+			}
+			report.Fig24(w, rows)
+			return nil
+		}},
+		{"sec7", func() error {
+			rows, err := experiments.Sec7(o)
+			if err != nil {
+				return err
+			}
+			report.Sec7(w, rows)
+			return csvOut(*csvDir, func(d string) error { return report.Sec7CSV(d, rows) })
+		}},
+		{"exta", func() error {
+			rows, err := experiments.ExtNSAvsSA(o)
+			if err != nil {
+				return err
+			}
+			report.ExtNSAvsSA(w, rows)
+			return nil
+		}},
+		{"extb", func() error {
+			rows, err := experiments.ExtTDDSweep(o)
+			if err != nil {
+				return err
+			}
+			report.ExtTDDSweep(w, rows)
+			return nil
+		}},
+		{"extc", func() error {
+			rows, err := experiments.ExtABRComparison(o)
+			if err != nil {
+				return err
+			}
+			report.ExtABR(w, rows)
+			return nil
+		}},
+		{"extd", func() error {
+			rows, err := experiments.ExtSchedulers(o)
+			if err != nil {
+				return err
+			}
+			report.ExtSchedulers(w, rows)
+			return nil
+		}},
+		{"exte", func() error {
+			rows, err := experiments.ExtTransport(o)
+			if err != nil {
+				return err
+			}
+			report.ExtTransport(w, rows)
+			return nil
+		}},
+		{"extf", func() error {
+			rows, err := experiments.ExtHandover(o)
+			if err != nil {
+				return err
+			}
+			report.ExtHandover(w, rows)
+			return nil
+		}},
+	}
+	for _, j := range jobs {
+		if !want(j.key) {
+			continue
+		}
+		if err := j.run(); err != nil {
+			log.Fatalf("%s: %v", j.key, err)
+		}
+	}
+	if len(wanted) == 0 && fig1 != nil && fig9 != nil && fig11 != nil {
+		report.PaperComparison(w, fig1, fig9, fig11)
+	}
+	fmt.Fprintln(w)
+}
+
+// csvOut runs the CSV writer when a -csv directory is configured.
+func csvOut(dir string, write func(string) error) error {
+	if dir == "" {
+		return nil
+	}
+	return write(dir)
+}

@@ -1,0 +1,128 @@
+// Command xcaldump inspects XCAL-style trace files: it prints the session
+// metadata, the channel configuration recovered from the captured signaling
+// (the Appendix 10.1 procedure), and aggregate KPI statistics.
+//
+// Usage:
+//
+//	xcaldump [-records N] trace.xcal...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+
+	"github.com/midband5g/midband/internal/analysis"
+	"github.com/midband5g/midband/internal/config"
+	"github.com/midband5g/midband/internal/xcal"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xcaldump: ")
+	showRecords := flag.Int("records", 0, "print the first N KPI records")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("usage: xcaldump [-records N] trace.xcal...")
+	}
+	for _, path := range flag.Args() {
+		if err := dump(path, *showRecords); err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+	}
+}
+
+func dump(path string, showRecords int) error {
+	// Pass 1: configuration extraction from signaling.
+	r, f, err := xcal.OpenFile(path)
+	if err != nil {
+		return err
+	}
+	ex, err := config.Extract(r)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	meta := ex.Meta
+	fmt.Printf("%s\n  operator=%s country=%s city=%s scenario=%s slot=%v\n",
+		path, meta.Operator, meta.Country, meta.City, meta.Scenario, meta.SlotDuration)
+	for _, c := range ex.Carriers {
+		fmt.Printf("  cell %d: %s %d MHz (N_RB %d, %d kHz, %s",
+			c.CellID, c.Band, c.BandwidthMHz, c.NRB, c.SCSkHz, c.Duplex)
+		if c.TDDPattern != "" {
+			fmt.Printf(" %s", c.TDDPattern)
+		}
+		fmt.Printf(") layers=%d table=%d dci1_1=%.0f%%", c.MaxMIMOLayers, c.MCSTable, 100*c.DCI11Share)
+		if c.Note != "" {
+			fmt.Printf("  [!] %s", c.Note)
+		}
+		fmt.Println()
+	}
+
+	// Pass 2: KPI statistics.
+	r, f, err = xcal.OpenFile(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var dlBits, ulBits float64
+	var sinr, rsrq, mcs, rank []float64
+	var records, printed int
+	minT, maxT := -1.0, 0.0
+	for {
+		ft, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if ft != xcal.FrameKPI {
+			continue
+		}
+		k := &r.KPI
+		records++
+		if printed < showRecords {
+			printed++
+			fmt.Printf("  #%d slot=%d %s/%s cqi=%d mcs=%d(t%d) rank=%d rbs=%d tbs=%d ack=%v sinr=%.1f\n",
+				printed, k.Slot, k.RAT, k.Dir, k.CQI, k.MCS, k.MCSTable, k.Rank, k.RBs, k.TBSBits, k.ACK, k.SINRdB)
+		}
+		if t := k.Time.Seconds(); true {
+			if minT < 0 || t < minT {
+				minT = t
+			}
+			if t > maxT {
+				maxT = t
+			}
+		}
+		switch k.Dir {
+		case xcal.DL:
+			dlBits += float64(k.DeliveredBits)
+		case xcal.UL:
+			ulBits += float64(k.DeliveredBits)
+		}
+		if k.RAT == xcal.NR && k.Carrier == 0 {
+			sinr = append(sinr, float64(k.SINRdB))
+			rsrq = append(rsrq, float64(k.RSRQdB))
+			if k.Dir == xcal.DL && k.RBs > 0 {
+				mcs = append(mcs, float64(k.MCS))
+				rank = append(rank, float64(k.Rank))
+			}
+		}
+	}
+	if span := maxT - minT; span > 0 {
+		fmt.Printf("  records=%d span=%.1fs DL=%.1f Mbps UL=%.1f Mbps\n",
+			records, span, dlBits/span/1e6, ulBits/span/1e6)
+	}
+	if len(sinr) > 0 {
+		fmt.Printf("  PCell: SINR %s\n         RSRQ %s\n",
+			analysis.Summarize(sinr), analysis.Summarize(rsrq))
+	}
+	if len(mcs) > 1 {
+		vm, _ := analysis.Variability(mcs, 256)
+		vr, _ := analysis.Variability(rank, 256)
+		fmt.Printf("  V(128ms): MCS %.3f  MIMO %.3f\n", vm, vr)
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package midband_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/midband5g/midband"
+)
+
+// Example lists the European operator configurations of the paper's
+// Table 2.
+func Example() {
+	for _, op := range midband.MidBandOperators() {
+		if op.Country == "USA" {
+			continue
+		}
+		pc := op.PCell()
+		fmt.Printf("%-8s %s %s\n", op.Acronym, pc.Label(), pc.TDDPattern)
+	}
+	// Output:
+	// V_It     n78/80MHz DDDDDDDSUU
+	// V_Sp     n78/90MHz DDDDDDDSUU
+	// O_Sp90   n78/90MHz DDDDDDDSUU
+	// O_Sp100  n78/100MHz DDDDDDDSUU
+	// O_Fr     n78/90MHz DDDSU
+	// S_Fr     n78/80MHz DDDSU
+	// T_Ge     n78/90MHz DDDSU
+	// V_Ge     n78/80MHz DDDSU
+}
+
+// ExampleNewLink measures a short downlink session. Results are
+// deterministic for a given (operator, scenario, seed).
+func ExampleNewLink() {
+	op, _ := midband.OperatorByAcronym("V_Sp")
+	link, _ := midband.NewLink(op, midband.Stationary(1))
+	res, _ := midband.RunIperf(link, time.Second)
+	fmt.Printf("slot duration: %v\n", res.SlotDuration)
+	fmt.Printf("series length: %d slots\n", len(res.DLBitsPerSlot))
+	// Output:
+	// slot duration: 500µs
+	// series length: 2000 slots
+}
+
+// ExampleVariability computes the paper's V(t) metric on a synthetic
+// square-wave series: blocks of 2 average out the alternation exactly.
+func ExampleVariability() {
+	series := []float64{10, 20, 10, 20, 10, 20, 10, 20}
+	v1, _ := midband.Variability(series, 1)
+	v2, _ := midband.Variability(series, 2)
+	fmt.Printf("V(τ)=%.1f V(2τ)=%.1f\n", v1, v2)
+	// Output:
+	// V(τ)=10.0 V(2τ)=0.0
+}

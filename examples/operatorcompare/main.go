@@ -1,0 +1,62 @@
+// Operator comparison: the paper's §4.1 Spain case study. Why does Orange
+// Spain's 100 MHz channel lose to two 90 MHz channels? This example walks
+// the same dissection the paper does: throughput → resource allocation →
+// modulation → MIMO layers → coverage.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/midband5g/midband"
+)
+
+func main() {
+	log.SetFlags(0)
+	carriers := []string{"V_Sp", "O_Sp90", "O_Sp100"}
+
+	fmt.Println("The §4.1 Spain case study: wider channel ≠ more throughput")
+	fmt.Printf("%-9s %5s %9s %10s %9s %9s %9s\n",
+		"carrier", "MHz", "DL Mbps", "mean REs", "rank-4", "256QAM", "64QAM-cap")
+	for i, acr := range carriers {
+		op, err := midband.OperatorByAcronym(acr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		link, err := midband.NewLink(op, midband.Stationary(100+int64(i)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := midband.RunIperf(link, 10*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var re, rank4, m256, n float64
+		for j := range res.RBs {
+			if res.RBs[j] == 0 {
+				continue
+			}
+			n++
+			re += res.REs[j]
+			if res.Rank[j] == 4 {
+				rank4++
+			}
+			m256 += res.Mod256[j]
+		}
+		capped := "no"
+		if op.PCell().MCSTable == 1 {
+			capped = "yes"
+		}
+		fmt.Printf("%-9s %5d %9.1f %10.0f %8.1f%% %8.1f%% %9s\n",
+			acr, op.PCell().BandwidthMHz, res.DLMbps, re/n, 100*rank4/n, 100*m256/n, capped)
+	}
+
+	fmt.Println(`
+Reading the table the way the paper does:
+ - the 100 MHz channel allocates the MOST resource elements, so radio
+   resources are not the bottleneck (Fig. 3);
+ - it is capped at 64QAM while the 90 MHz carriers can use 256QAM (Fig. 5);
+ - and its sparser deployment yields worse RSRQ, so the gNB schedules
+   fewer MIMO layers (Figs. 6-7) — the dominant factor.`)
+}

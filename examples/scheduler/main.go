@@ -1,0 +1,49 @@
+// Scheduler study: the §5.2 multi-user experiment run faithfully with two
+// concurrent UEs in one cell, under three scheduling policies. Shows the
+// paper's Fig. 14 finding — sharing halves per-UE resources but leaves the
+// channel variability of each location untouched — and what changes when
+// the scheduler is not the equal-share one the paper observed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/midband5g/midband"
+)
+
+func main() {
+	log.SetFlags(0)
+	op, err := midband.OperatorByAcronym("Vzw_US")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The paper's two measurement spots: 45 m and 117 m from the gNB.
+	ues := []midband.UEPosition{{X: 0, Y: 45}, {X: 0, Y: 117}}
+
+	fmt.Printf("%-18s %12s %12s %10s\n", "scheduler", "45m (Mbps)", "117m (Mbps)", "fairness")
+	for _, policy := range []midband.SchedulerPolicy{
+		midband.SchedulerEqualShare,
+		midband.SchedulerProportionalFair,
+		midband.SchedulerMaxRate,
+	} {
+		cell, err := midband.NewCell(op, midband.Stationary(99), policy, ues)
+		if err != nil {
+			log.Fatal(err)
+		}
+		const slots = 40000 // 20 s
+		bits := make([]float64, len(ues))
+		for i := 0; i < slots; i++ {
+			res := cell.Step()
+			for _, a := range res.Allocs {
+				bits[a.UE] += float64(a.Alloc.DeliveredBits)
+			}
+		}
+		secs := float64(slots) * cell.SlotDuration().Seconds()
+		near, far := bits[0]/secs/1e6, bits[1]/secs/1e6
+		jain := (near + far) * (near + far) / (2 * (near*near + far*far))
+		fmt.Printf("%-18s %12.1f %12.1f %10.3f\n", policy, near, far, jain)
+	}
+	fmt.Println("\nequal share reproduces the paper's observation (each UE gets ~half);")
+	fmt.Println("max-rate shows why operators do not deploy it.")
+}

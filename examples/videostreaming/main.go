@@ -1,0 +1,52 @@
+// Video streaming: the §6 experiment. Stream DASH video with BOLA over a
+// simulated 5G channel, report QoE, then repeat with 1 s chunks to show the
+// paper's §6.2 improvement (up to +40% bitrate, −50% stall time).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/midband5g/midband"
+)
+
+func main() {
+	log.SetFlags(0)
+	op, err := midband.OperatorByAcronym("V_Ge")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streaming over %s (%s)\n\n", op.Name, op.PCell().Label())
+	fmt.Printf("%-8s %-12s %10s %9s %9s %8s\n",
+		"chunk", "ABR", "norm rate", "avg qlty", "stall %", "switches")
+
+	for _, chunk := range []time.Duration{4 * time.Second, time.Second} {
+		for _, abr := range []struct {
+			name string
+			alg  midband.ABR
+		}{
+			{"bola", midband.NewBOLA()},
+			{"throughput", midband.NewThroughputABR()},
+			{"dynamic", midband.NewDynamicABR()},
+		} {
+			link, err := midband.NewLink(op, midband.Stationary(7))
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := midband.StreamVideo(link, midband.VideoSession{
+				Ladder:        midband.Ladder400,
+				ChunkLength:   chunk,
+				VideoDuration: 2 * time.Minute,
+				ABR:           abr.alg,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-8v %-12s %10.2f %9.2f %9.2f %8d\n",
+				chunk, abr.name, res.AvgNormBitrate, res.AvgQuality, res.StallPct(), res.Switches)
+		}
+	}
+	fmt.Println("\nsmaller chunks let the ABR react at the 5G channel's variability")
+	fmt.Println("time scale (0.2–0.5 s), recovering from erroneous decisions faster.")
+}

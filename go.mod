@@ -1,0 +1,3 @@
+module github.com/midband5g/midband
+
+go 1.22

@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func benchSeries(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*100 + 700
+	}
+	return xs
+}
+
+func BenchmarkVariability(b *testing.B) {
+	xs := benchSeries(1 << 16) // ≈ 32 s of slots
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Variability(xs, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCurve(b *testing.B) {
+	xs := benchSeries(1 << 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Curve(xs, 500*time.Microsecond, 12)
+	}
+}
+
+func BenchmarkCDF(b *testing.B) {
+	xs := benchSeries(1 << 14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewCDF(xs)
+		c.Quantile(0.5)
+	}
+}

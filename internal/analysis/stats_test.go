@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %g, want 5", m)
+	}
+	if s := Std(xs); s != 2 {
+		t.Errorf("Std = %g, want 2", s)
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 || Std([]float64{3}) != 0 {
+		t.Error("degenerate inputs should return 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {-5, 1}, {110, 5}, {10, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%g = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	// Percentile must not mutate its input.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Median != 3 || s.Max != 5 || s.Mean != 3 {
+		t.Errorf("bad summary %+v", s)
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty summary should be zero")
+	}
+	if s.String() == "" {
+		t.Error("summary string empty")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3, 10})
+	if c.N() != 5 {
+		t.Errorf("N = %d", c.N())
+	}
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.2}, {2, 0.6}, {2.5, 0.6}, {10, 1}, {99, 1},
+	}
+	for _, cse := range cases {
+		if got := c.At(cse.x); math.Abs(got-cse.want) > 1e-12 {
+			t.Errorf("At(%g) = %g, want %g", cse.x, got, cse.want)
+		}
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %g", got)
+	}
+	if got := c.Quantile(1); got != 10 {
+		t.Errorf("Quantile(1) = %g", got)
+	}
+	pts := c.Points(3)
+	if len(pts) != 3 || pts[0][0] != 1 || pts[2][0] != 10 {
+		t.Errorf("Points = %v", pts)
+	}
+	if NewCDF(nil).At(5) != 0 || NewCDF(nil).Quantile(0.5) != 0 {
+		t.Error("empty CDF should be zero-valued")
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 100)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		c := NewCDF(xs)
+		prev := -1.0
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := c.At(c.Quantile(q))
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		// At() of the max is exactly 1.
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return c.At(sorted[len(sorted)-1]) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResample(t *testing.T) {
+	xs := []float64{1, 3, 5, 7, 9, 11, 13}
+	got := Resample(xs, 2)
+	want := []float64{2, 6, 10} // trailing 13 dropped
+	if len(got) != len(want) {
+		t.Fatalf("Resample len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Resample[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	same := Resample(xs, 1)
+	if len(same) != len(xs) {
+		t.Error("factor 1 should copy")
+	}
+	same[0] = 99
+	if xs[0] == 99 {
+		t.Error("Resample(.,1) must not alias input")
+	}
+}
+
+func TestResampleMeanPreservedProperty(t *testing.T) {
+	f := func(seed int64, factor uint8) bool {
+		k := int(factor%8) + 1
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 64*k) // exact multiple: mean preserved exactly
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		return math.Abs(Mean(Resample(xs, k))-Mean(xs)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShares(t *testing.T) {
+	got := Shares([]string{"64QAM", "64QAM", "256QAM", "64QAM"})
+	if got["64QAM"] != 0.75 || got["256QAM"] != 0.25 {
+		t.Errorf("Shares = %v", got)
+	}
+	if len(Shares[int](nil)) != 0 {
+		t.Error("empty shares should be empty")
+	}
+	// Shares always sum to 1.
+	f := func(vals []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		sum := 0.0
+		for _, v := range Shares(vals) {
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Correlation(xs, xs); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self correlation = %g, want 1", got)
+	}
+	neg := []float64{5, 4, 3, 2, 1}
+	if got := Correlation(xs, neg); math.Abs(got+1) > 1e-12 {
+		t.Errorf("reverse correlation = %g, want -1", got)
+	}
+	flat := []float64{2, 2, 2, 2, 2}
+	if got := Correlation(xs, flat); got != 0 {
+		t.Errorf("flat series correlation = %g, want 0", got)
+	}
+	if Correlation(xs, xs[:3]) != 0 {
+		t.Error("length mismatch should return 0")
+	}
+	// Property: correlation is symmetric and bounded.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, 50)
+		b := make([]float64, 50)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = a[i]*0.5 + rng.NormFloat64()
+		}
+		r1, r2 := Correlation(a, b), Correlation(b, a)
+		return math.Abs(r1-r2) < 1e-12 && r1 >= -1.0000001 && r1 <= 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

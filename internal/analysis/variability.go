@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Variability computes V(t), the scaled variability metric of the paper's
+// equation (1), for a series sampled at the finest granularity τ and a time
+// scale of `scale` samples (t = scale·τ):
+//
+//	V(t) = 1/(m−1) · Σ_{j=1}^{m−1} |X_{j+1} − X_j|
+//
+// where X_j is the mean of the j-th length-t block. Larger V(t) means the
+// series moves more from one t-interval to the next. Trailing samples that
+// do not fill a block are dropped.
+func Variability(xs []float64, scale int) (float64, error) {
+	if scale < 1 {
+		return 0, fmt.Errorf("analysis: scale %d must be ≥ 1", scale)
+	}
+	m := len(xs) / scale
+	if m < 2 {
+		return 0, fmt.Errorf("analysis: need ≥ 2 blocks of %d samples, have %d samples", scale, len(xs))
+	}
+	prev := blockMean(xs, 0, scale)
+	total := 0.0
+	for j := 1; j < m; j++ {
+		cur := blockMean(xs, j, scale)
+		total += math.Abs(cur - prev)
+		prev = cur
+	}
+	return total / float64(m-1), nil
+}
+
+func blockMean(xs []float64, j, scale int) float64 {
+	s := 0.0
+	for i := j * scale; i < (j+1)*scale; i++ {
+		s += xs[i]
+	}
+	return s / float64(scale)
+}
+
+// ScalePoint is one (time scale, V(t)) pair of a variability curve.
+type ScalePoint struct {
+	// Scale is the block length in samples.
+	Scale int
+	// Duration is the corresponding time scale t = Scale·τ.
+	Duration time.Duration
+	// V is the variability V(t).
+	V float64
+}
+
+// Curve computes V(t) across dyadic time scales t = 2^k·τ for k = 0..maxK,
+// the x-axis of Figure 12 (0.5 ms up to 2 s for τ = 0.5 ms, maxK = 12).
+// Scales with fewer than two complete blocks are omitted.
+func Curve(xs []float64, tau time.Duration, maxK int) []ScalePoint {
+	var out []ScalePoint
+	for k := 0; k <= maxK; k++ {
+		scale := 1 << k
+		v, err := Variability(xs, scale)
+		if err != nil {
+			break
+		}
+		out = append(out, ScalePoint{Scale: scale, Duration: tau * time.Duration(scale), V: v})
+	}
+	return out
+}
+
+// CurveStats returns the mean and standard deviation of the V values of a
+// curve — the "Mean ± Std" annotations of Figure 12.
+func CurveStats(curve []ScalePoint) (mean, std float64) {
+	vs := make([]float64, len(curve))
+	for i, p := range curve {
+		vs[i] = p.V
+	}
+	return Mean(vs), Std(vs)
+}
+
+// StabilizationScale returns the smallest time scale at which the curve has
+// flattened: the first point whose V differs from the final V by at most
+// frac (e.g. 0.25) of the total V range. The paper observes throughput
+// variability stabilizing around 0.2–0.5 s.
+func StabilizationScale(curve []ScalePoint, frac float64) (time.Duration, bool) {
+	if len(curve) < 2 {
+		return 0, false
+	}
+	last := curve[len(curve)-1].V
+	lo, hi := curve[0].V, curve[0].V
+	for _, p := range curve {
+		lo = math.Min(lo, p.V)
+		hi = math.Max(hi, p.V)
+	}
+	span := hi - lo
+	if span == 0 {
+		return curve[0].Duration, true
+	}
+	for _, p := range curve {
+		if math.Abs(p.V-last) <= frac*span {
+			return p.Duration, true
+		}
+	}
+	return 0, false
+}
+
+// JointVariability computes the (V_mcs(t), V_mimo(t)) pair at a single time
+// scale — the axes of the 2D channel-dynamics plots in Figures 14 and 15.
+func JointVariability(mcs, mimo []float64, scale int) (vMCS, vMIMO float64, err error) {
+	vMCS, err = Variability(mcs, scale)
+	if err != nil {
+		return 0, 0, err
+	}
+	vMIMO, err = Variability(mimo, scale)
+	if err != nil {
+		return 0, 0, err
+	}
+	return vMCS, vMIMO, nil
+}

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestVariabilityHandComputed(t *testing.T) {
+	// Blocks of 2 over {1,1, 3,3, 2,2}: X = {1,3,2} →
+	// V = (|3−1| + |2−3|)/2 = 1.5.
+	xs := []float64{1, 1, 3, 3, 2, 2}
+	v, err := Variability(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1.5 {
+		t.Errorf("V = %g, want 1.5", v)
+	}
+	// Scale 1: V = mean |Δ| = (0+2+0+1+0)/5 = 0.6.
+	v1, _ := Variability(xs, 1)
+	if v1 != 0.6 {
+		t.Errorf("V(τ) = %g, want 0.6", v1)
+	}
+}
+
+func TestVariabilityErrors(t *testing.T) {
+	if _, err := Variability([]float64{1, 2}, 0); err == nil {
+		t.Error("scale 0 should fail")
+	}
+	if _, err := Variability([]float64{1, 2, 3}, 2); err == nil {
+		t.Error("fewer than 2 blocks should fail")
+	}
+}
+
+func TestVariabilityConstantIsZeroProperty(t *testing.T) {
+	f := func(c float64, n, scale uint8) bool {
+		if math.IsNaN(c) || math.IsInf(c, 0) || math.Abs(c) > 1e100 {
+			c = 5 // avoid overflow when summing blocks of extreme values
+		}
+		k := int(scale%16) + 1
+		xs := make([]float64, (int(n%32)+2)*k)
+		for i := range xs {
+			xs[i] = c
+		}
+		v, err := Variability(xs, k)
+		return err == nil && v == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVariabilityScalesLinearlyProperty(t *testing.T) {
+	// V(a·x) = |a|·V(x): the metric is homogeneous, so "scaled" comparisons
+	// across different units stay meaningful.
+	f := func(seed int64, a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.Abs(a) > 1e6 {
+			a = -2.5
+		}
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 256)
+		ys := make([]float64, 256)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = a * xs[i]
+		}
+		vx, err1 := Variability(xs, 4)
+		vy, err2 := Variability(ys, 4)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(vy-math.Abs(a)*vx) < 1e-9*(1+math.Abs(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVariabilityShiftInvariantProperty(t *testing.T) {
+	f := func(seed int64, shift float64) bool {
+		if math.IsNaN(shift) || math.IsInf(shift, 0) || math.Abs(shift) > 1e6 {
+			shift = 100
+		}
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 128)
+		ys := make([]float64, 128)
+		for i := range xs {
+			xs[i] = rng.Float64() * 10
+			ys[i] = xs[i] + shift
+		}
+		vx, _ := Variability(xs, 2)
+		vy, _ := Variability(ys, 2)
+		return math.Abs(vx-vy) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCurveWhiteNoiseDecreases(t *testing.T) {
+	// For i.i.d. noise V(t) ∝ 1/sqrt(t): the curve must fall with scale —
+	// the qualitative shape of every panel in Figure 12.
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1<<14)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	curve := Curve(xs, 500*time.Microsecond, 8)
+	if len(curve) != 9 {
+		t.Fatalf("curve has %d points, want 9", len(curve))
+	}
+	if curve[0].Duration != 500*time.Microsecond || curve[1].Duration != time.Millisecond {
+		t.Errorf("durations wrong: %v, %v", curve[0].Duration, curve[1].Duration)
+	}
+	for k := 1; k < len(curve); k++ {
+		if curve[k].V >= curve[k-1].V {
+			t.Errorf("V at scale 2^%d (%g) not below scale 2^%d (%g)",
+				k, curve[k].V, k-1, curve[k-1].V)
+		}
+	}
+	// Ratio between adjacent dyadic scales ≈ 1/√2 for white noise.
+	ratio := curve[4].V / curve[3].V
+	if ratio < 0.6 || ratio > 0.82 {
+		t.Errorf("white-noise dyadic ratio = %.3f, want ≈ 0.707", ratio)
+	}
+}
+
+func TestCurveStopsWhenTooShort(t *testing.T) {
+	xs := make([]float64, 16)
+	curve := Curve(xs, time.Millisecond, 10)
+	// 16 samples support scales 1,2,4,8 (≥2 blocks each).
+	if len(curve) != 4 {
+		t.Errorf("curve has %d points, want 4", len(curve))
+	}
+}
+
+func TestCurveStats(t *testing.T) {
+	curve := []ScalePoint{{V: 1}, {V: 2}, {V: 3}}
+	mean, std := CurveStats(curve)
+	if mean != 2 {
+		t.Errorf("mean = %g", mean)
+	}
+	if math.Abs(std-math.Sqrt(2.0/3.0)) > 1e-12 {
+		t.Errorf("std = %g", std)
+	}
+}
+
+func TestStabilizationScale(t *testing.T) {
+	curve := []ScalePoint{
+		{Duration: 1 * time.Millisecond, V: 10},
+		{Duration: 2 * time.Millisecond, V: 6},
+		{Duration: 4 * time.Millisecond, V: 2.5},
+		{Duration: 8 * time.Millisecond, V: 2.1},
+		{Duration: 16 * time.Millisecond, V: 2.0},
+	}
+	d, ok := StabilizationScale(curve, 0.25)
+	if !ok || d != 4*time.Millisecond {
+		t.Errorf("stabilization = %v ok=%v, want 4ms", d, ok)
+	}
+	if _, ok := StabilizationScale(curve[:1], 0.25); ok {
+		t.Error("single-point curve cannot stabilize")
+	}
+	flat := []ScalePoint{{Duration: time.Millisecond, V: 1}, {Duration: 2 * time.Millisecond, V: 1}}
+	if d, ok := StabilizationScale(flat, 0.25); !ok || d != time.Millisecond {
+		t.Error("flat curve stabilizes immediately")
+	}
+}
+
+func TestJointVariability(t *testing.T) {
+	mcs := []float64{20, 20, 24, 24, 18, 18}
+	mimo := []float64{4, 4, 4, 4, 2, 2}
+	vm, vl, err := JointVariability(mcs, mimo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm != 5 { // (|24−20|+|18−24|)/2
+		t.Errorf("vMCS = %g, want 5", vm)
+	}
+	if vl != 1 { // (0+2)/2
+		t.Errorf("vMIMO = %g, want 1", vl)
+	}
+	if _, _, err := JointVariability(mcs[:1], mimo, 1); err == nil {
+		t.Error("short mcs series should fail")
+	}
+	if _, _, err := JointVariability(mcs, mimo[:1], 1); err == nil {
+		t.Error("short mimo series should fail")
+	}
+}

@@ -1,0 +1,46 @@
+package bands
+
+import "fmt"
+
+// NR-ARFCN ↔ frequency conversion per TS 38.104 §5.4.2.1. The global
+// frequency raster is divided into three ranges with different granularity;
+// SIB1's absoluteFrequencyPointA is expressed on this raster (paper
+// Appendix 10.1).
+
+type arfcnRange struct {
+	freqLowMHz, freqHighMHz float64
+	deltaFkHz               float64
+	nOffset                 uint32
+	freqOffsetMHz           float64
+}
+
+var arfcnRanges = []arfcnRange{
+	{0, 3000, 5, 0, 0},
+	{3000, 24250, 15, 600000, 3000},
+	{24250, 100000, 60, 2016667, 24250.08},
+}
+
+// FreqToARFCN converts a frequency in MHz to the nearest NR-ARFCN.
+func FreqToARFCN(fMHz float64) (uint32, error) {
+	for _, r := range arfcnRanges {
+		if fMHz >= r.freqLowMHz && fMHz < r.freqHighMHz {
+			n := float64(r.nOffset) + (fMHz-r.freqOffsetMHz)*1000/r.deltaFkHz
+			return uint32(n + 0.5), nil
+		}
+	}
+	return 0, fmt.Errorf("bands: frequency %g MHz outside NR raster", fMHz)
+}
+
+// ARFCNToFreq converts an NR-ARFCN to a frequency in MHz.
+func ARFCNToFreq(n uint32) (float64, error) {
+	switch {
+	case n < 600000:
+		return float64(n) * 5 / 1000, nil
+	case n < 2016667:
+		return 3000 + float64(n-600000)*15/1000, nil
+	case n <= 3279165:
+		return 24250.08 + float64(n-2016667)*60/1000, nil
+	default:
+		return 0, fmt.Errorf("bands: ARFCN %d outside NR raster", n)
+	}
+}

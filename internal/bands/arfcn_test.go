@@ -1,0 +1,58 @@
+package bands
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestARFCNKnownPoints(t *testing.T) {
+	cases := []struct {
+		fMHz  float64
+		arfcn uint32
+	}{
+		{3000, 600000},      // range-2 origin
+		{3550, 636667},      // mid n78: 600000 + 550000/15 ≈ 636667
+		{2496, 499200},      // n41 low edge: 2496000/5
+		{24250.08, 2016667}, // FR2 origin
+		{27500, 2070832},    // n261 low edge (nearest raster point)
+	}
+	for _, c := range cases {
+		got, err := FreqToARFCN(c.fMHz)
+		if err != nil {
+			t.Fatalf("FreqToARFCN(%g): %v", c.fMHz, err)
+		}
+		if got != c.arfcn {
+			t.Errorf("FreqToARFCN(%g) = %d, want %d", c.fMHz, got, c.arfcn)
+		}
+	}
+}
+
+func TestARFCNRoundTripProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		// Sample frequencies across all three ranges.
+		fMHz := 600 + math.Mod(float64(raw)*0.5, 27000) // 600 .. 27600 MHz
+		n, err := FreqToARFCN(fMHz)
+		if err != nil {
+			return false
+		}
+		back, err := ARFCNToFreq(n)
+		if err != nil {
+			return false
+		}
+		// Round trip is accurate to the raster granularity (≤ 60 kHz).
+		return math.Abs(back-fMHz) <= 0.060
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestARFCNErrors(t *testing.T) {
+	if _, err := FreqToARFCN(150000); err == nil {
+		t.Error("150 GHz should be rejected")
+	}
+	if _, err := ARFCNToFreq(4000000); err == nil {
+		t.Error("ARFCN 4000000 should be rejected")
+	}
+}

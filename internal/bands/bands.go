@@ -1,0 +1,134 @@
+// Package bands defines the NR operating bands and channel-bandwidth →
+// transmission-bandwidth tables (TS 38.101-1/2) that determine N_RB, the
+// quantity row 7 of the paper's Tables 2 and 3 reports and that bounds every
+// per-slot RB allocation.
+package bands
+
+import (
+	"fmt"
+
+	"github.com/midband5g/midband/internal/phy"
+)
+
+// Duplexing is the duplex mode of a band.
+type Duplexing uint8
+
+const (
+	// TDD multiplexes DL and UL in time on the same frequency.
+	TDD Duplexing = iota
+	// FDD uses paired DL and UL channels.
+	FDD
+)
+
+func (d Duplexing) String() string {
+	if d == FDD {
+		return "FDD"
+	}
+	return "TDD"
+}
+
+// FrequencyRange is 3GPP FR1 (sub-6) or FR2 (mmWave).
+type FrequencyRange uint8
+
+const (
+	// FR1 covers 410 MHz – 7.125 GHz (low and mid bands).
+	FR1 FrequencyRange = 1
+	// FR2 covers 24.25 – 52.6 GHz (mmWave).
+	FR2 FrequencyRange = 2
+)
+
+// Band describes an NR operating band.
+type Band struct {
+	// Name is the band designator, e.g. "n78".
+	Name string
+	// LowMHz and HighMHz bound the (DL) spectrum range.
+	LowMHz, HighMHz float64
+	// Duplex is the duplexing mode.
+	Duplex Duplexing
+	// Range is FR1 or FR2.
+	Range FrequencyRange
+}
+
+// CenterMHz returns the midpoint of the band.
+func (b Band) CenterMHz() float64 { return (b.LowMHz + b.HighMHz) / 2 }
+
+// MidBand reports whether the band falls in the 1–6 GHz mid-band range the
+// paper studies.
+func (b Band) MidBand() bool { return b.LowMHz >= 1000 && b.HighMHz <= 6000 }
+
+// The bands that appear in the study (TS 38.101-1 Table 5.2-1 and 38.101-2).
+var (
+	// N25 is 1.9 GHz PCS (T-Mobile US FDD mid-band).
+	N25 = Band{Name: "n25", LowMHz: 1930, HighMHz: 1995, Duplex: FDD, Range: FR1}
+	// N41 is 2.5 GHz BRS/EBS (T-Mobile US TDD mid-band).
+	N41 = Band{Name: "n41", LowMHz: 2496, HighMHz: 2690, Duplex: TDD, Range: FR1}
+	// N77 is the 3.3–4.2 GHz C-band superset (AT&T, Verizon).
+	N77 = Band{Name: "n77", LowMHz: 3300, HighMHz: 4200, Duplex: TDD, Range: FR1}
+	// N78 is the 3.3–3.8 GHz sub-segment all European operators use.
+	N78 = Band{Name: "n78", LowMHz: 3300, HighMHz: 3800, Duplex: TDD, Range: FR1}
+	// N261 is the 28 GHz mmWave band (used for the §7 comparison).
+	N261 = Band{Name: "n261", LowMHz: 27500, HighMHz: 28350, Duplex: TDD, Range: FR2}
+	// B66 stands in for the 4G LTE AWS anchor carrier of NSA deployments.
+	B66 = Band{Name: "b66", LowMHz: 2110, HighMHz: 2200, Duplex: FDD, Range: FR1}
+)
+
+// ByName returns a band by its designator.
+func ByName(name string) (Band, error) {
+	for _, b := range []Band{N25, N41, N77, N78, N261, B66} {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Band{}, fmt.Errorf("bands: unknown band %q", name)
+}
+
+// nrbFR1 is TS 38.101-1 Table 5.3.2-1: maximum transmission bandwidth
+// configuration N_RB by channel bandwidth (MHz) and SCS, for FR1.
+var nrbFR1 = map[phy.Numerology]map[int]int{
+	phy.Mu0: {5: 25, 10: 52, 15: 79, 20: 106, 25: 133, 30: 160, 40: 216, 50: 270},
+	phy.Mu1: {5: 11, 10: 24, 15: 38, 20: 51, 25: 65, 30: 78, 40: 106, 50: 133,
+		60: 162, 70: 189, 80: 217, 90: 245, 100: 273},
+	phy.Mu2: {10: 11, 15: 18, 20: 24, 25: 31, 30: 38, 40: 51, 50: 65,
+		60: 79, 70: 93, 80: 107, 90: 121, 100: 135},
+}
+
+// nrbFR2 is TS 38.101-2 Table 5.3.2-1 for FR2.
+var nrbFR2 = map[phy.Numerology]map[int]int{
+	phy.Mu2: {50: 66, 100: 132, 200: 264},
+	phy.Mu3: {50: 32, 100: 66, 200: 132, 400: 264},
+}
+
+// MaxNRB returns N_RB for a channel of the given bandwidth (MHz) and SCS in
+// the given frequency range. This is the lookup the UE performs when it
+// decodes carrierBandwidth from SIB1 (paper Appendix 10.1).
+func MaxNRB(fr FrequencyRange, mu phy.Numerology, bandwidthMHz int) (int, error) {
+	table := nrbFR1
+	if fr == FR2 {
+		table = nrbFR2
+	}
+	byBW, ok := table[mu]
+	if !ok {
+		return 0, fmt.Errorf("bands: SCS %d kHz not defined for FR%d", mu.SCSkHz(), fr)
+	}
+	nrb, ok := byBW[bandwidthMHz]
+	if !ok {
+		return 0, fmt.Errorf("bands: %d MHz not a valid FR%d channel bandwidth at %d kHz SCS",
+			bandwidthMHz, fr, mu.SCSkHz())
+	}
+	return nrb, nil
+}
+
+// BandwidthForNRB performs the inverse lookup: the channel bandwidth whose
+// transmission bandwidth configuration is nrb.
+func BandwidthForNRB(fr FrequencyRange, mu phy.Numerology, nrb int) (int, error) {
+	table := nrbFR1
+	if fr == FR2 {
+		table = nrbFR2
+	}
+	for bw, n := range table[mu] {
+		if n == nrb {
+			return bw, nil
+		}
+	}
+	return 0, fmt.Errorf("bands: no FR%d channel at %d kHz SCS with N_RB=%d", fr, mu.SCSkHz(), nrb)
+}

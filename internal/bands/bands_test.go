@@ -1,0 +1,100 @@
+package bands
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/midband5g/midband/internal/phy"
+)
+
+func TestPaperNRBValues(t *testing.T) {
+	// Row 7 of Tables 2 and 3: every (bandwidth → N_RB) pair the paper
+	// reports for 30 kHz SCS mid-band channels.
+	cases := []struct{ bw, nrb int }{
+		{100, 273}, {90, 245}, {80, 217}, {60, 162}, {40, 106},
+		{20, 51}, {5, 11},
+	}
+	for _, c := range cases {
+		got, err := MaxNRB(FR1, phy.Mu1, c.bw)
+		if err != nil {
+			t.Fatalf("MaxNRB(%d MHz): %v", c.bw, err)
+		}
+		if got != c.nrb {
+			t.Errorf("MaxNRB(%d MHz @30kHz) = %d, want %d", c.bw, got, c.nrb)
+		}
+	}
+}
+
+func TestMaxNRBErrors(t *testing.T) {
+	if _, err := MaxNRB(FR1, phy.Mu1, 35); err == nil {
+		t.Error("35 MHz should not be a valid channel bandwidth")
+	}
+	if _, err := MaxNRB(FR1, phy.Mu3, 100); err == nil {
+		t.Error("120 kHz SCS is not defined for FR1")
+	}
+	if _, err := MaxNRB(FR2, phy.Mu3, 100); err != nil {
+		t.Errorf("FR2 100 MHz @120kHz should be valid: %v", err)
+	}
+}
+
+func TestBandwidthForNRBInverse(t *testing.T) {
+	f := func(pick uint8) bool {
+		bws := []int{5, 10, 15, 20, 25, 30, 40, 50, 60, 70, 80, 90, 100}
+		bw := bws[int(pick)%len(bws)]
+		nrb, err := MaxNRB(FR1, phy.Mu1, bw)
+		if err != nil {
+			return false
+		}
+		back, err := BandwidthForNRB(FR1, phy.Mu1, nrb)
+		return err == nil && back == bw
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := BandwidthForNRB(FR1, phy.Mu1, 999); err == nil {
+		t.Error("N_RB=999 should not resolve to a bandwidth")
+	}
+}
+
+func TestBandProperties(t *testing.T) {
+	if !N78.MidBand() || !N41.MidBand() || !N25.MidBand() {
+		t.Error("n78, n41, n25 are mid-band")
+	}
+	if N261.MidBand() {
+		t.Error("n261 is not mid-band")
+	}
+	if N78.Duplex != TDD || N25.Duplex != FDD {
+		t.Error("duplex modes wrong")
+	}
+	if N78.Range != FR1 || N261.Range != FR2 {
+		t.Error("frequency ranges wrong")
+	}
+	// n78 is a sub-segment of n77 (the C-band relationship in §3.1).
+	if N78.LowMHz < N77.LowMHz || N78.HighMHz > N77.HighMHz {
+		t.Error("n78 should be contained in n77")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"n25", "n41", "n77", "n78", "n261", "b66"} {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if b.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, b.Name)
+		}
+	}
+	if _, err := ByName("n999"); err == nil {
+		t.Error("unknown band should fail")
+	}
+}
+
+func TestDuplexingString(t *testing.T) {
+	if TDD.String() != "TDD" || FDD.String() != "FDD" {
+		t.Error("Duplexing.String wrong")
+	}
+	if N78.CenterMHz() != 3550 {
+		t.Errorf("n78 center = %g, want 3550", N78.CenterMHz())
+	}
+}

@@ -1,0 +1,267 @@
+package channel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Config parameterizes a per-carrier radio channel process.
+type Config struct {
+	// CarrierFreqMHz is the carrier center frequency.
+	CarrierFreqMHz float64
+	// SlotDuration is the sampling period (one NR slot).
+	SlotDuration time.Duration
+	// Seed makes the process reproducible.
+	Seed int64
+	// Route is the UE trajectory.
+	Route Route
+	// Deployment is the serving gNB layout.
+	Deployment Deployment
+	// NoisePerREdBm is thermal noise + noise figure per resource element.
+	// Zero selects the default −122 dBm (30 kHz RE, 7 dB noise figure).
+	NoisePerREdBm float64
+	// OtherCellInterferenceDBm is the per-RE interference floor from
+	// cells outside the modeled deployment. Zero selects −110 dBm.
+	OtherCellInterferenceDBm float64
+	// NeighborLoad scales interference from the modeled neighbor sites:
+	// the fraction of time/power they actually transmit toward this UE
+	// (activity factor × beam separation). Zero selects 0.1.
+	NeighborLoad float64
+	// ShadowSigmaDB is the lognormal shadowing standard deviation
+	// (default 4 dB).
+	ShadowSigmaDB float64
+	// ShadowCorrMeters is the shadowing decorrelation distance
+	// (default 50 m).
+	ShadowCorrMeters float64
+	// ShadowCorrSeconds is the temporal decorrelation for a stationary
+	// UE — the slow environment churn the paper observes at the 0.2–0.5 s
+	// scale (default 0.4 s).
+	ShadowCorrSeconds float64
+	// FastSigmaDB is the fast-fading standard deviation (default 2 dB;
+	// mmWave uses larger values).
+	FastSigmaDB float64
+	// FastCorrSeconds is the fast-fading coherence time for a stationary
+	// UE (default 40 ms); mobility shortens it via Doppler.
+	FastCorrSeconds float64
+	// SlowSigmaDB adds a slow environment/load drift: neighbor-cell load,
+	// passing obstructions and scheduler pressure move the operating
+	// point over tens of seconds. This is what produces the multi-second
+	// throughput sags visible in the paper's Figs. 13 and 16 (and hence
+	// video stalls). Zero disables it.
+	SlowSigmaDB float64
+	// SlowCorrSeconds is the drift's correlation time (default 10 s).
+	SlowCorrSeconds float64
+	// SINRBiasDB shifts the whole SINR process; operator profiles use it
+	// to encode deployment quality beyond site geometry.
+	SINRBiasDB float64
+	// Episodes, when non-nil, adds occasional multi-second degradation
+	// episodes (congestion/interference sags).
+	Episodes *EpisodeConfig
+	// Blockage, when non-nil, adds the mmWave LOS/NLOS/outage process.
+	Blockage *BlockageConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.NoisePerREdBm == 0 {
+		c.NoisePerREdBm = -122
+	}
+	if c.OtherCellInterferenceDBm == 0 {
+		c.OtherCellInterferenceDBm = -110
+	}
+	if c.NeighborLoad == 0 {
+		c.NeighborLoad = 0.1
+	}
+	if c.ShadowSigmaDB == 0 {
+		c.ShadowSigmaDB = 4
+	}
+	if c.ShadowCorrMeters == 0 {
+		c.ShadowCorrMeters = 50
+	}
+	if c.ShadowCorrSeconds == 0 {
+		c.ShadowCorrSeconds = 0.4
+	}
+	if c.FastSigmaDB == 0 {
+		c.FastSigmaDB = 2
+	}
+	if c.FastCorrSeconds == 0 {
+		c.FastCorrSeconds = 0.040
+	}
+	if c.SlowCorrSeconds == 0 {
+		c.SlowCorrSeconds = 10
+	}
+	if c.SlotDuration == 0 {
+		c.SlotDuration = 500 * time.Microsecond
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.CarrierFreqMHz <= 0 {
+		return fmt.Errorf("channel: carrier frequency %g MHz invalid", c.CarrierFreqMHz)
+	}
+	if err := c.Route.Validate(); err != nil {
+		return err
+	}
+	if err := c.Deployment.Validate(); err != nil {
+		return err
+	}
+	if c.Blockage != nil {
+		if err := c.Blockage.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Episodes != nil {
+		if err := c.Episodes.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sample is one slot's radio state.
+type Sample struct {
+	// Pos is the UE position.
+	Pos Point
+	// ServingCell is the index of the serving site in the deployment.
+	ServingCell int
+	// RSRPdBm is the reference-signal received power (includes shadowing,
+	// excludes fast fading, as a filtered RSRP measurement would).
+	RSRPdBm float64
+	// RSRQdB is the reference-signal received quality.
+	RSRQdB float64
+	// SINRdB is the instantaneous post-fading SINR.
+	SINRdB float64
+	// LOS reports the blockage state (always true without a blockage
+	// process).
+	LOS bool
+	// Outage reports total service loss (mmWave coverage holes).
+	Outage bool
+}
+
+// Channel is the per-slot radio process. It is not safe for concurrent use.
+type Channel struct {
+	cfg      Config
+	rng      *rand.Rand
+	slot     int64
+	shadowDB float64
+	fastDB   float64
+	slowDB   float64
+	blk      *blockageState
+	epi      *episodeState
+}
+
+// New creates a channel process.
+func New(cfg Config) (*Channel, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ch := &Channel{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	// Start the correlated processes at a random draw from their
+	// stationary distributions.
+	ch.shadowDB = ch.rng.NormFloat64() * cfg.ShadowSigmaDB
+	ch.fastDB = ch.rng.NormFloat64() * cfg.FastSigmaDB
+	// The slow drift starts at its neutral point: sessions begin in a
+	// typical state and drift from there.
+	if cfg.Blockage != nil {
+		ch.blk = newBlockageState(*cfg.Blockage, ch.rng)
+	}
+	if cfg.Episodes != nil {
+		ch.epi = newEpisodeState(*cfg.Episodes, ch.rng)
+	}
+	return ch, nil
+}
+
+// Slot returns the index of the next sample to be produced.
+func (c *Channel) Slot() int64 { return c.slot }
+
+// Step advances one slot and returns the new radio sample.
+func (c *Channel) Step() Sample {
+	dt := c.cfg.SlotDuration.Seconds()
+	tSec := float64(c.slot) * dt
+	pos := c.cfg.Route.Position(tSec)
+	speed := c.cfg.Route.SpeedMPS
+
+	// Ornstein–Uhlenbeck shadowing: decorrelates with both distance
+	// traveled and time.
+	shadowRate := speed/c.cfg.ShadowCorrMeters + 1/c.cfg.ShadowCorrSeconds
+	rho := math.Exp(-dt * shadowRate)
+	c.shadowDB = rho*c.shadowDB + math.Sqrt(1-rho*rho)*c.rng.NormFloat64()*c.cfg.ShadowSigmaDB
+
+	// Fast fading: coherence time shrinks with Doppler (∝ speed·fc).
+	coh := c.cfg.FastCorrSeconds
+	if speed > 0 {
+		doppler := speed * c.cfg.CarrierFreqMHz * 1e6 / 3e8
+		if tc := 0.423 / doppler; tc < coh {
+			coh = tc
+		}
+	}
+	rhoF := math.Exp(-dt / coh)
+	c.fastDB = rhoF*c.fastDB + math.Sqrt(1-rhoF*rhoF)*c.rng.NormFloat64()*c.cfg.FastSigmaDB
+
+	// Slow environment/load drift.
+	if c.cfg.SlowSigmaDB > 0 {
+		rhoS := math.Exp(-dt / c.cfg.SlowCorrSeconds)
+		c.slowDB = rhoS*c.slowDB + math.Sqrt(1-rhoS*rhoS)*c.rng.NormFloat64()*c.cfg.SlowSigmaDB
+	}
+
+	cell, rsrp, interfMW := c.cfg.Deployment.StrongestSite(pos, c.cfg.CarrierFreqMHz)
+	rsrp += c.shadowDB
+
+	los, outage := true, false
+	blockLossDB := 0.0
+	if c.blk != nil {
+		los, outage, blockLossDB = c.blk.step(dt, speed)
+	}
+	if c.epi != nil {
+		blockLossDB += c.epi.step(dt)
+	}
+
+	noiseMW := math.Pow(10, c.cfg.NoisePerREdBm/10)
+	floorMW := math.Pow(10, c.cfg.OtherCellInterferenceDBm/10)
+	interfData := interfMW*c.cfg.NeighborLoad + floorMW
+	sinrDB := rsrp - blockLossDB + c.fastDB + c.slowDB + c.cfg.SINRBiasDB -
+		10*math.Log10(noiseMW+interfData)
+	// RSRQ is measured against a busier RSSI than the data SINR sees:
+	// reference-signal REs of all neighbors are always on, and the
+	// measurement bandwidth integrates roughly half-loaded neighbors.
+	const rsrqLoad = 0.5
+	interfRSRQ := interfMW*rsrqLoad + floorMW
+	sinrRSRQ := rsrp - blockLossDB + c.slowDB + c.cfg.SINRBiasDB -
+		10*math.Log10(noiseMW+interfRSRQ)
+	if outage {
+		sinrDB = math.Inf(-1)
+		sinrRSRQ = math.Inf(-1)
+	}
+
+	c.slot++
+	return Sample{
+		Pos:         pos,
+		ServingCell: cell,
+		RSRPdBm:     rsrp - blockLossDB,
+		RSRQdB:      RSRQFromSINR(sinrRSRQ),
+		SINRdB:      sinrDB,
+		LOS:         los,
+		Outage:      outage,
+	}
+}
+
+// RSRQFromSINR converts a wideband signal-to-rest ratio into RSRQ:
+// RSRQ = −10·log10(12) − 10·log10(1 + 1/sinr), clamped to the reportable
+// [−20, −3] dB range. A fully dominant serving cell saturates near
+// −10.8 dB; the paper's "good coverage" scouting threshold (RSRQ ≥ −12 dB)
+// corresponds to the rest of the RSSI staying ≳ 5 dB below the signal.
+func RSRQFromSINR(sinrDB float64) float64 {
+	if math.IsInf(sinrDB, -1) {
+		return -20
+	}
+	sinr := math.Pow(10, sinrDB/10)
+	rsrq := -10.79 - 10*math.Log10(1+1/sinr)
+	return math.Max(-20, math.Min(-3, rsrq))
+}

@@ -1,0 +1,140 @@
+// Package channel models the radio environment the measurement campaign
+// sampled in the field: path loss against a deployment of gNB sites,
+// correlated shadowing, Doppler-scaled fast fading, and (for the §7 mmWave
+// comparison) a blockage/outage process. It produces per-slot SINR, RSRP and
+// RSRQ samples — the inputs that drive CQI reporting, MCS selection, rank
+// adaptation and therefore all the KPI distributions in §4 and §5.
+package channel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a 2D position in meters.
+type Point struct{ X, Y float64 }
+
+// Distance returns the Euclidean distance to q in meters.
+func (p Point) Distance(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Route is a polyline the UE traverses at constant speed; a single waypoint
+// means the UE is stationary.
+type Route struct {
+	Waypoints []Point
+	// SpeedMPS is the UE speed in m/s (0 for stationary).
+	SpeedMPS float64
+}
+
+// Stationary returns a route pinned at p.
+func Stationary(p Point) Route { return Route{Waypoints: []Point{p}} }
+
+// Validate checks the route is usable.
+func (r Route) Validate() error {
+	if len(r.Waypoints) == 0 {
+		return fmt.Errorf("channel: route needs at least one waypoint")
+	}
+	if r.SpeedMPS < 0 {
+		return fmt.Errorf("channel: negative speed %g", r.SpeedMPS)
+	}
+	if r.SpeedMPS > 0 && len(r.Waypoints) < 2 {
+		return fmt.Errorf("channel: moving route needs at least two waypoints")
+	}
+	return nil
+}
+
+// Length returns the total polyline length in meters.
+func (r Route) Length() float64 {
+	total := 0.0
+	for i := 1; i < len(r.Waypoints); i++ {
+		total += r.Waypoints[i-1].Distance(r.Waypoints[i])
+	}
+	return total
+}
+
+// Position returns the UE position after traveling for t seconds. The route
+// is walked back and forth (ping-pong) so long experiments stay on it.
+func (r Route) Position(tSec float64) Point {
+	if r.SpeedMPS == 0 || len(r.Waypoints) == 1 {
+		return r.Waypoints[0]
+	}
+	total := r.Length()
+	if total == 0 {
+		return r.Waypoints[0]
+	}
+	d := math.Mod(r.SpeedMPS*tSec, 2*total)
+	if d > total {
+		d = 2*total - d // walking back
+	}
+	for i := 1; i < len(r.Waypoints); i++ {
+		seg := r.Waypoints[i-1].Distance(r.Waypoints[i])
+		if d <= seg && seg > 0 {
+			f := d / seg
+			a, b := r.Waypoints[i-1], r.Waypoints[i]
+			return Point{a.X + f*(b.X-a.X), a.Y + f*(b.Y-a.Y)}
+		}
+		d -= seg
+	}
+	return r.Waypoints[len(r.Waypoints)-1]
+}
+
+// Mobility profiles used by the paper's experiments.
+var (
+	// MobilityStationary keeps the UE on a flat surface (§2 step ❹).
+	MobilityStationary = 0.0
+	// MobilityWalking is a pedestrian pace.
+	MobilityWalking = 1.4
+	// MobilityDriving is urban driving.
+	MobilityDriving = 11.0
+)
+
+// Deployment is a set of gNB sites sharing one carrier.
+type Deployment struct {
+	// Sites are the gNB positions. Coverage density — the count and
+	// spacing of sites — is the §4.1/Appendix 10.3 explanation for the
+	// Vodafone-vs-Orange Spain RSRQ difference.
+	Sites []Point
+	// TxPowerDBmPerRE is the per-resource-element transmit power.
+	TxPowerDBmPerRE float64
+}
+
+// Validate checks the deployment is usable.
+func (d Deployment) Validate() error {
+	if len(d.Sites) == 0 {
+		return fmt.Errorf("channel: deployment needs at least one site")
+	}
+	return nil
+}
+
+// StrongestSite returns the index of the site with the least path loss from
+// p at carrier frequency fcMHz and the corresponding received per-RE power
+// (dBm), plus the total interference power (mW) from all other sites.
+func (d Deployment) StrongestSite(p Point, fcMHz float64) (idx int, rsrpDBm float64, interfMW float64) {
+	best := math.Inf(-1)
+	idx = -1
+	powers := make([]float64, len(d.Sites))
+	for i, s := range d.Sites {
+		rx := d.TxPowerDBmPerRE - PathLossDB(p.Distance(s), fcMHz)
+		powers[i] = rx
+		if rx > best {
+			best = rx
+			idx = i
+		}
+	}
+	for i, rx := range powers {
+		if i != idx {
+			interfMW += math.Pow(10, rx/10)
+		}
+	}
+	return idx, best, interfMW
+}
+
+// PathLossDB is a 3GPP UMa-style line-of-sight path-loss model:
+// 28.0 + 22·log10(d) + 20·log10(fc_GHz), with a 10 m minimum distance.
+func PathLossDB(dMeters, fcMHz float64) float64 {
+	if dMeters < 10 {
+		dMeters = 10
+	}
+	return 28.0 + 22*math.Log10(dMeters) + 20*math.Log10(fcMHz/1000)
+}

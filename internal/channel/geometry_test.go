@@ -1,0 +1,99 @@
+package channel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDistance(t *testing.T) {
+	if d := (Point{0, 0}).Distance(Point{3, 4}); d != 5 {
+		t.Errorf("distance = %g, want 5", d)
+	}
+	if d := (Point{1, 1}).Distance(Point{1, 1}); d != 0 {
+		t.Errorf("self distance = %g", d)
+	}
+}
+
+func TestStrongestSiteSelection(t *testing.T) {
+	d := Deployment{
+		Sites:           []Point{{0, 0}, {500, 0}, {1000, 0}},
+		TxPowerDBmPerRE: 18,
+	}
+	// Near each site, that site serves.
+	for i, near := range []Point{{10, 30}, {510, 30}, {990, 30}} {
+		idx, rsrp, interf := d.StrongestSite(near, 3500)
+		if idx != i {
+			t.Errorf("at %+v serving = %d, want %d", near, idx, i)
+		}
+		if rsrp > 18 || rsrp < -120 {
+			t.Errorf("rsrp %g implausible", rsrp)
+		}
+		if interf <= 0 {
+			t.Error("other sites should contribute interference")
+		}
+	}
+	// Single-site deployment has zero modeled interference.
+	solo := Deployment{Sites: []Point{{0, 0}}, TxPowerDBmPerRE: 18}
+	if _, _, interf := solo.StrongestSite(Point{100, 0}, 3500); interf != 0 {
+		t.Errorf("solo site interference = %g, want 0", interf)
+	}
+}
+
+func TestStrongestSiteRSRPMonotoneInDistance(t *testing.T) {
+	d := Deployment{Sites: []Point{{0, 0}}, TxPowerDBmPerRE: 18}
+	f := func(aRaw, bRaw uint16) bool {
+		a := 10 + float64(aRaw%2000)
+		b := 10 + float64(bRaw%2000)
+		_, ra, _ := d.StrongestSite(Point{a, 0}, 3500)
+		_, rb, _ := d.StrongestSite(Point{b, 0}, 3500)
+		if a < b {
+			return ra >= rb
+		}
+		return rb >= ra
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteEdgeCases(t *testing.T) {
+	// Zero-length moving route pins at the waypoint.
+	r := Route{Waypoints: []Point{{5, 5}, {5, 5}}, SpeedMPS: 3}
+	if p := r.Position(100); p != (Point{5, 5}) {
+		t.Errorf("degenerate route position = %+v", p)
+	}
+	// Multi-segment routes traverse in order.
+	r = Route{Waypoints: []Point{{0, 0}, {10, 0}, {10, 10}}, SpeedMPS: 1}
+	if p := r.Position(15); math.Abs(p.X-10) > 1e-9 || math.Abs(p.Y-5) > 1e-9 {
+		t.Errorf("position at 15s = %+v, want (10,5)", p)
+	}
+	if r.Length() != 20 {
+		t.Errorf("length = %g, want 20", r.Length())
+	}
+	// Empty route is invalid.
+	if err := (Route{}).Validate(); err == nil {
+		t.Error("empty route should be invalid")
+	}
+}
+
+func TestRoutePingPongProperty(t *testing.T) {
+	// The UE never leaves the polyline's bounding segment.
+	r := Route{Waypoints: []Point{{0, 0}, {100, 0}}, SpeedMPS: 7}
+	f := func(tRaw uint16) bool {
+		p := r.Position(float64(tRaw) * 0.37)
+		return p.X >= -1e-9 && p.X <= 100+1e-9 && p.Y == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeploymentValidate(t *testing.T) {
+	if err := (Deployment{}).Validate(); err == nil {
+		t.Error("empty deployment should be invalid")
+	}
+	if err := (Deployment{Sites: []Point{{}}}).Validate(); err != nil {
+		t.Errorf("single-site deployment should be valid: %v", err)
+	}
+}

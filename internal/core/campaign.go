@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/midband5g/midband/internal/bands"
+	"github.com/midband5g/midband/internal/net5g"
+	"github.com/midband5g/midband/internal/operators"
+	"github.com/midband5g/midband/internal/xcal"
+)
+
+// freqToARFCN converts a carrier's center frequency to the NR raster.
+func freqToARFCN(c operators.Carrier) (uint32, error) {
+	arfcn, err := bands.FreqToARFCN(c.Band.CenterMHz())
+	if err != nil {
+		return 0, fmt.Errorf("core: %s: %w", c.Label(), err)
+	}
+	return arfcn, nil
+}
+
+// CampaignConfig parameterizes a full measurement campaign across the
+// operator registry.
+type CampaignConfig struct {
+	// Operators to measure (default: the full mid-band registry).
+	Operators []operators.Operator
+	// SessionDuration is the bulk-transfer length per operator.
+	SessionDuration time.Duration
+	// SessionsPerOperator averages the throughput KPIs over several
+	// independent sessions, as the campaign methodology does (default 3;
+	// the trace captures the first session).
+	SessionsPerOperator int
+	// LatencyProbes per operator.
+	LatencyProbes int
+	// TraceDir, when non-empty, receives one .xcal file per session.
+	TraceDir string
+	// Seed drives all sessions.
+	Seed int64
+}
+
+// SessionReport is the outcome of one operator's session.
+type SessionReport struct {
+	Operator  string
+	Country   string
+	City      string
+	DLMbps    float64
+	ULMbps    float64
+	NRULMbps  float64
+	LTEULMbps float64
+	// DataBytes is the volume transferred (the Table 1 "data consumed").
+	DataBytes float64
+	// TracePath is the written capture (empty without TraceDir).
+	TracePath string
+	// LatencyClean/Retx are the mean §4.3 latencies.
+	LatencyClean, LatencyRetx time.Duration
+}
+
+// CampaignStats aggregates Table 1.
+type CampaignStats struct {
+	Countries  map[string]bool
+	Cities     map[string]bool
+	Operators  int
+	Minutes    float64
+	DataTB     float64
+	Sessions   []SessionReport
+	TraceFiles int
+}
+
+// RunCampaign measures every configured operator once, stationary with
+// full-buffer traffic, and aggregates the dataset statistics.
+func RunCampaign(cfg CampaignConfig) (*CampaignStats, error) {
+	ops := cfg.Operators
+	if len(ops) == 0 {
+		ops = operators.MidBand()
+	}
+	if cfg.SessionDuration == 0 {
+		cfg.SessionDuration = 5 * time.Second
+	}
+	if cfg.LatencyProbes == 0 {
+		cfg.LatencyProbes = 2000
+	}
+	if cfg.SessionsPerOperator == 0 {
+		cfg.SessionsPerOperator = 3
+	}
+	stats := &CampaignStats{
+		Countries: map[string]bool{},
+		Cities:    map[string]bool{},
+	}
+	for i, op := range ops {
+		sess, err := NewSession(op, operators.Stationary(cfg.Seed+int64(i)*1009))
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", op.Acronym, err)
+		}
+		var w *xcal.Writer
+		var f *os.File
+		path := ""
+		if cfg.TraceDir != "" {
+			path = filepath.Join(cfg.TraceDir, fmt.Sprintf("%s-%s.xcal", op.Acronym, sess.Scenario.Name))
+			w, f, err = xcal.CreateFile(path, sess.Meta())
+			if err != nil {
+				return nil, fmt.Errorf("core: creating trace: %w", err)
+			}
+		}
+		res, err := sess.RunIperf(cfg.SessionDuration, net5g.Saturate, w)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", op.Acronym, err)
+		}
+		if w != nil {
+			if err := w.Flush(); err != nil {
+				return nil, err
+			}
+			if err := f.Close(); err != nil {
+				return nil, err
+			}
+			stats.TraceFiles++
+		}
+		// Average the throughput KPIs over further sessions at fresh
+		// channel realizations (§2: experiments repeat across time
+		// periods; single windows are congestion-episode lottery).
+		dl, ul, nrUL, lteUL := res.DLMbps, res.ULMbps, res.NRULMbps, res.LTEULMbps
+		for extra := 1; extra < cfg.SessionsPerOperator; extra++ {
+			s2, err := NewSession(op, operators.Stationary(cfg.Seed+int64(i)*1009+int64(extra)*31))
+			if err != nil {
+				return nil, err
+			}
+			r2, err := s2.RunIperf(cfg.SessionDuration, net5g.Saturate, nil)
+			if err != nil {
+				return nil, err
+			}
+			dl += r2.DLMbps
+			ul += r2.ULMbps
+			nrUL += r2.NRULMbps
+			lteUL += r2.LTEULMbps
+			stats.Minutes += cfg.SessionDuration.Minutes()
+			stats.DataTB += (r2.DLMbps + r2.ULMbps) * 1e6 / 8 * cfg.SessionDuration.Seconds() / 1e12
+		}
+		n := float64(cfg.SessionsPerOperator)
+		res.DLMbps, res.ULMbps, res.NRULMbps, res.LTEULMbps = dl/n, ul/n, nrUL/n, lteUL/n
+		clean, retx, err := sess.RunLatency(cfg.LatencyProbes, 0.08)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s latency: %w", op.Acronym, err)
+		}
+		rep := SessionReport{
+			Operator:     op.Acronym,
+			Country:      op.Country,
+			City:         op.City,
+			DLMbps:       res.DLMbps,
+			ULMbps:       res.ULMbps,
+			NRULMbps:     res.NRULMbps,
+			LTEULMbps:    res.LTEULMbps,
+			DataBytes:    (res.DLMbps + res.ULMbps) * 1e6 / 8 * cfg.SessionDuration.Seconds(),
+			TracePath:    path,
+			LatencyClean: meanDuration(clean),
+			LatencyRetx:  meanDuration(retx),
+		}
+		stats.Sessions = append(stats.Sessions, rep)
+		stats.Countries[op.Country] = true
+		stats.Cities[op.City] = true
+		stats.Minutes += cfg.SessionDuration.Minutes()
+		stats.DataTB += rep.DataBytes / 1e12
+	}
+	stats.Operators = len(ops)
+	return stats, nil
+}
+
+func meanDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var s time.Duration
+	for _, d := range ds {
+		s += d
+	}
+	return s / time.Duration(len(ds))
+}

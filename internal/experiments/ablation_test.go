@@ -1,0 +1,121 @@
+package experiments
+
+import "testing"
+
+func findAblation(t *testing.T, rows []AblationResult, variant, unit string) float64 {
+	t.Helper()
+	for _, r := range rows {
+		if r.Variant == variant && r.Unit == unit {
+			return r.Value
+		}
+	}
+	t.Fatalf("missing ablation row %s/%s in %v", variant, unit, rows)
+	return 0
+}
+
+func TestAblationOLLA(t *testing.T) {
+	rows, err := AblationOLLA(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := findAblation(t, rows, "olla-on", "BLER")
+	off := findAblation(t, rows, "olla-off", "BLER")
+	dOn, dOff := abs(on-0.10), abs(off-0.10)
+	if dOn > dOff {
+		t.Errorf("OLLA should hold BLER near 10%%: on=%.3f off=%.3f", on, off)
+	}
+}
+
+func TestAblationHARQ(t *testing.T) {
+	rows, err := AblationHARQ(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := findAblation(t, rows, "harq-on", "Mbps")
+	off := findAblation(t, rows, "harq-off", "Mbps")
+	if on <= 0 || off <= 0 {
+		t.Fatal("zero throughput")
+	}
+	// Residual (application-visible) loss: near zero with HARQ, ≈BLER
+	// without it.
+	lossOn := findAblation(t, rows, "harq-on", "residual-loss")
+	lossOff := findAblation(t, rows, "harq-off", "residual-loss")
+	if lossOn > 0.01 {
+		t.Errorf("HARQ-on residual loss %.4f should be ≈ 0", lossOn)
+	}
+	if lossOff < 0.03 {
+		t.Errorf("HARQ-off residual loss %.4f should be ≈ the 10%% BLER", lossOff)
+	}
+}
+
+func TestAblationRankAdaptation(t *testing.T) {
+	rows, err := AblationRankAdaptation(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive := findAblation(t, rows, "rank-adaptive", "Mbps")
+	fixed := findAblation(t, rows, "rank-1-fixed", "Mbps")
+	// V_Sp runs rank 4 most of the time; pinning rank 1 forfeits close to
+	// 4× the spatial multiplexing gain.
+	if adaptive < 2.5*fixed {
+		t.Errorf("adaptive rank %.0f should be ≥2.5× rank-1 %.0f", adaptive, fixed)
+	}
+}
+
+func TestAblationCQIMapping(t *testing.T) {
+	rows, err := AblationCQIMapping(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More aggressive mappings push BLER up (the outer loop clamps at its
+	// bound eventually).
+	cons := findAblation(t, rows, "conservative(1dB)", "BLER")
+	aggr := findAblation(t, rows, "aggressive(6dB)", "BLER")
+	if aggr < cons {
+		t.Errorf("aggressive mapping BLER %.3f should be ≥ conservative %.3f", aggr, cons)
+	}
+	for _, r := range rows {
+		if r.Unit == "Mbps" && r.Value <= 0 {
+			t.Errorf("%s: zero throughput", r.Variant)
+		}
+	}
+}
+
+func TestAblationScheduler(t *testing.T) {
+	rows, err := AblationScheduler(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := findAblation(t, rows, "share-1.0", "Mbps")
+	half := findAblation(t, rows, "share-0.5", "Mbps")
+	ratio := half / full
+	if ratio < 0.38 || ratio > 0.65 {
+		t.Errorf("half share ratio %.2f, want ≈ 0.5", ratio)
+	}
+}
+
+func TestAblationBOLAGamma(t *testing.T) {
+	rows, err := AblationBOLAGamma(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	// With Vp tied to the minimum buffer (Vp = minBuf/gp), larger gp
+	// compresses the utility thresholds toward shallow buffers: the
+	// algorithm reaches high quality earlier (and more riskily), so
+	// bitrate grows with gp while small gp pins quality low.
+	lo := findAblation(t, rows, "gp=0.5", "normrate")
+	hi := findAblation(t, rows, "gp=5.0", "normrate")
+	if hi < lo {
+		t.Errorf("gp=5 bitrate %.2f should be ≥ gp=0.5 %.2f", hi, lo)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"bytes"
+
+	"fmt"
+	"github.com/midband5g/midband/internal/analysis"
+	"time"
+
+	"github.com/midband5g/midband/internal/config"
+	"github.com/midband5g/midband/internal/core"
+	"github.com/midband5g/midband/internal/net5g"
+	"github.com/midband5g/midband/internal/operators"
+	"github.com/midband5g/midband/internal/phy"
+	"github.com/midband5g/midband/internal/tdd"
+	"github.com/midband5g/midband/internal/xcal"
+)
+
+// Table1 reproduces the dataset statistics table by running a (scaled-down)
+// campaign across all mid-band operators.
+func Table1(o Options) (*core.CampaignStats, error) {
+	return core.RunCampaign(core.CampaignConfig{
+		SessionDuration: o.sessionSeconds(48),
+		LatencyProbes:   1000,
+		Seed:            o.seed(),
+	})
+}
+
+// ConfigRow is one recovered Table 2/3 row.
+type ConfigRow struct {
+	Operator string
+	Country  string
+	Carriers []config.ChannelConfig
+	CA       bool
+}
+
+// Tables23 reproduces the network-configuration tables by capturing each
+// operator's signaling in a trace and running the Appendix 10.1 extraction
+// over it — the configurations are recovered from decoded MIB/SIB1/DCI,
+// not copied from the registry.
+func Tables23(o Options) ([]ConfigRow, error) {
+	var rows []ConfigRow
+	for i, op := range operators.MidBand() {
+		sess, err := core.NewSession(op, operators.Stationary(o.seed()+int64(i)*97))
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		w, err := xcal.NewWriter(&buf, sess.Meta())
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sess.RunIperf(o.sessionSeconds(1.5), net5g.Saturate, w); err != nil {
+			return nil, err
+		}
+		if err := w.Flush(); err != nil {
+			return nil, err
+		}
+		r, err := xcal.NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return nil, err
+		}
+		ex, err := config.Extract(r)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", op.Acronym, err)
+		}
+		rows = append(rows, ConfigRow{
+			Operator: op.Acronym,
+			Country:  op.Country,
+			Carriers: ex.Carriers,
+			CA:       len(ex.Carriers) > 1,
+		})
+	}
+	return rows, nil
+}
+
+// Sec32Result compares the §3.2 theoretical PHY maxima with the maximum
+// observed throughput, reproducing the "14% and 29% higher" finding for
+// Vodafone and Orange Spain.
+type Sec32Result struct {
+	Operator       string
+	BandwidthMHz   int
+	TheoreticalMax float64 // Mbps, paper's formula (Qm=6, duty-derated)
+	ObservedMax    float64 // Mbps, 100 ms-window maximum
+	GapPct         float64 // (theory − observed) / observed × 100
+}
+
+// Sec32 runs the theoretical-vs-observed comparison for the two Spanish
+// carriers the paper quotes (1213.44 and 1352.12 Mbps).
+func Sec32(o Options) ([]Sec32Result, error) {
+	duty := tdd.MustParse("DDDDDDDSUU").DLDutyCycle()
+	cases := []struct {
+		acr string
+		bw  int
+		nrb int
+	}{
+		{"V_Sp", 90, 245},
+		{"O_Sp100", 100, 273},
+	}
+	var out []Sec32Result
+	for _, c := range cases {
+		res, err := measure(c.acr, o.sessionSeconds(30), net5g.Demand{DL: true}, o.seed())
+		if err != nil {
+			return nil, err
+		}
+		// Observed max over 1 s windows — the sustained peak a speed
+		// test reports, not a single lucky frame.
+		window := int(1.0 / res.SlotDuration.Seconds())
+		maxMbps := 0.0
+		series := res.DLBitsPerSlot
+		for i := 0; i+window <= len(series); i += window {
+			sum := 0.0
+			for _, b := range series[i : i+window] {
+				sum += b
+			}
+			if mbps := sum / 1.0 / 1e6; mbps > maxMbps {
+				maxMbps = mbps
+			}
+		}
+		theory := phy.MaxRateMbps(phy.CarrierRateParams{
+			Layers: 4, Modulation: phy.QAM64, Numerology: phy.Mu1,
+			NRB: c.nrb, Overhead: phy.OverheadDLFR1, DLDutyCycle: duty,
+		})
+		out = append(out, Sec32Result{
+			Operator:       c.acr,
+			BandwidthMHz:   c.bw,
+			TheoreticalMax: theory,
+			ObservedMax:    maxMbps,
+			GapPct:         (theory - maxMbps) / maxMbps * 100,
+		})
+	}
+	return out, nil
+}
+
+// Fig11Row is one operator's user-plane latency pair.
+type Fig11Row struct {
+	Operator     string
+	BandwidthMHz int
+	Pattern      string
+	CleanMs      float64 // BLER = 0 (mean)
+	RetxMs       float64 // BLER > 0 (mean)
+	// CleanP5Ms and CleanP95Ms bound the BLER=0 distribution (the box
+	// whiskers of the paper's Fig. 11).
+	CleanP5Ms, CleanP95Ms float64
+}
+
+// Fig11 reproduces the PHY user-plane latency figure for the four European
+// operators the paper shows.
+func Fig11(o Options) ([]Fig11Row, error) {
+	probes := 30000
+	if o.Quick {
+		probes = 4000
+	}
+	var rows []Fig11Row
+	for _, acr := range []string{"V_It", "V_Ge", "O_Fr", "T_Ge"} {
+		op, err := operators.ByAcronym(acr)
+		if err != nil {
+			return nil, err
+		}
+		sess, err := core.NewSession(op, operators.Stationary(o.seed()))
+		if err != nil {
+			return nil, err
+		}
+		clean, retx, err := sess.RunLatency(probes, 0.08)
+		if err != nil {
+			return nil, err
+		}
+		ms := make([]float64, len(clean))
+		for j, d := range clean {
+			ms[j] = float64(d) / 1e6
+		}
+		rows = append(rows, Fig11Row{
+			Operator:     acr,
+			BandwidthMHz: op.PCell().BandwidthMHz,
+			Pattern:      op.PCell().TDDPattern,
+			CleanMs:      meanMs(clean),
+			RetxMs:       meanMs(retx),
+			CleanP5Ms:    analysis.Percentile(ms, 5),
+			CleanP95Ms:   analysis.Percentile(ms, 95),
+		})
+	}
+	return rows, nil
+}
+
+func meanMs(ds []time.Duration) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	var s time.Duration
+	for _, d := range ds {
+		s += d
+	}
+	return float64(s) / float64(len(ds)) / 1e6
+}

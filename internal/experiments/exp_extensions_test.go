@@ -1,0 +1,181 @@
+package experiments
+
+import "testing"
+
+func TestExtNSAvsSA(t *testing.T) {
+	rows, err := ExtNSAvsSA(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatal("want NSA and SA rows")
+	}
+	nsa, sa := rows[0], rows[1]
+	// NSA T-Mobile routes UL to LTE; SA has no anchor at all.
+	if nsa.NRULMbps != 0 || nsa.LTEULMbps <= 0 {
+		t.Errorf("NSA UL split wrong: NR=%.1f LTE=%.1f", nsa.NRULMbps, nsa.LTEULMbps)
+	}
+	if sa.LTEULMbps != 0 || sa.NRULMbps <= 0 {
+		t.Errorf("SA UL split wrong: NR=%.1f LTE=%.1f", sa.NRULMbps, sa.LTEULMbps)
+	}
+	// The observed motivation for prefer-LTE: T-Mobile's LTE UL beats its
+	// NR mid-band UL.
+	if nsa.ULMbps <= sa.ULMbps {
+		t.Logf("note: NSA %.1f vs SA %.1f (paper reports LTE UL above NR UL for T-Mobile)",
+			nsa.ULMbps, sa.ULMbps)
+	}
+}
+
+func TestExtTDDSweep(t *testing.T) {
+	rows, err := ExtTDDSweep(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatal("want 4 patterns")
+	}
+	get := func(pat string) ExtTDDSweepRow {
+		for _, r := range rows {
+			if r.Pattern == pat {
+				return r
+			}
+		}
+		t.Fatalf("missing %s", pat)
+		return ExtTDDSweepRow{}
+	}
+	// DL throughput tracks the DL duty cycle; UL moves the other way.
+	dlHeavy, ulHeavy := get("DDDDDDDDSU"), get("DDSUU")
+	if dlHeavy.DLMbps <= ulHeavy.DLMbps {
+		t.Errorf("DL-heavy frame should out-download UL-heavy: %.0f vs %.0f",
+			dlHeavy.DLMbps, ulHeavy.DLMbps)
+	}
+	if dlHeavy.ULMbps >= ulHeavy.ULMbps {
+		t.Errorf("UL-heavy frame should out-upload DL-heavy: %.0f vs %.0f",
+			dlHeavy.ULMbps, ulHeavy.ULMbps)
+	}
+	// Latency: frequent UL opportunities (DDDSU, DDSUU) beat bunched ones.
+	if get("DDSUU").LatencyMs >= get("DDDDDDDDSU").LatencyMs {
+		t.Error("UL-rich frame should have lower user-plane latency")
+	}
+	// The SR cycle always costs extra.
+	for _, r := range rows {
+		if r.LatencySRMs <= r.LatencyMs {
+			t.Errorf("%s: SR latency %.2f should exceed preconfigured %.2f",
+				r.Pattern, r.LatencySRMs, r.LatencyMs)
+		}
+	}
+}
+
+func TestExtABRComparison(t *testing.T) {
+	rows, err := ExtABRComparison(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("want 5 algorithms, got %d", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.ABR] = true
+		if r.NormBitrate <= 0 || r.NormBitrate > 1 {
+			t.Errorf("%s: norm bitrate %.2f out of range", r.ABR, r.NormBitrate)
+		}
+		if r.StallPct < 0 || r.StallPct > 60 {
+			t.Errorf("%s: stall %.1f%% implausible", r.ABR, r.StallPct)
+		}
+	}
+	for _, want := range []string{"bola", "throughput", "dynamic", "l2a", "lolp"} {
+		if !names[want] {
+			t.Errorf("missing algorithm %s", want)
+		}
+	}
+}
+
+func TestExtSchedulers(t *testing.T) {
+	rows, err := ExtSchedulers(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatal("want 3 policies")
+	}
+	get := func(p string) ExtSchedulerRow {
+		for _, r := range rows {
+			if r.Policy == p {
+				return r
+			}
+		}
+		t.Fatalf("missing %s", p)
+		return ExtSchedulerRow{}
+	}
+	if eq := get("equal-share"); eq.JainFairness < 0.8 {
+		t.Errorf("equal share fairness %.2f too low", eq.JainFairness)
+	}
+	if mr := get("max-rate"); mr.JainFairness >= get("equal-share").JainFairness {
+		t.Error("max-rate should be less fair than equal share")
+	}
+	if pf := get("proportional-fair"); pf.NearMbps <= 0 || pf.FarMbps <= 0 {
+		t.Error("PF should serve both UEs")
+	}
+}
+
+func TestULRoutingShare(t *testing.T) {
+	share, err := ULRoutingShare(quick(), "V_Sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A healthy European NSA deployment sends most (not necessarily all)
+	// UL on NR under the dynamic policy.
+	if share <= 0.5 || share > 1 {
+		t.Errorf("V_Sp NR UL share = %.2f, want mostly NR", share)
+	}
+	if _, err := ULRoutingShare(quick(), "nope"); err == nil {
+		t.Error("unknown operator should fail")
+	}
+}
+
+func TestExtTransport(t *testing.T) {
+	rows, err := ExtTransport(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatal("want 3 operators")
+	}
+	for _, r := range rows {
+		if r.GoodputMbps <= 0 || r.GoodputMbps > r.PHYMbps+1 {
+			t.Errorf("%s: goodput %.0f vs PHY %.0f inconsistent", r.Operator, r.GoodputMbps, r.PHYMbps)
+		}
+		if r.EfficiencyPc < 50 || r.EfficiencyPc > 100.5 {
+			t.Errorf("%s: transport efficiency %.0f%% implausible", r.Operator, r.EfficiencyPc)
+		}
+		if r.MeanRTTms <= 0 {
+			t.Errorf("%s: no RTT measured", r.Operator)
+		}
+	}
+}
+
+func TestExtHandover(t *testing.T) {
+	rows, err := ExtHandover(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatal("want walking and driving")
+	}
+	for _, r := range rows {
+		if r.WithMbps <= 0 || r.WithoutMbps <= 0 {
+			t.Errorf("%s: zero throughput", r.Mobility)
+		}
+		// Handover interruptions can only cost throughput.
+		if r.WithMbps > r.WithoutMbps*1.02 {
+			t.Errorf("%s: interruption-enabled %.0f exceeds disabled %.0f",
+				r.Mobility, r.WithMbps, r.WithoutMbps)
+		}
+	}
+	// Driving crosses more cell boundaries than walking.
+	if rows[1].InterruptionPct < rows[0].InterruptionPct-0.5 {
+		t.Errorf("driving handover cost %.1f%% should be ≥ walking %.1f%%",
+			rows[1].InterruptionPct, rows[0].InterruptionPct)
+	}
+}

@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/midband5g/midband/internal/analysis"
+	"github.com/midband5g/midband/internal/net5g"
+	"github.com/midband5g/midband/internal/operators"
+	"github.com/midband5g/midband/internal/video"
+)
+
+// videoLink builds a warm link for a streaming session.
+func videoLink(acr string, sc operators.Scenario) (*net5g.Link, error) {
+	op, err := operators.ByAcronym(acr)
+	if err != nil {
+		return nil, err
+	}
+	return videoLinkOp(op, sc)
+}
+
+// busyOp returns the operator with a busy-hour congestion profile: more
+// frequent and deeper interference/congestion episodes. The paper's §6
+// deep-dive sessions (Fig. 16's 9.96% stall time, Fig. 17's >1% stalls at
+// 4 s chunks) were captured under exactly such conditions — its own Fig. 15
+// scatter shows most sessions stalling far less.
+func busyOp(acr string) (operators.Operator, error) {
+	op, err := operators.ByAcronym(acr)
+	if err != nil {
+		return operators.Operator{}, err
+	}
+	op.Carriers = append([]operators.Carrier(nil), op.Carriers...)
+	for i := range op.Carriers {
+		op.Carriers[i].EpisodeRatePerSec = 1.0 / 50
+		op.Carriers[i].EpisodeMeanSeconds = 22
+		op.Carriers[i].EpisodeDepthDB = [2]float64{10, 26}
+	}
+	return op, nil
+}
+
+func videoLinkOp(op operators.Operator, sc operators.Scenario) (*net5g.Link, error) {
+	cfg, err := op.LinkConfig(sc)
+	if err != nil {
+		return nil, err
+	}
+	link, err := net5g.NewLink(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// RRC/CSI warm-up (§2 methodology step ❺).
+	for i := 0; i < 2000; i++ {
+		link.Step(net5g.Demand{DL: true})
+	}
+	return link, nil
+}
+
+func (o Options) videoDuration(fullSec float64) time.Duration {
+	if o.Quick {
+		fullSec /= 4
+		if fullSec < 20 {
+			fullSec = 20
+		}
+	}
+	return time.Duration(fullSec * float64(time.Second))
+}
+
+// Fig15Point is one streaming experiment: its QoE coordinates and the
+// channel-variability coordinates measured during the same session.
+type Fig15Point struct {
+	Operator    string
+	AvgTputMbps float64
+	NormBitrate float64
+	StallPct    float64
+	VMCS, VMIMO float64
+}
+
+// Fig15 reproduces the variability→QoE scatter: six sessions over V_It and
+// O_Sp, where higher throughput drives bitrate and higher MCS/MIMO
+// variability drives stalls.
+func Fig15(o Options) ([]Fig15Point, error) {
+	runs := []struct {
+		acr  string
+		seed int64
+	}{
+		{"V_It", 1}, {"V_It", 2}, {"V_It", 3},
+		{"O_Sp100", 1}, {"O_Sp100", 2}, {"O_Sp100", 3},
+	}
+	scale := int(0.150 / 0.0005) // 150 ms
+	var out []Fig15Point
+	for _, r := range runs {
+		link, err := videoLink(r.acr, operators.Stationary(o.seed()+r.seed*61))
+		if err != nil {
+			return nil, err
+		}
+		res, err := video.Play(link, video.SessionConfig{
+			Ladder:        video.Ladder400,
+			ChunkLength:   4 * time.Second,
+			VideoDuration: o.videoDuration(180),
+			ABR:           video.NewBOLA(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Channel variability over the session, measured on a parallel
+		// full-buffer run of the same channel realization.
+		probe, err := measure(r.acr, o.sessionSeconds(10), net5g.Demand{DL: true}, o.seed()+r.seed*61)
+		if err != nil {
+			return nil, err
+		}
+		vm, vl, err := analysis.JointVariability(probe.FilterDL(probe.MCS), probe.FilterDL(probe.Rank), scale)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig15Point{
+			Operator:    r.acr,
+			AvgTputMbps: probe.DLMbps,
+			NormBitrate: res.AvgNormBitrate,
+			StallPct:    res.StallPct(),
+			VMCS:        vm,
+			VMIMO:       vl,
+		})
+	}
+	return out, nil
+}
+
+// Fig16Result is the single-session deep dive.
+type Fig16Result struct {
+	Operator   string
+	AvgQuality float64
+	StallPct   float64
+	// Decisions, Buffer and Throughput are the Fig. 16 panel series.
+	Decisions  []video.ChunkRecord
+	Buffer     [][2]float64
+	Throughput []float64
+	Stalls     []video.StallEvent
+}
+
+// Fig16 reproduces the 5-minute V_Sp BOLA session (paper: avg quality 5.41,
+// stall 9.96% — a heavily congested example session; see busyOp).
+func Fig16(o Options) (*Fig16Result, error) {
+	op, err := busyOp("V_Sp")
+	if err != nil {
+		return nil, err
+	}
+	link, err := videoLinkOp(op, operators.Stationary(o.seed()+67))
+	if err != nil {
+		return nil, err
+	}
+	res, err := video.Play(link, video.SessionConfig{
+		Ladder:        video.Ladder400,
+		ChunkLength:   4 * time.Second,
+		VideoDuration: o.videoDuration(300),
+		ABR:           video.NewBOLA(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig16Result{
+		Operator:   "V_Sp",
+		AvgQuality: res.AvgQuality,
+		StallPct:   res.StallPct(),
+		Decisions:  res.Chunks,
+		Buffer:     res.BufferTrace,
+		Throughput: res.ThroughputTrace,
+		Stalls:     res.Stalls,
+	}, nil
+}
+
+// Fig17Row compares chunk lengths for one operator.
+type Fig17Row struct {
+	Operator    string
+	ChunkSec    float64
+	NormBitrate float64
+	StallPct    float64
+}
+
+// Fig17 reproduces the chunk-length experiment over O_Fr and V_Ge: 1 s
+// chunks improve both average bitrate and stall time versus 4 s chunks.
+func Fig17(o Options) ([]Fig17Row, error) {
+	var rows []Fig17Row
+	reps := 3
+	if o.Quick {
+		reps = 1
+	}
+	for _, acr := range []string{"O_Fr", "V_Ge"} {
+		op, err := busyOp(acr)
+		if err != nil {
+			return nil, err
+		}
+		for _, chunk := range []float64{4, 1} {
+			var nb, sp float64
+			for rep := 0; rep < reps; rep++ {
+				link, err := videoLinkOp(op, operators.Stationary(o.seed()+71+int64(rep)*7))
+				if err != nil {
+					return nil, err
+				}
+				// Stall statistics need sessions long enough to span
+				// several congestion episodes; keep 3 minutes always.
+				res, err := video.Play(link, video.SessionConfig{
+					Ladder:        video.Ladder400,
+					ChunkLength:   time.Duration(chunk * float64(time.Second)),
+					VideoDuration: 180 * time.Second,
+					ABR:           video.NewBOLA(),
+				})
+				if err != nil {
+					return nil, err
+				}
+				nb += res.AvgNormBitrate
+				sp += res.StallPct()
+			}
+			rows = append(rows, Fig17Row{
+				Operator:    acr,
+				ChunkSec:    chunk,
+				NormBitrate: nb / float64(reps),
+				StallPct:    sp / float64(reps),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig24Row compares ABR algorithms.
+type Fig24Row struct {
+	ABR         string
+	Operator    string
+	NormBitrate float64
+	StallPct    float64
+}
+
+// Fig24 reproduces the appendix ABR comparison: BOLA generally beats the
+// throughput-based and dynamic algorithms on this ladder.
+func Fig24(o Options) ([]Fig24Row, error) {
+	mk := func(name string) video.ABR {
+		switch name {
+		case "bola":
+			return video.NewBOLA()
+		case "throughput":
+			return &video.ThroughputABR{}
+		default:
+			return video.NewDynamic()
+		}
+	}
+	var rows []Fig24Row
+	for _, acr := range []string{"V_Sp", "Vzw_US"} {
+		for _, abr := range []string{"bola", "throughput", "dynamic"} {
+			link, err := videoLink(acr, operators.Stationary(o.seed()+73))
+			if err != nil {
+				return nil, err
+			}
+			res, err := video.Play(link, video.SessionConfig{
+				Ladder:        video.Ladder400,
+				ChunkLength:   4 * time.Second,
+				VideoDuration: o.videoDuration(180),
+				ABR:           mk(abr),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig24 %s/%s: %w", acr, abr, err)
+			}
+			rows = append(rows, Fig24Row{
+				ABR:         abr,
+				Operator:    acr,
+				NormBitrate: res.AvgNormBitrate,
+				StallPct:    res.StallPct(),
+			})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,112 @@
+// Package experiments implements one reproduction per table and figure of
+// the paper's evaluation. Each experiment builds its workload from the
+// operator registry, runs the simulator through the same measurement
+// pipeline the campaign uses (iperf sessions → slot KPI series → analysis),
+// and returns the rows/series the paper plots. cmd/figures prints them and
+// bench_test.go regenerates them under `go test -bench`.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/midband5g/midband/internal/core"
+	"github.com/midband5g/midband/internal/iperf"
+	"github.com/midband5g/midband/internal/lte"
+	"github.com/midband5g/midband/internal/net5g"
+	"github.com/midband5g/midband/internal/operators"
+)
+
+// Options scale an experiment.
+type Options struct {
+	// Seed drives all randomness (default 2024).
+	Seed int64
+	// Quick shortens sessions for benchmarks and CI; full runs use the
+	// durations the figures need for stable statistics.
+	Quick bool
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 2024
+	}
+	return o.Seed
+}
+
+// sessionSeconds returns the iperf session length.
+func (o Options) sessionSeconds(full float64) time.Duration {
+	if o.Quick {
+		full = full / 5
+		if full < 1.5 {
+			full = 1.5
+		}
+	}
+	return time.Duration(full * float64(time.Second))
+}
+
+// measure runs a stationary full-buffer session for an operator and
+// returns the iperf result.
+func measure(acr string, d time.Duration, demand net5g.Demand, seed int64) (*iperf.Result, error) {
+	op, err := operators.ByAcronym(acr)
+	if err != nil {
+		return nil, err
+	}
+	return measureOp(op, operators.Stationary(seed), d, demand)
+}
+
+func measureOp(op operators.Operator, sc operators.Scenario, d time.Duration, demand net5g.Demand) (*iperf.Result, error) {
+	sess, err := core.NewSession(op, sc)
+	if err != nil {
+		return nil, err
+	}
+	return sess.RunIperf(d, demand, nil)
+}
+
+// ulOnly measures the NR uplink by forcing the NR-only routing policy, as
+// the paper's per-channel UL boxes require.
+func ulOnlyNR(acr string, d time.Duration, seed int64) (*iperf.Result, error) {
+	op, err := operators.ByAcronym(acr)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := op.LinkConfig(operators.Stationary(seed))
+	if err != nil {
+		return nil, err
+	}
+	cfg.ULPolicy = lte.ULNROnly
+	link, err := net5g.NewLink(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Warm-up then measure.
+	if _, err := iperf.Run(link, iperf.Config{Duration: time.Second}); err != nil {
+		return nil, err
+	}
+	return iperf.Run(link, iperf.Config{Duration: d, Demand: net5g.Saturate})
+}
+
+// measureAvgDL averages the DL throughput over several independent
+// sessions, as the paper's multi-day campaign does — single short windows
+// are dominated by congestion-episode luck.
+func measureAvgDL(acr string, d time.Duration, reps int, seed int64) (float64, error) {
+	total := 0.0
+	for r := 0; r < reps; r++ {
+		res, err := measure(acr, d, net5g.Demand{DL: true}, seed+int64(r)*7919)
+		if err != nil {
+			return 0, err
+		}
+		total += res.DLMbps
+	}
+	return total / float64(reps), nil
+}
+
+// OperatorValue is a generic (operator, value) row.
+type OperatorValue struct {
+	Operator string
+	Label    string
+	Value    float64
+}
+
+func (v OperatorValue) String() string {
+	return fmt.Sprintf("%-8s %-12s %8.1f", v.Operator, v.Label, v.Value)
+}

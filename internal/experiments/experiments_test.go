@@ -1,0 +1,453 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/midband5g/midband/internal/phy"
+)
+
+// quick returns the fast options used across the suite. Seeds are fixed so
+// failures are reproducible.
+func quick() Options { return Options{Quick: true, Seed: 77} }
+
+func byOp[T any](t *testing.T, rows []T, key func(T) string) map[string]T {
+	t.Helper()
+	out := map[string]T{}
+	for _, r := range rows {
+		out[key(r)] = r
+	}
+	return out
+}
+
+func TestTable1(t *testing.T) {
+	stats, err := Table1(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Operators != 11 {
+		t.Errorf("operators = %d, want 11", stats.Operators)
+	}
+	if len(stats.Countries) != 5 || len(stats.Cities) != 5 {
+		t.Errorf("countries=%d cities=%d, want 5/5", len(stats.Countries), len(stats.Cities))
+	}
+	if stats.DataTB <= 0 || stats.Minutes <= 0 {
+		t.Error("campaign volume should be positive")
+	}
+}
+
+func TestTables23(t *testing.T) {
+	rows, err := Tables23(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("rows = %d, want 11", len(rows))
+	}
+	for _, r := range rows {
+		eu := r.Country != "USA"
+		if eu {
+			if r.CA {
+				t.Errorf("%s: EU operators have no CA", r.Operator)
+			}
+			if r.Carriers[0].Band != "n78" {
+				t.Errorf("%s: EU band %s, want n78", r.Operator, r.Carriers[0].Band)
+			}
+		} else if !r.CA {
+			t.Errorf("%s: US operators use CA", r.Operator)
+		}
+		for _, c := range r.Carriers {
+			if c.BandwidthMHz == 0 {
+				t.Errorf("%s: carrier without recovered bandwidth: %+v", r.Operator, c)
+			}
+		}
+	}
+	// T-Mobile's n25 rows carry the printed-table inconsistency note.
+	m := byOp(t, rows, func(r ConfigRow) string { return r.Operator })
+	notes := 0
+	for _, c := range m["Tmb_US"].Carriers {
+		if strings.Contains(c.Note, "30 kHz column") {
+			notes++
+		}
+	}
+	if notes != 2 {
+		t.Errorf("T-Mobile n25 notes = %d, want 2", notes)
+	}
+}
+
+func TestSec32(t *testing.T) {
+	rows, err := Sec32(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatal("want 2 rows")
+	}
+	// The theoretical values are exact reproductions of §3.2.
+	if math.Abs(rows[0].TheoreticalMax-1213.44) > 0.01 {
+		t.Errorf("90 MHz theory = %.2f, want 1213.44", rows[0].TheoreticalMax)
+	}
+	if math.Abs(rows[1].TheoreticalMax-1352.13) > 0.01 {
+		t.Errorf("100 MHz theory = %.2f, want 1352.13", rows[1].TheoreticalMax)
+	}
+	for _, r := range rows {
+		if r.ObservedMax <= 0 || r.ObservedMax >= r.TheoreticalMax {
+			t.Errorf("%s: observed max %.0f should sit below theory %.0f",
+				r.Operator, r.ObservedMax, r.TheoreticalMax)
+		}
+		if r.GapPct <= 0 {
+			t.Errorf("%s: gap %.1f%% should be positive", r.Operator, r.GapPct)
+		}
+	}
+}
+
+func TestFig01Shape(t *testing.T) {
+	rows, err := Fig01(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := byOp(t, rows, func(r Fig01Row) string { return r.Operator })
+	// EU: V_It tops the chart; O_Sp100 and T_Ge trail; all within the
+	// paper's 550–850 Mbps band (± simulation noise).
+	if m["V_It"].DLMbps <= m["O_Sp100"].DLMbps {
+		t.Error("V_It should beat O_Sp100")
+	}
+	if m["V_Sp"].DLMbps <= m["O_Sp100"].DLMbps {
+		t.Error("V_Sp should beat O_Sp100")
+	}
+	for _, acr := range fig1EU {
+		v := m[acr].DLMbps
+		if v < 400 || v > 1000 {
+			t.Errorf("%s DL = %.0f Mbps outside plausible EU band", acr, v)
+		}
+	}
+	// US: CA pushes T-Mobile and Verizon beyond 1 Gbps; AT&T lags far
+	// behind (paper: 0.4 Gbps).
+	if m["Tmb_US"].DLMbps < 1000 || m["Vzw_US"].DLMbps < 1000 {
+		t.Errorf("CA operators should exceed 1 Gbps: Tmb=%.0f Vzw=%.0f",
+			m["Tmb_US"].DLMbps, m["Vzw_US"].DLMbps)
+	}
+	if m["Att_US"].DLMbps >= 700 {
+		t.Errorf("AT&T = %.0f Mbps, should trail far behind", m["Att_US"].DLMbps)
+	}
+}
+
+func TestFig02Shape(t *testing.T) {
+	rows, err := Fig02(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := byOp(t, rows, func(r Fig02Row) string { return r.Operator })
+	// The headline §4.1 finding: under good channel conditions both
+	// 90 MHz channels clearly beat the 100 MHz one (paper: ≈ +37%).
+	gap := (m["V_Sp"].DLMbps - m["O_Sp100"].DLMbps) / m["O_Sp100"].DLMbps
+	if gap < 0.15 {
+		t.Errorf("V_Sp should beat O_Sp100 by a wide margin, got +%.0f%%", gap*100)
+	}
+	if m["O_Sp90"].DLMbps <= m["O_Sp100"].DLMbps {
+		t.Error("O_Sp90 should beat O_Sp100 at equal operator")
+	}
+}
+
+func TestFig03Shape(t *testing.T) {
+	series, err := Fig03(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := byOp(t, series, func(s Fig03Series) string { return s.Operator })
+	// The 100 MHz channel allocates *more* REs (wider channel), ruling
+	// out resource allocation as the §4.1 culprit.
+	if m["O_Sp100"].CDF.Quantile(0.5) <= m["V_Sp"].CDF.Quantile(0.5) {
+		t.Errorf("O_Sp100 median REs %.0f should exceed V_Sp %.0f",
+			m["O_Sp100"].CDF.Quantile(0.5), m["V_Sp"].CDF.Quantile(0.5))
+	}
+}
+
+func TestFig04Shape(t *testing.T) {
+	rows, err := Fig04(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Alloc.Mean < 0.85*float64(r.NRB) {
+			t.Errorf("%s: mean RBs %.0f well below N_RB %d", r.Operator, r.Alloc.Mean, r.NRB)
+		}
+		if r.Alloc.Max > float64(r.NRB) {
+			t.Errorf("%s: allocation exceeds N_RB", r.Operator)
+		}
+	}
+}
+
+func TestFig05Shape(t *testing.T) {
+	rows, err := Fig05(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := byOp(t, rows, func(r Fig05Row) string { return r.Operator })
+	for acr, r := range m {
+		if r.Shares[phy.QAM64] < 0.5 {
+			t.Errorf("%s: 64QAM share %.2f should dominate", acr, r.Shares[phy.QAM64])
+		}
+	}
+	// 256QAM appears on the 256QAM-table carriers (single-digit %), and
+	// never on Orange's 64QAM-table 100 MHz channel.
+	if m["O_Sp100"].Shares[phy.QAM256] != 0 {
+		t.Error("O_Sp100 must not transmit 256QAM")
+	}
+	if m["V_Sp"].Shares[phy.QAM256] <= 0 || m["V_Sp"].Shares[phy.QAM256] > 0.3 {
+		t.Errorf("V_Sp 256QAM share = %.3f, want small but positive", m["V_Sp"].Shares[phy.QAM256])
+	}
+}
+
+func TestFig06Shape(t *testing.T) {
+	rows, err := Fig06(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := byOp(t, rows, func(r Fig06Row) string { return r.Operator })
+	// Paper: V_Sp 87%/O_Sp90 84% four-layer; O_Sp100 only ~14%, mostly 3.
+	if m["V_Sp"].Shares[4] < 0.6 || m["O_Sp90"].Shares[4] < 0.6 {
+		t.Errorf("90 MHz carriers should run rank 4 most of the time: V_Sp=%.2f O_Sp90=%.2f",
+			m["V_Sp"].Shares[4], m["O_Sp90"].Shares[4])
+	}
+	if m["O_Sp100"].Shares[4] > 0.4 {
+		t.Errorf("O_Sp100 rank-4 share = %.2f, should be the minority", m["O_Sp100"].Shares[4])
+	}
+	if m["O_Sp100"].Shares[3] < m["O_Sp100"].Shares[4] {
+		t.Error("O_Sp100 should mostly use 3 layers")
+	}
+}
+
+func TestFig07Shape(t *testing.T) {
+	series, err := Fig07(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := byOp(t, series, func(s Fig07Series) string { return s.Operator })
+	// Denser Vodafone deployment → better RSRQ along the same route.
+	if m["V_Sp"].MeanRSRQ <= m["O_Sp100"].MeanRSRQ {
+		t.Errorf("V_Sp mean RSRQ %.1f should beat O_Sp %.1f",
+			m["V_Sp"].MeanRSRQ, m["O_Sp100"].MeanRSRQ)
+	}
+	if m["V_Sp"].Sites != 3 || m["O_Sp100"].Sites != 2 {
+		t.Error("site counts wrong")
+	}
+	if len(m["V_Sp"].Points) < 5 {
+		t.Error("route trace too short")
+	}
+}
+
+func TestFig08Shape(t *testing.T) {
+	rows, err := Fig08(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := byOp(t, rows, func(r Fig08Row) string { return r.Operator })
+	// The spider plot's joint story: O_Sp100 has the widest channel and
+	// most REs yet the lowest throughput, fewer layers and a lower
+	// maximum modulation.
+	o100, vsp := m["O_Sp100"], m["V_Sp"]
+	if !(o100.BandwidthMHz > vsp.BandwidthMHz && o100.MeanREs > vsp.MeanREs) {
+		t.Error("O_Sp100 should have more bandwidth and REs")
+	}
+	if !(o100.DLMbps < vsp.DLMbps && o100.MeanRank < vsp.MeanRank) {
+		t.Error("O_Sp100 should have less throughput and fewer layers")
+	}
+	if o100.MaxModulation != phy.QAM64 || vsp.MaxModulation != phy.QAM256 {
+		t.Error("mode scheme axis wrong")
+	}
+}
+
+func TestFig09Shape(t *testing.T) {
+	rows, err := Fig09(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	m := byOp(t, rows, func(r Fig09Row) string { return r.Operator })
+	for _, r := range rows {
+		// §4.2: all UL well below 120 Mbps.
+		if r.ULMbps <= 0 || r.ULMbps > 120 {
+			t.Errorf("%s UL = %.1f Mbps outside the paper's band", r.Operator, r.ULMbps)
+		}
+	}
+	// Bandwidth has little bearing: the 90 MHz O_Sp90 beats the 100 MHz
+	// O_Sp100, and 80 MHz V_It beats both German 80/90 MHz channels.
+	if m["O_Sp90"].ULMbps <= m["O_Sp100"].ULMbps {
+		t.Error("O_Sp90 UL should beat O_Sp100 despite less bandwidth")
+	}
+	if m["V_It"].ULMbps <= m["V_Ge"].ULMbps || m["V_It"].ULMbps <= m["T_Ge"].ULMbps {
+		t.Error("V_It UL should lead despite its 80 MHz channel")
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	rows, err := Fig10(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	m := byOp(t, rows, func(r Fig10Row) string { return r.Channel })
+	for _, r := range rows {
+		if r.GoodULMbps <= r.PoorULMbps {
+			t.Errorf("%s: good-channel UL %.1f should beat poor %.1f",
+				r.Channel, r.GoodULMbps, r.PoorULMbps)
+		}
+	}
+	// T-Mobile's 100 MHz NR UL underperforms its LTE anchor — the reason
+	// it prefers LTE for uplink.
+	if m["100"].GoodULMbps >= m["LTE_US"].GoodULMbps {
+		t.Errorf("T-Mobile NR UL %.1f should trail LTE %.1f",
+			m["100"].GoodULMbps, m["LTE_US"].GoodULMbps)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	rows, err := Fig11(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := byOp(t, rows, func(r Fig11Row) string { return r.Operator })
+	// Paper ordering: V_Ge 2.13 < T_Ge 2.48 < O_Fr 5.33 < V_It 6.93, and
+	// BLER>0 is always slower. Bandwidth is irrelevant; the TDD frame
+	// and grant configuration decide.
+	if !(m["V_Ge"].CleanMs < m["T_Ge"].CleanMs &&
+		m["T_Ge"].CleanMs < m["O_Fr"].CleanMs &&
+		m["O_Fr"].CleanMs < m["V_It"].CleanMs) {
+		t.Errorf("latency ordering broken: V_Ge=%.2f T_Ge=%.2f O_Fr=%.2f V_It=%.2f",
+			m["V_Ge"].CleanMs, m["T_Ge"].CleanMs, m["O_Fr"].CleanMs, m["V_It"].CleanMs)
+	}
+	for _, r := range rows {
+		if r.RetxMs <= r.CleanMs {
+			t.Errorf("%s: BLER>0 (%.2f) should exceed BLER=0 (%.2f)", r.Operator, r.RetxMs, r.CleanMs)
+		}
+	}
+	// Absolute scale: the fast operators land near 2 ms, the slow one
+	// several ms (paper: 2.13–6.93).
+	if m["V_Ge"].CleanMs < 1.5 || m["V_Ge"].CleanMs > 3.2 {
+		t.Errorf("V_Ge latency %.2f ms off the ≈2.1 ms mark", m["V_Ge"].CleanMs)
+	}
+	if m["V_It"].CleanMs < 5.5 || m["V_It"].CleanMs > 9 {
+		t.Errorf("V_It latency %.2f ms off the ≈7 ms mark", m["V_It"].CleanMs)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	series, err := Fig12(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := byOp(t, series, func(s Fig12Series) string { return s.Operator })
+	for acr, s := range m {
+		if len(s.Tput) < 10 {
+			t.Fatalf("%s: curve too short", acr)
+		}
+		// V(t) falls from small to large time scales.
+		if s.Tput[len(s.Tput)-1].V >= s.Tput[0].V {
+			t.Errorf("%s: throughput variability should decrease with scale", acr)
+		}
+		// Throughput stabilizes in the paper's 0.05–1 s window.
+		if s.Stabilization == 0 || s.Stabilization.Seconds() > 1.1 {
+			t.Errorf("%s: stabilization at %v, want ≤ ≈1 s", acr, s.Stabilization)
+		}
+	}
+	// O_Sp100 is the most variable channel, V_It the steadiest (both in
+	// MCS and MIMO terms) — the Fig. 12 ranking.
+	if m["O_Sp100"].MCSMean <= m["V_It"].MCSMean {
+		t.Error("O_Sp100 MCS variability should exceed V_It")
+	}
+	if m["O_Sp100"].MIMOMean <= m["V_It"].MIMOMean {
+		t.Error("O_Sp100 MIMO variability should exceed V_It")
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	res, err := Fig13(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TputMbps) != len(res.MCS) || len(res.MCS) != len(res.MIMO) || len(res.MIMO) != len(res.RBs) {
+		t.Fatal("series lengths differ")
+	}
+	if len(res.TputMbps) < 100 {
+		t.Fatalf("series too short: %d", len(res.TputMbps))
+	}
+	// The paper's observation: RB allocation fluctuates far less
+	// (relative to its mean) than MCS.
+	if res.RBVariability >= res.MCSVariability {
+		t.Errorf("relative RB variability %.4f should be below MCS %.4f",
+			res.RBVariability, res.MCSVariability)
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	cells, err := Fig14(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(cells))
+	}
+	get := func(loc string, seq bool) Fig14Cell {
+		for _, c := range cells {
+			if c.Location == loc && c.Sequential == seq {
+				return c
+			}
+		}
+		t.Fatalf("missing cell %s/%v", loc, seq)
+		return Fig14Cell{}
+	}
+	for _, loc := range []string{"A", "B"} {
+		seq, sim := get(loc, true), get(loc, false)
+		ratio := sim.DLMbps / seq.DLMbps
+		if ratio < 0.38 || ratio > 0.65 {
+			t.Errorf("%s: simultaneous/sequential tput ratio %.2f, want ≈ 0.5", loc, ratio)
+		}
+		rbRatio := sim.MeanRBs / seq.MeanRBs
+		if rbRatio < 0.4 || rbRatio > 0.6 {
+			t.Errorf("%s: RB ratio %.2f, want ≈ 0.5", loc, rbRatio)
+		}
+		// Channel variability is a property of the location, not of the
+		// number of users.
+		if seq.VMCS > 0 && math.Abs(sim.VMCS-seq.VMCS)/seq.VMCS > 0.8 {
+			t.Errorf("%s: sharing changed MCS variability too much (%.3f vs %.3f)",
+				loc, sim.VMCS, seq.VMCS)
+		}
+	}
+	// The farther location suffers more (scale-free) joint variability:
+	// compare V normalized by the mean of each parameter.
+	rel := func(c Fig14Cell) float64 { return c.VMCS/c.MeanMCS + c.VMIMO/c.MeanRank }
+	if rel(get("B", true)) <= rel(get("A", true)) {
+		t.Errorf("117 m location should be more variable than 45 m: B=%.3f A=%.3f",
+			rel(get("B", true)), rel(get("A", true)))
+	}
+}
+
+func TestFig23Shape(t *testing.T) {
+	rows, err := Fig23(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatal("want 3 combos")
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].DLMbps <= rows[i-1].DLMbps {
+			t.Errorf("CA combo %s (%.0f) should beat %s (%.0f)",
+				rows[i].Combo, rows[i].DLMbps, rows[i-1].Combo, rows[i-1].DLMbps)
+		}
+	}
+	// Paper: CA reaches ≈1.3 Gbps average vs a single carrier well below.
+	if rows[2].DLMbps < 1.2*rows[0].DLMbps {
+		t.Errorf("full CA (%.0f) should exceed single carrier (%.0f) by ≥20%%",
+			rows[2].DLMbps, rows[0].DLMbps)
+	}
+}

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFig15Shape(t *testing.T) {
+	points, err := Fig15(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("points = %d, want 6", len(points))
+	}
+	// Group by operator: V_It is the steady high-throughput channel,
+	// O_Sp100 the variable one. The paper's causal arrows: throughput →
+	// bitrate; variability → stalls.
+	var vit, osp []Fig15Point
+	for _, p := range points {
+		if p.Operator == "V_It" {
+			vit = append(vit, p)
+		} else {
+			osp = append(osp, p)
+		}
+	}
+	avg := func(ps []Fig15Point, f func(Fig15Point) float64) float64 {
+		s := 0.0
+		for _, p := range ps {
+			s += f(p)
+		}
+		return s / float64(len(ps))
+	}
+	if avg(vit, func(p Fig15Point) float64 { return p.NormBitrate }) <=
+		avg(osp, func(p Fig15Point) float64 { return p.NormBitrate }) {
+		t.Error("higher-throughput V_It should achieve higher bitrate")
+	}
+	if avg(vit, func(p Fig15Point) float64 { return p.VMCS }) >=
+		avg(osp, func(p Fig15Point) float64 { return p.VMCS }) {
+		t.Error("O_Sp100 should show higher MCS variability")
+	}
+	if avg(vit, func(p Fig15Point) float64 { return p.StallPct }) >
+		avg(osp, func(p Fig15Point) float64 { return p.StallPct }) {
+		t.Error("the more variable channel should stall more")
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	res, err := Fig16(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: avg quality 5.41, stall 9.96% on a V_Sp session.
+	if res.AvgQuality < 3 || res.AvgQuality > 6.5 {
+		t.Errorf("avg quality = %.2f, want the 4–6 regime", res.AvgQuality)
+	}
+	if res.StallPct < 0 || res.StallPct > 40 {
+		t.Errorf("stall%% = %.1f implausible", res.StallPct)
+	}
+	if len(res.Decisions) < 10 || len(res.Buffer) == 0 || len(res.Throughput) == 0 {
+		t.Error("Fig16 panels missing data")
+	}
+}
+
+func TestFig17Shape(t *testing.T) {
+	rows, err := Fig17(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	get := func(op string, chunk float64) Fig17Row {
+		for _, r := range rows {
+			if r.Operator == op && r.ChunkSec == chunk {
+				return r
+			}
+		}
+		t.Fatalf("missing %s/%g", op, chunk)
+		return Fig17Row{}
+	}
+	// §6.2: smaller chunks sharply cut stall time; average bitrate holds
+	// (the paper reports gains on both axes — our reproduction gets the
+	// stall axis strongly and the bitrate axis approximately, see
+	// EXPERIMENTS.md).
+	for _, op := range []string{"O_Fr", "V_Ge"} {
+		long, short := get(op, 4), get(op, 1)
+		if short.NormBitrate < long.NormBitrate-0.08 {
+			t.Errorf("%s: 1 s chunks bitrate %.2f should be ≈≥ 4 s %.2f",
+				op, short.NormBitrate, long.NormBitrate)
+		}
+		if short.StallPct > long.StallPct {
+			t.Errorf("%s: 1 s chunks stall %.2f%% should be ≤ 4 s %.2f%%",
+				op, short.StallPct, long.StallPct)
+		}
+	}
+	// At least one operator shows a clear stall reduction.
+	if !(get("O_Fr", 1).StallPct < get("O_Fr", 4).StallPct ||
+		get("V_Ge", 1).StallPct < get("V_Ge", 4).StallPct) {
+		t.Error("no stall improvement from shorter chunks anywhere")
+	}
+}
+
+func TestFig24Shape(t *testing.T) {
+	rows, err := Fig24(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	// The appendix claim: BOLA consistently performs well — per operator
+	// it is never clearly dominated on both axes by another algorithm.
+	byAlg := map[string]map[string]Fig24Row{}
+	for _, r := range rows {
+		if byAlg[r.Operator] == nil {
+			byAlg[r.Operator] = map[string]Fig24Row{}
+		}
+		byAlg[r.Operator][r.ABR] = r
+	}
+	for op, algs := range byAlg {
+		bola := algs["bola"]
+		for name, other := range algs {
+			if name == "bola" {
+				continue
+			}
+			if other.NormBitrate > bola.NormBitrate+0.02 && other.StallPct < bola.StallPct-0.5 {
+				t.Errorf("%s: %s strictly dominates BOLA (%.2f/%.1f%% vs %.2f/%.1f%%)",
+					op, name, other.NormBitrate, other.StallPct, bola.NormBitrate, bola.StallPct)
+			}
+		}
+	}
+}
+
+func TestFig18Shape(t *testing.T) {
+	series, err := Fig18(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("series = %d, want 4", len(series))
+	}
+	get := func(tech, mob string) Fig18Series {
+		for _, s := range series {
+			if s.Tech == tech && s.Mobility == mob {
+				return s
+			}
+		}
+		t.Fatalf("missing %s/%s", tech, mob)
+		return Fig18Series{}
+	}
+	// §7: mmWave offers more throughput but far more variability, and
+	// driving makes mmWave worse while mid-band barely notices.
+	for _, mob := range []string{"walking", "driving"} {
+		mid, mmw := get("midband", mob), get("mmwave", mob)
+		if mmw.DLMbps <= mid.DLMbps {
+			t.Errorf("%s: mmWave %.0f should out-throughput mid-band %.0f",
+				mob, mmw.DLMbps, mid.DLMbps)
+		}
+		// Compare relative variability at a matching ≈256 ms time scale,
+		// where blockage dynamics dominate and TDD-frame alignment
+		// artifacts have averaged out (the technologies run different
+		// slot durations and frame layouts).
+		at := func(s Fig18Series) float64 {
+			for _, p := range s.Curve {
+				if p.Duration >= 256*time.Millisecond {
+					return p.V / s.DLMbps
+				}
+			}
+			t.Fatal("curve too short")
+			return 0
+		}
+		relMid := at(mid)
+		relMmw := at(mmw)
+		if relMmw <= relMid {
+			t.Errorf("%s: mmWave relative variability %.3f should exceed mid-band %.3f",
+				mob, relMmw, relMid)
+		}
+	}
+	if get("mmwave", "driving").OutagePct <= get("mmwave", "walking").OutagePct {
+		t.Error("driving should suffer more mmWave outages than walking")
+	}
+	if get("midband", "walking").OutagePct != 0 {
+		t.Error("mid-band should not have outages")
+	}
+	// The walking throughput gap narrows under driving (coverage holes).
+	walkGap := get("mmwave", "walking").DLMbps / get("midband", "walking").DLMbps
+	driveGap := get("mmwave", "driving").DLMbps / get("midband", "driving").DLMbps
+	if driveGap >= walkGap {
+		t.Errorf("driving should narrow the mmWave advantage: walk ×%.2f, drive ×%.2f", walkGap, driveGap)
+	}
+}
+
+func TestFig19Shape(t *testing.T) {
+	points, err := Fig19(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d, want 4", len(points))
+	}
+	get := func(tech, mob, ladder string) Fig19Point {
+		for _, p := range points {
+			if p.Tech == tech && p.Mobility == mob && p.Ladder == ladder {
+				return p
+			}
+		}
+		t.Fatalf("missing %s/%s/%s", tech, mob, ladder)
+		return Fig19Point{}
+	}
+	// (a) On the standard ladder walking, mmWave achieves at least the
+	// mid-band bitrate but with no stall advantage.
+	mid := get("midband", "walking", "400Mbps")
+	mmw := get("mmwave", "walking", "400Mbps")
+	if mmw.NormBitrate < mid.NormBitrate-0.05 {
+		t.Errorf("mmWave bitrate %.2f should be ≥ mid-band %.2f", mmw.NormBitrate, mid.NormBitrate)
+	}
+	if mmw.StallPct < mid.StallPct-0.1 {
+		t.Errorf("mmWave stalls %.2f%% should not beat mid-band %.2f%%", mmw.StallPct, mid.StallPct)
+	}
+	// (b) Scaled-up ladder: driving degrades both axes versus walking.
+	walk := get("mmwave", "walking", "1.25Gbps")
+	drive := get("mmwave", "driving", "1.25Gbps")
+	if drive.NormBitrate >= walk.NormBitrate {
+		t.Errorf("driving bitrate %.2f should trail walking %.2f", drive.NormBitrate, walk.NormBitrate)
+	}
+	if drive.StallPct < walk.StallPct {
+		t.Errorf("driving stalls %.2f%% should be at least walking's %.2f%%", drive.StallPct, walk.StallPct)
+	}
+	if drive.StallPct == 0 && drive.NormBitrate > 0.9 {
+		t.Error("driving on the scaled ladder should show QoE degradation")
+	}
+}
+
+func TestSec7Shape(t *testing.T) {
+	rows, err := Sec7(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatal("want walking and driving rows")
+	}
+	for _, r := range rows {
+		if r.MmWaveMbps <= r.MidBandMbps {
+			t.Errorf("%s: mmWave %.0f should exceed mid-band %.0f", r.Mobility, r.MmWaveMbps, r.MidBandMbps)
+		}
+		// Paper: mid-band is ≈41–42%% more stable than mmWave.
+		if r.StabilityGainPct <= 10 {
+			t.Errorf("%s: stability gain %.0f%% too small", r.Mobility, r.StabilityGainPct)
+		}
+	}
+	// mmWave degrades more from walking to driving than mid-band does.
+	mmwDrop := rows[0].MmWaveMbps - rows[1].MmWaveMbps
+	midDrop := rows[0].MidBandMbps - rows[1].MidBandMbps
+	if mmwDrop <= midDrop {
+		t.Errorf("mmWave should lose more under driving: mmw −%.0f vs mid −%.0f", mmwDrop, midDrop)
+	}
+}

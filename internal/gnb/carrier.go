@@ -1,0 +1,536 @@
+// Package gnb simulates the base-station side of one NR component carrier:
+// per-slot scheduling against a TDD pattern, adaptive modulation and coding
+// driven by delayed CQI feedback with outer-loop link adaptation, MIMO rank
+// adaptation, and HARQ retransmissions. Together with internal/channel and
+// internal/ue it generates the slot-level KPI processes whose distributions
+// the paper measures in §4 and whose dynamics it measures in §5.
+package gnb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/midband5g/midband/internal/channel"
+	"github.com/midband5g/midband/internal/phy"
+	"github.com/midband5g/midband/internal/tdd"
+	"github.com/midband5g/midband/internal/ue"
+)
+
+// CarrierConfig describes one component carrier and its radio environment.
+type CarrierConfig struct {
+	// Label names the carrier in traces (e.g. "n78/90MHz").
+	Label string
+	// Numerology sets SCS and slot duration.
+	Numerology phy.Numerology
+	// NRB is the maximum transmission bandwidth in resource blocks.
+	NRB int
+	// FDD carriers schedule DL and UL every slot; TDD carriers follow
+	// Pattern.
+	FDD bool
+	// Pattern is the TDD UL/DL pattern (ignored for FDD).
+	Pattern tdd.Pattern
+	// MCSTable is the vendor-configured PDSCH table (256QAM vs 64QAM
+	// grade — the §4.1 Orange-Spain-100MHz distinction).
+	MCSTable phy.MCSTable
+	// CSI configures the UE feedback loop.
+	CSI ue.CSIConfig
+	// Channel configures the radio environment.
+	Channel channel.Config
+	// ULSINROffsetDB derates UL SINR relative to DL (UE power limits).
+	ULSINROffsetDB float64
+	// ULMaxRank caps uplink MIMO layers (typically 1–2).
+	ULMaxRank int
+	// ULRBFraction is the fraction of NRB granted to UL transmissions.
+	ULRBFraction float64
+	// PDCCHSymbols is control overhead at the head of DL slots.
+	PDCCHSymbols int
+	// DMRSPerPRB is the per-PRB DMRS overhead in REs.
+	DMRSPerPRB int
+	// TargetBLER is the outer-loop link adaptation target.
+	TargetBLER float64
+	// DisableOLLA turns outer-loop link adaptation off (ablation).
+	DisableOLLA bool
+	// DisableHARQ turns retransmissions off (ablation): failed TBs are
+	// simply lost.
+	DisableHARQ bool
+	// HARQRTTSlots is the retransmission round trip in slots.
+	HARQRTTSlots int
+	// MaxHARQRetx bounds retransmissions per TB.
+	MaxHARQRetx int
+	// RBJitterFrac randomizes the per-slot RB grant slightly, as real
+	// schedulers do around the maximum (Fig. 4 shows near-max RBs with a
+	// short tail).
+	RBJitterFrac float64
+	// HandoverInterruptionSlots is the data interruption when the
+	// serving cell changes along a route (NR handover execution takes
+	// ~50 ms; default 100 slots at 30 kHz). Set negative to disable.
+	HandoverInterruptionSlots int
+	// MCSDither is the ± range of per-slot MCS variation around the
+	// link-adaptation point. Real gNBs schedule different sub-bands and
+	// re-evaluate per slot, so the DCI-signaled MCS jitters at the
+	// finest time scale (§3.1: parameters signaled per slot; the paper's
+	// Fig. 12 MCS variability is highest at τ). Default 1; negative
+	// disables.
+	MCSDither int
+	// RankDitherProb is the per-slot probability of scheduling one
+	// layer fewer than reported (per-allocation rank adaptation).
+	// Default 0.08; negative disables.
+	RankDitherProb float64
+	// Seed drives scheduler randomness.
+	Seed int64
+}
+
+func (c CarrierConfig) withDefaults() CarrierConfig {
+	if c.ULMaxRank == 0 {
+		c.ULMaxRank = 1
+	}
+	if c.ULRBFraction == 0 {
+		c.ULRBFraction = 1
+	}
+	if c.PDCCHSymbols == 0 {
+		// Effective control overhead after PDSCH rate-matching around
+		// the CORESET: one symbol for a single-UE full-buffer load.
+		c.PDCCHSymbols = 1
+	}
+	if c.DMRSPerPRB == 0 {
+		c.DMRSPerPRB = 12
+	}
+	if c.TargetBLER == 0 {
+		c.TargetBLER = 0.10
+	}
+	if c.HARQRTTSlots == 0 {
+		c.HARQRTTSlots = 8
+	}
+	if c.MaxHARQRetx == 0 {
+		c.MaxHARQRetx = 3
+	}
+	if c.RBJitterFrac == 0 {
+		c.RBJitterFrac = 0.04
+	}
+	if c.HandoverInterruptionSlots == 0 {
+		c.HandoverInterruptionSlots = 100
+	}
+	if c.MCSDither == 0 {
+		c.MCSDither = 1
+	}
+	if c.RankDitherProb == 0 {
+		c.RankDitherProb = 0.08
+	}
+	if c.CSI.Table == 0 {
+		if c.MCSTable == phy.MCSTable256QAM {
+			c.CSI.Table = phy.CQITable256QAM
+		} else {
+			c.CSI.Table = phy.CQITable64QAM
+		}
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c CarrierConfig) Validate() error {
+	c = c.withDefaults()
+	if c.NRB < 1 {
+		return fmt.Errorf("gnb: carrier %q NRB %d invalid", c.Label, c.NRB)
+	}
+	if !c.FDD && c.Pattern.Period() == 0 {
+		return fmt.Errorf("gnb: carrier %q is TDD but has no pattern", c.Label)
+	}
+	if c.MCSTable != phy.MCSTable64QAM && c.MCSTable != phy.MCSTable256QAM {
+		return fmt.Errorf("gnb: carrier %q MCS table %d invalid", c.Label, c.MCSTable)
+	}
+	if c.TargetBLER <= 0 || c.TargetBLER >= 1 {
+		return fmt.Errorf("gnb: carrier %q target BLER %g invalid", c.Label, c.TargetBLER)
+	}
+	if c.ULRBFraction < 0 || c.ULRBFraction > 1 {
+		return fmt.Errorf("gnb: carrier %q UL RB fraction %g invalid", c.Label, c.ULRBFraction)
+	}
+	return nil
+}
+
+// Alloc is one scheduled transport block in a slot.
+type Alloc struct {
+	// RBs and REs are the allocated resources.
+	RBs, REs int
+	// Table and MCS identify the modulation and coding scheme.
+	Table phy.MCSTable
+	MCS   uint8
+	// Rank is the number of MIMO layers.
+	Rank int
+	// TBSBits is the transport block size.
+	TBSBits int
+	// HARQRetx counts prior attempts (0 = initial transmission).
+	HARQRetx uint8
+	// ACK reports whether the TB decoded.
+	ACK bool
+	// DeliveredBits is TBSBits on first-time success of the final
+	// attempt, else 0.
+	DeliveredBits int
+}
+
+// Modulation returns the modulation order of the allocation.
+func (a Alloc) Modulation() phy.Modulation {
+	m, err := a.Table.Lookup(a.MCS)
+	if err != nil {
+		return 0
+	}
+	return m.Modulation
+}
+
+// SlotResult is everything that happened on the carrier in one slot.
+type SlotResult struct {
+	// Slot is the slot index; Time its offset from start.
+	Slot int64
+	Time time.Duration
+	// Sample is the radio state.
+	Sample channel.Sample
+	// CQI is the feedback report in effect at the gNB.
+	CQI phy.CQI
+	// DL and UL are the scheduled allocations (nil when the slot carries
+	// none for that direction).
+	DL, UL *Alloc
+}
+
+// Demand tells the scheduler whether the UE has traffic and what share of
+// the carrier's resources it gets (1 for a lone full-buffer UE; 0.5 each
+// for the Fig. 14 two-UE experiment).
+type Demand struct {
+	Active bool
+	Share  float64
+}
+
+// FullBuffer is a lone saturating UE.
+var FullBuffer = Demand{Active: true, Share: 1}
+
+type harqJob struct {
+	readySlot int64
+	retx      uint8
+	rank      int
+	table     phy.MCSTable
+	mcs       uint8
+	rbs       int
+	res       int
+	tbs       int
+}
+
+// Carrier is the per-carrier simulator. Not safe for concurrent use.
+type Carrier struct {
+	cfg  CarrierConfig
+	ch   *channel.Channel
+	csi  *ue.CSI
+	rng  *rand.Rand
+	slot int64
+
+	ollaDB  float64
+	harqDL  []harqJob
+	harqUL  []harqJob
+	serving int   // last serving cell (-1 before first sample)
+	hoUntil int64 // data interrupted until this slot (handover execution)
+	dlAlloc Alloc // reused storage for SlotResult.DL
+	ulAlloc Alloc
+}
+
+// NewCarrier builds a carrier simulator.
+func NewCarrier(cfg CarrierConfig) (*Carrier, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.Channel.SlotDuration = cfg.Numerology.SlotDuration()
+	if cfg.Channel.Seed == 0 {
+		cfg.Channel.Seed = cfg.Seed + 1
+	}
+	ch, err := channel.New(cfg.Channel)
+	if err != nil {
+		return nil, fmt.Errorf("gnb: carrier %q: %w", cfg.Label, err)
+	}
+	csiCfg := cfg.CSI
+	if csiCfg.Seed == 0 {
+		csiCfg.Seed = cfg.Seed + 2
+	}
+	csi, err := ue.NewCSI(csiCfg)
+	if err != nil {
+		return nil, fmt.Errorf("gnb: carrier %q: %w", cfg.Label, err)
+	}
+	return &Carrier{
+		cfg:     cfg,
+		ch:      ch,
+		csi:     csi,
+		rng:     rand.New(rand.NewSource(cfg.Seed + 3)),
+		serving: -1,
+	}, nil
+}
+
+// Config returns the effective configuration.
+func (c *Carrier) Config() CarrierConfig { return c.cfg }
+
+// Slot returns the next slot index to be simulated.
+func (c *Carrier) Slot() int64 { return c.slot }
+
+// SlotDuration returns the slot length.
+func (c *Carrier) SlotDuration() time.Duration { return c.cfg.Numerology.SlotDuration() }
+
+// dlSymbols returns the DL data symbols available in the slot.
+func (c *Carrier) dlSymbols(slot int64) int {
+	if c.cfg.FDD {
+		return phy.SymbolsPerSlot - c.cfg.PDCCHSymbols
+	}
+	s := c.cfg.Pattern.DLSymbols(slot)
+	if s == 0 {
+		return 0
+	}
+	s -= c.cfg.PDCCHSymbols
+	if s < 1 {
+		return 0
+	}
+	return s
+}
+
+// ulSymbols returns the UL data symbols available in the slot. Special-slot
+// UL symbols are too few for PUSCH data and are reserved for control, so
+// only full UL slots count (matching commercial mid-band behaviour).
+func (c *Carrier) ulSymbols(slot int64) int {
+	if c.cfg.FDD {
+		return phy.SymbolsPerSlot
+	}
+	if c.cfg.Pattern.Slot(slot) == tdd.Uplink {
+		return phy.SymbolsPerSlot
+	}
+	return 0
+}
+
+// bler returns the block error probability for a TB whose MCS requires
+// reqSINRdB when decoded at effective per-layer SINR sinrDB.
+func bler(sinrDB, reqSINRdB float64) float64 {
+	const slopeDB = 0.7
+	return 1 / (1 + math.Exp((sinrDB-reqSINRdB)/slopeDB))
+}
+
+const harqCombineGainDB = 2.5
+
+// Step simulates one slot. The returned SlotResult's DL/UL pointers are
+// owned by the Carrier and valid until the next Step call.
+func (c *Carrier) Step(dl, ul Demand) SlotResult {
+	slot := c.slot
+	c.slot++
+	sample := c.ch.Step()
+	c.csi.Observe(slot, sample.SINRdB)
+	report, haveCSI := c.csi.Current()
+
+	res := SlotResult{
+		Slot:   slot,
+		Time:   time.Duration(slot) * c.SlotDuration(),
+		Sample: sample,
+		CQI:    report.CQI,
+	}
+	// Handover: a serving-cell change interrupts data while the UE
+	// executes the switch (random access on the target cell).
+	if c.serving >= 0 && sample.ServingCell != c.serving && c.cfg.HandoverInterruptionSlots > 0 {
+		c.hoUntil = slot + int64(c.cfg.HandoverInterruptionSlots)
+	}
+	c.serving = sample.ServingCell
+	if !haveCSI || slot < c.hoUntil {
+		return res
+	}
+
+	if sym := c.dlSymbols(slot); sym > 0 && dl.Active && dl.Share > 0 {
+		res.DL = c.transmit(&c.dlAlloc, &c.harqDL, slot, sym, dl.Share, report, sample, false)
+	}
+	if sym := c.ulSymbols(slot); sym > 0 && ul.Active && ul.Share > 0 {
+		res.UL = c.transmit(&c.ulAlloc, &c.harqUL, slot, sym, ul.Share, report, sample, true)
+	}
+	return res
+}
+
+// transmit schedules one TB (new or HARQ retransmission) in this slot.
+func (c *Carrier) transmit(store *Alloc, queue *[]harqJob, slot int64, symbols int,
+	share float64, report ue.Report, sample channel.Sample, uplink bool) *Alloc {
+
+	if sample.Outage {
+		return nil // nothing schedulable without a link
+	}
+
+	var job harqJob
+	if j, ok := popReady(queue, slot); ok {
+		job = j
+	} else {
+		job = c.newTB(slot, symbols, share, report, uplink)
+		if job.tbs == 0 {
+			return nil
+		}
+	}
+
+	// Decode at the *current* per-layer SINR (the report that chose the
+	// MCS is stale — that gap is what OLLA and HARQ absorb).
+	sinr := sample.SINRdB
+	if uplink {
+		sinr -= c.cfg.ULSINROffsetDB
+	}
+	perLayer := sinr - 10*c.csi.Config().LayerPenaltyExp*math.Log10(float64(job.rank))
+	perLayer += harqCombineGainDB * float64(job.retx)
+	mcsRow, err := job.table.Lookup(job.mcs)
+	if err != nil {
+		return nil
+	}
+	p := bler(perLayer, mcsRow.RequiredSINRdB())
+	ack := c.rng.Float64() >= p
+
+	if !uplink && !c.cfg.DisableOLLA {
+		// Outer loop: nudge toward the BLER target.
+		if ack {
+			c.ollaDB += 0.05 * c.cfg.TargetBLER / (1 - c.cfg.TargetBLER)
+		} else {
+			c.ollaDB -= 0.05
+		}
+		c.ollaDB = math.Max(-6, math.Min(3, c.ollaDB))
+	}
+
+	delivered := 0
+	if ack {
+		delivered = job.tbs
+	} else if !c.cfg.DisableHARQ && int(job.retx) < c.cfg.MaxHARQRetx {
+		*queue = append(*queue, harqJob{
+			readySlot: slot + int64(c.cfg.HARQRTTSlots),
+			retx:      job.retx + 1,
+			rank:      job.rank,
+			table:     job.table,
+			mcs:       job.mcs,
+			rbs:       job.rbs,
+			res:       job.res,
+			tbs:       job.tbs,
+		})
+	}
+
+	*store = Alloc{
+		RBs: job.rbs, REs: job.res, Table: job.table, MCS: job.mcs,
+		Rank: job.rank, TBSBits: job.tbs, HARQRetx: job.retx, ACK: ack,
+		DeliveredBits: delivered,
+	}
+	return store
+}
+
+// newTB builds a fresh transport block from the CSI in effect.
+func (c *Carrier) newTB(slot int64, symbols int, share float64, report ue.Report, uplink bool) harqJob {
+	rank := report.RI
+	cqi := report.CQI
+	table := c.cfg.MCSTable
+	csiTable := c.csi.Config().Table
+
+	if cqi == 0 || rank < 1 {
+		return harqJob{}
+	}
+
+	// Vendor CQI→MCS mapping: match the reported spectral efficiency,
+	// shifted by the outer-loop offset.
+	row, err := csiTable.Lookup(cqi)
+	if err != nil {
+		return harqJob{}
+	}
+	eff := row.Efficiency
+
+	if uplink {
+		// The gNB estimates UL quality from sounding reference signals:
+		// reconstruct the total-SINR estimate behind the DL report,
+		// derate by the UL power deficit, and re-split across UL layers.
+		// The DL outer-loop offset does not apply; UL link adaptation
+		// carries its own fixed backoff instead.
+		exp := c.csi.Config().LayerPenaltyExp
+		dlRank := rank
+		if rank > c.cfg.ULMaxRank {
+			rank = c.cfg.ULMaxRank
+		}
+		share *= c.cfg.ULRBFraction
+		// Deflate the report's optimism (the gNB calibrates for it).
+		optimism := math.Pow(10, c.csi.Config().CQIOptimismDB/10)
+		totalLin := (math.Pow(2, eff) - 1) / optimism * math.Pow(float64(dlRank), exp)
+		perLayerLin := totalLin * math.Pow(10, -c.cfg.ULSINROffsetDB/10) /
+			math.Pow(float64(rank), exp)
+		const ulBackoffDB = 1.0
+		eff = math.Log2(1+perLayerLin) * math.Pow(10, -ulBackoffDB/10)
+	} else {
+		eff *= math.Pow(10, c.ollaDB/10)
+	}
+	mcs := table.HighestMCSForEfficiency(eff)
+
+	// Per-slot link-adaptation dither (sub-band scheduling, per-slot
+	// re-evaluation): the DCI-signaled MCS and rank move at slot scale.
+	if d := c.cfg.MCSDither; d > 0 {
+		m := int(mcs) + c.rng.Intn(2*d+1) - d
+		if m < 0 {
+			m = 0
+		}
+		if max := int(table.MaxIndex()); m > max {
+			m = max
+		}
+		mcs = uint8(m)
+	}
+	if c.cfg.RankDitherProb > 0 && rank > 1 && c.rng.Float64() < c.cfg.RankDitherProb {
+		rank--
+	}
+
+	// Near-maximum RB allocation with scheduler jitter (Fig. 4).
+	rbs := int(float64(c.cfg.NRB) * share * (1 - c.cfg.RBJitterFrac*c.rng.Float64()))
+	if rbs < 1 {
+		rbs = 1
+	}
+	mcsRow, err := table.Lookup(mcs)
+	if err != nil {
+		return harqJob{}
+	}
+	dmrs := c.cfg.DMRSPerPRB
+	if maxDMRS := phy.SubcarriersPerRB * symbols; dmrs > maxDMRS {
+		dmrs = maxDMRS
+	}
+	params := phy.TBSParams{
+		Symbols:    symbols,
+		DMRSPerPRB: dmrs,
+		PRBs:       rbs,
+		MCS:        mcsRow,
+		Layers:     rank,
+	}
+	tbs, err := phy.TBS(params)
+	if err != nil {
+		return harqJob{}
+	}
+	return harqJob{
+		readySlot: slot,
+		rank:      rank,
+		table:     table,
+		mcs:       mcs,
+		rbs:       rbs,
+		res:       params.REs(),
+		tbs:       tbs,
+	}
+}
+
+func popReady(queue *[]harqJob, slot int64) (harqJob, bool) {
+	for i, j := range *queue {
+		if j.readySlot <= slot {
+			*queue = append((*queue)[:i], (*queue)[i+1:]...)
+			return j, true
+		}
+	}
+	return harqJob{}, false
+}
+
+// TheoreticalMaxMbps returns the TS 38.306 bound for this carrier,
+// optionally derated by the TDD DL duty cycle (paper §3.2).
+func (c *Carrier) TheoreticalMaxMbps(applyDuty bool) float64 {
+	duty := 1.0
+	if applyDuty && !c.cfg.FDD {
+		duty = c.cfg.Pattern.DLDutyCycle()
+	}
+	maxRank := c.csi.Config().MaxRank
+	if maxRank == 0 {
+		maxRank = 4
+	}
+	return phy.MaxRateMbps(phy.CarrierRateParams{
+		Layers:      maxRank,
+		Modulation:  c.cfg.MCSTable.MaxModulation(),
+		Numerology:  c.cfg.Numerology,
+		NRB:         c.cfg.NRB,
+		Overhead:    phy.OverheadDLFR1,
+		DLDutyCycle: duty,
+	})
+}

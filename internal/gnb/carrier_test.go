@@ -1,0 +1,316 @@
+package gnb
+
+import (
+	"math"
+	"testing"
+
+	"github.com/midband5g/midband/internal/channel"
+	"github.com/midband5g/midband/internal/phy"
+	"github.com/midband5g/midband/internal/tdd"
+)
+
+// testCarrier returns a 90 MHz n78-style carrier with a channel that sits
+// around 20 dB SINR — the regime where 64QAM dominates and rank 4 is common.
+func testCarrier(t *testing.T, mutate func(*CarrierConfig)) *Carrier {
+	t.Helper()
+	cfg := CarrierConfig{
+		Label:      "test/90MHz",
+		Numerology: phy.Mu1,
+		NRB:        245,
+		Pattern:    tdd.MustParse("DDDDDDDSUU"),
+		MCSTable:   phy.MCSTable256QAM,
+		Channel: channel.Config{
+			CarrierFreqMHz:           3500,
+			Route:                    channel.Stationary(channel.Point{X: 450}),
+			Deployment:               channel.Deployment{Sites: []channel.Point{{}}, TxPowerDBmPerRE: 18},
+			OtherCellInterferenceDBm: -100,
+			ShadowSigmaDB:            2,
+			FastSigmaDB:              1.2,
+		},
+		ULSINROffsetDB: 6,
+		ULMaxRank:      2,
+		Seed:           77,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := NewCarrier(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// runDL simulates n slots of full-buffer DL and returns aggregate stats.
+type runStats struct {
+	dlBits, ulBits   float64
+	dlSlots, ulSlots int
+	dlErr            int
+	rbs              []float64
+	ranks            []float64
+	mods             []phy.Modulation
+	retx             int
+	seconds          float64
+}
+
+func run(c *Carrier, slots int, dl, ul Demand) runStats {
+	var s runStats
+	for i := 0; i < slots; i++ {
+		r := c.Step(dl, ul)
+		if r.DL != nil {
+			s.dlSlots++
+			s.dlBits += float64(r.DL.DeliveredBits)
+			s.rbs = append(s.rbs, float64(r.DL.RBs))
+			s.ranks = append(s.ranks, float64(r.DL.Rank))
+			s.mods = append(s.mods, r.DL.Modulation())
+			if !r.DL.ACK {
+				s.dlErr++
+			}
+			if r.DL.HARQRetx > 0 {
+				s.retx++
+			}
+		}
+		if r.UL != nil {
+			s.ulSlots++
+			s.ulBits += float64(r.UL.DeliveredBits)
+		}
+	}
+	s.seconds = float64(slots) * c.SlotDuration().Seconds()
+	return s
+}
+
+func (s runStats) dlMbps() float64 { return s.dlBits / s.seconds / 1e6 }
+func (s runStats) ulMbps() float64 { return s.ulBits / s.seconds / 1e6 }
+
+func TestCarrierDeterminism(t *testing.T) {
+	a := testCarrier(t, nil)
+	b := testCarrier(t, nil)
+	for i := 0; i < 5000; i++ {
+		ra, rb := a.Step(FullBuffer, FullBuffer), b.Step(FullBuffer, FullBuffer)
+		if (ra.DL == nil) != (rb.DL == nil) || (ra.DL != nil && *ra.DL != *rb.DL) {
+			t.Fatalf("slot %d: DL diverged", i)
+		}
+		if (ra.UL == nil) != (rb.UL == nil) || (ra.UL != nil && *ra.UL != *rb.UL) {
+			t.Fatalf("slot %d: UL diverged", i)
+		}
+	}
+}
+
+func TestCarrierDLThroughputPlausible(t *testing.T) {
+	c := testCarrier(t, nil)
+	s := run(c, 60000, FullBuffer, Demand{}) // 30 s
+	mbps := s.dlMbps()
+	// A 90 MHz mid-band carrier at ~20 dB SINR delivers hundreds of Mbps,
+	// bounded by the §3.2 theoretical max.
+	if mbps < 300 || mbps > 1400 {
+		t.Errorf("DL throughput = %.0f Mbps, want within [300, 1400]", mbps)
+	}
+	maxMbps := c.TheoreticalMaxMbps(true)
+	if mbps >= maxMbps {
+		t.Errorf("measured %.0f Mbps exceeds theoretical max %.0f", mbps, maxMbps)
+	}
+	// DL slots follow the TDD pattern: 7 D + 1 S out of 10.
+	frac := float64(s.dlSlots) / 60000
+	if frac < 0.70 || frac > 0.85 {
+		t.Errorf("DL-scheduled slot fraction = %.2f, want ≈ 0.8", frac)
+	}
+}
+
+func TestCarrierNearMaxRBs(t *testing.T) {
+	c := testCarrier(t, nil)
+	s := run(c, 20000, FullBuffer, Demand{})
+	mean := 0.0
+	for _, rb := range s.rbs {
+		mean += rb
+	}
+	mean /= float64(len(s.rbs))
+	// Fig. 4: full-buffer load drives allocations close to N_RB.
+	if mean < 0.9*245 || mean > 245 {
+		t.Errorf("mean RB allocation = %.0f, want ≈ 245", mean)
+	}
+}
+
+func TestCarrierBLERNearTarget(t *testing.T) {
+	c := testCarrier(t, nil)
+	s := run(c, 120000, FullBuffer, Demand{})
+	bler := float64(s.dlErr) / float64(s.dlSlots)
+	if bler < 0.02 || bler > 0.25 {
+		t.Errorf("DL BLER = %.3f, want near the 0.10 OLLA target", bler)
+	}
+	if s.retx == 0 {
+		t.Error("HARQ retransmissions should occur")
+	}
+}
+
+func TestCarrierOLLAAblation(t *testing.T) {
+	on := run(testCarrier(t, nil), 80000, FullBuffer, Demand{})
+	off := run(testCarrier(t, func(c *CarrierConfig) { c.DisableOLLA = true }),
+		80000, FullBuffer, Demand{})
+	blerOn := float64(on.dlErr) / float64(on.dlSlots)
+	blerOff := float64(off.dlErr) / float64(off.dlSlots)
+	// Without the outer loop the stale-CQI mismatch goes uncorrected.
+	if math.Abs(blerOn-0.10) > math.Abs(blerOff-0.10) {
+		t.Errorf("OLLA should pull BLER toward target: on=%.3f off=%.3f", blerOn, blerOff)
+	}
+}
+
+func TestCarrierMCSTableEffect(t *testing.T) {
+	// The §4.1 Spain finding: at equal bandwidth and channel, the 64QAM
+	// table caps spectral efficiency and loses throughput.
+	hi := run(testCarrier(t, func(c *CarrierConfig) {
+		c.Channel.SINRBiasDB = 6 // strong channel where 256QAM matters
+	}), 60000, FullBuffer, Demand{})
+	lo := run(testCarrier(t, func(c *CarrierConfig) {
+		c.Channel.SINRBiasDB = 6
+		c.MCSTable = phy.MCSTable64QAM
+	}), 60000, FullBuffer, Demand{})
+	if hi.dlMbps() <= lo.dlMbps() {
+		t.Errorf("256QAM table (%.0f Mbps) should beat 64QAM table (%.0f Mbps)",
+			hi.dlMbps(), lo.dlMbps())
+	}
+	for _, m := range lo.mods {
+		if m == phy.QAM256 {
+			t.Fatal("64QAM-table carrier transmitted 256QAM")
+		}
+	}
+}
+
+func TestCarrierRankTracksDeploymentQuality(t *testing.T) {
+	rankShare := func(bias float64) float64 {
+		s := run(testCarrier(t, func(c *CarrierConfig) { c.Channel.SINRBiasDB = bias }),
+			40000, FullBuffer, Demand{})
+		four := 0
+		for _, r := range s.ranks {
+			if r == 4 {
+				four++
+			}
+		}
+		return float64(four) / float64(len(s.ranks))
+	}
+	good, poor := rankShare(4), rankShare(-6)
+	if good <= poor {
+		t.Errorf("better coverage should raise rank-4 share: good=%.2f poor=%.2f", good, poor)
+	}
+	if good < 0.5 {
+		t.Errorf("good coverage rank-4 share = %.2f, want well above half", good)
+	}
+}
+
+func TestCarrierShareSplitsThroughput(t *testing.T) {
+	// Fig. 14: two simultaneous UEs each get ≈ half the RBs and half the
+	// throughput, with channel quality unchanged.
+	full := run(testCarrier(t, nil), 60000, FullBuffer, Demand{})
+	half := run(testCarrier(t, nil), 60000, Demand{Active: true, Share: 0.5}, Demand{})
+	ratio := half.dlMbps() / full.dlMbps()
+	if ratio < 0.40 || ratio > 0.62 {
+		t.Errorf("half-share throughput ratio = %.2f, want ≈ 0.5", ratio)
+	}
+}
+
+func TestCarrierULBelowDL(t *testing.T) {
+	c := testCarrier(t, nil)
+	s := run(c, 60000, FullBuffer, FullBuffer)
+	if s.ulMbps() <= 0 {
+		t.Fatal("UL throughput should be positive")
+	}
+	// §4.2: UL sits far below DL (TDD slot split + power deficit).
+	if s.ulMbps() > 0.35*s.dlMbps() {
+		t.Errorf("UL %.0f Mbps vs DL %.0f Mbps: asymmetry too small", s.ulMbps(), s.dlMbps())
+	}
+	// UL slots are the 2 U slots out of 10.
+	frac := float64(s.ulSlots) / 60000
+	if frac < 0.15 || frac > 0.25 {
+		t.Errorf("UL slot fraction = %.2f, want ≈ 0.2", frac)
+	}
+}
+
+func TestCarrierFDDSchedulesEverySlot(t *testing.T) {
+	c := testCarrier(t, func(cfg *CarrierConfig) {
+		cfg.FDD = true
+		cfg.Pattern = tdd.Pattern{}
+		cfg.Numerology = phy.Mu0
+		cfg.NRB = 106
+	})
+	s := run(c, 20000, FullBuffer, FullBuffer)
+	// After CSI warm-up every slot carries both directions.
+	if float64(s.dlSlots) < 0.95*20000 || float64(s.ulSlots) < 0.95*20000 {
+		t.Errorf("FDD should schedule nearly every slot: dl=%d ul=%d", s.dlSlots, s.ulSlots)
+	}
+}
+
+func TestCarrierValidation(t *testing.T) {
+	bad := []func(*CarrierConfig){
+		func(c *CarrierConfig) { c.NRB = 0 },
+		func(c *CarrierConfig) { c.Pattern = tdd.Pattern{} },
+		func(c *CarrierConfig) { c.MCSTable = 9 },
+		func(c *CarrierConfig) { c.TargetBLER = 1.5 },
+		func(c *CarrierConfig) { c.ULRBFraction = 2 },
+		func(c *CarrierConfig) { c.Channel.CarrierFreqMHz = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := CarrierConfig{
+			Label:      "bad",
+			Numerology: phy.Mu1,
+			NRB:        245,
+			Pattern:    tdd.MustParse("DDDSU"),
+			MCSTable:   phy.MCSTable256QAM,
+			Channel: channel.Config{
+				CarrierFreqMHz: 3500,
+				Route:          channel.Stationary(channel.Point{}),
+				Deployment:     channel.Deployment{Sites: []channel.Point{{}}, TxPowerDBmPerRE: 18},
+			},
+		}
+		mutate(&cfg)
+		if _, err := NewCarrier(cfg); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestTheoreticalMaxMatchesPaper(t *testing.T) {
+	// Configured like the Spanish 90 MHz carriers, the carrier's own
+	// theoretical max reproduces the §3.2 value for Qm=6.
+	c := testCarrier(t, func(cfg *CarrierConfig) {
+		cfg.MCSTable = phy.MCSTable64QAM
+	})
+	got := c.TheoreticalMaxMbps(true)
+	if math.Abs(got-1213.44) > 0.01 {
+		t.Errorf("theoretical max = %.2f, want 1213.44", got)
+	}
+	// Without duty derating it is the raw TS 38.306 number.
+	raw := c.TheoreticalMaxMbps(false)
+	if raw <= got {
+		t.Error("raw bound should exceed duty-derated bound")
+	}
+}
+
+func TestCarrierHARQAblation(t *testing.T) {
+	with := run(testCarrier(t, nil), 60000, FullBuffer, Demand{})
+	without := run(testCarrier(t, func(c *CarrierConfig) { c.DisableHARQ = true }),
+		60000, FullBuffer, Demand{})
+	if without.retx != 0 {
+		t.Error("HARQ-disabled carrier should never retransmit")
+	}
+	if with.retx == 0 {
+		t.Error("HARQ-enabled carrier should retransmit")
+	}
+}
+
+func TestCarrierModulationMix(t *testing.T) {
+	// In the calibrated regime the paper's Fig. 5 shape holds: 64QAM
+	// dominates, 256QAM appears but rarely.
+	s := run(testCarrier(t, nil), 80000, FullBuffer, Demand{})
+	counts := map[phy.Modulation]int{}
+	for _, m := range s.mods {
+		counts[m]++
+	}
+	total := float64(len(s.mods))
+	q64 := float64(counts[phy.QAM64]) / total
+	q256 := float64(counts[phy.QAM256]) / total
+	if q64 < 0.5 {
+		t.Errorf("64QAM share = %.2f, should dominate", q64)
+	}
+	if q256 > 0.4 {
+		t.Errorf("256QAM share = %.2f, should be the minority", q256)
+	}
+}

@@ -1,0 +1,327 @@
+package gnb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/midband5g/midband/internal/channel"
+	"github.com/midband5g/midband/internal/phy"
+	"github.com/midband5g/midband/internal/ue"
+)
+
+// This file implements a true multi-UE cell: several UEs, each with its own
+// radio channel and CSI loop, contending for the same carrier's resource
+// blocks under a configurable scheduler. The single-UE Carrier with a
+// `Share` knob is sufficient for most of the paper's experiments; the Cell
+// is the faithful version of the §5.2 multi-user experiment (Fig. 14) and
+// the substrate for scheduler ablations.
+
+// SchedulerPolicy selects how the cell splits RBs among backlogged UEs.
+type SchedulerPolicy uint8
+
+const (
+	// SchedulerEqualShare splits the RBs evenly among backlogged UEs —
+	// what the paper observes ("the number of RBs allocated to each UE
+	// has reduced by about 1/2").
+	SchedulerEqualShare SchedulerPolicy = iota
+	// SchedulerProportionalFair allocates each slot's RBs by the
+	// classic PF metric (instantaneous rate / smoothed served rate),
+	// splitting between the two highest-metric UEs.
+	SchedulerProportionalFair
+	// SchedulerMaxRate gives the whole slot to the UE with the best
+	// instantaneous spectral efficiency (throughput-optimal, unfair).
+	SchedulerMaxRate
+)
+
+func (p SchedulerPolicy) String() string {
+	switch p {
+	case SchedulerProportionalFair:
+		return "proportional-fair"
+	case SchedulerMaxRate:
+		return "max-rate"
+	default:
+		return "equal-share"
+	}
+}
+
+// CellConfig describes a multi-UE cell.
+type CellConfig struct {
+	// Carrier is the shared carrier configuration; its Channel field is
+	// used as the template for each UE (the route is overridden per UE).
+	Carrier CarrierConfig
+	// UEs are the per-UE positions (each UE gets an independent channel
+	// realization at its own position).
+	UEs []channel.Point
+	// Policy is the RB-split policy.
+	Policy SchedulerPolicy
+	// PFWindowSlots is the PF averaging window (default 200 slots).
+	PFWindowSlots int
+	// Seed drives per-UE randomness.
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c CellConfig) Validate() error {
+	if len(c.UEs) == 0 {
+		return fmt.Errorf("gnb: cell needs at least one UE")
+	}
+	return c.Carrier.Validate()
+}
+
+// cellUE is the per-UE state inside a cell.
+type cellUE struct {
+	ch     *channel.Channel
+	csi    *ue.CSI
+	olla   float64
+	served float64 // PF-smoothed served rate (bits/slot)
+	rng    *rand.Rand
+}
+
+// Cell simulates one carrier shared by several UEs.
+type Cell struct {
+	cfg  CellConfig
+	ues  []*cellUE
+	slot int64
+}
+
+// UEAlloc is one UE's outcome in a slot.
+type UEAlloc struct {
+	// UE is the index into CellConfig.UEs.
+	UE int
+	// Alloc is the scheduled transport block.
+	Alloc Alloc
+	// SINRdB is the UE's channel state this slot.
+	SINRdB float64
+	// CQI is the report in effect.
+	CQI phy.CQI
+}
+
+// CellSlot is everything that happened in one slot.
+type CellSlot struct {
+	Slot   int64
+	Time   time.Duration
+	Allocs []UEAlloc
+}
+
+// NewCell builds the cell.
+func NewCell(cfg CellConfig) (*Cell, error) {
+	cfg.Carrier = cfg.Carrier.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.PFWindowSlots == 0 {
+		cfg.PFWindowSlots = 200
+	}
+	cell := &Cell{cfg: cfg}
+	for i, pos := range cfg.UEs {
+		chCfg := cfg.Carrier.Channel
+		chCfg.Route = channel.Stationary(pos)
+		chCfg.SlotDuration = cfg.Carrier.Numerology.SlotDuration()
+		chCfg.Seed = cfg.Seed + int64(i)*911 + 1
+		ch, err := channel.New(chCfg)
+		if err != nil {
+			return nil, fmt.Errorf("gnb: cell UE %d: %w", i, err)
+		}
+		csiCfg := cfg.Carrier.CSI
+		csiCfg.Seed = cfg.Seed + int64(i)*911 + 2
+		csi, err := ue.NewCSI(csiCfg)
+		if err != nil {
+			return nil, fmt.Errorf("gnb: cell UE %d: %w", i, err)
+		}
+		cell.ues = append(cell.ues, &cellUE{
+			ch:     ch,
+			csi:    csi,
+			served: 1,
+			rng:    rand.New(rand.NewSource(cfg.Seed + int64(i)*911 + 3)),
+		})
+	}
+	return cell, nil
+}
+
+// Step advances one slot with all UEs backlogged on the downlink.
+func (c *Cell) Step() CellSlot {
+	slot := c.slot
+	c.slot++
+	res := CellSlot{Slot: slot, Time: time.Duration(slot) * c.cfg.Carrier.Numerology.SlotDuration()}
+
+	type ueState struct {
+		idx    int
+		sample channel.Sample
+		report ue.Report
+		ready  bool
+		instSE float64 // estimated instantaneous rate ∝ metric input
+	}
+	states := make([]ueState, 0, len(c.ues))
+	for i, u := range c.ues {
+		s := u.ch.Step()
+		u.csi.Observe(slot, s.SINRdB)
+		rep, ok := u.csi.Current()
+		st := ueState{idx: i, sample: s, report: rep, ready: ok && rep.CQI > 0 && !s.Outage}
+		if st.ready {
+			row, err := u.csi.Config().Table.Lookup(rep.CQI)
+			if err == nil {
+				st.instSE = row.Efficiency * float64(rep.RI)
+			}
+		}
+		states = append(states, st)
+	}
+
+	dlSym := c.dlSymbols(slot)
+	if dlSym == 0 {
+		return res
+	}
+
+	// Pick the scheduled set and their RB fractions.
+	type grant struct {
+		idx  int
+		frac float64
+	}
+	var grants []grant
+	ready := states[:0:0]
+	for _, st := range states {
+		if st.ready {
+			ready = append(ready, st)
+		}
+	}
+	if len(ready) == 0 {
+		return res
+	}
+	switch c.cfg.Policy {
+	case SchedulerMaxRate:
+		best := ready[0]
+		for _, st := range ready[1:] {
+			if st.instSE > best.instSE {
+				best = st
+			}
+		}
+		grants = []grant{{best.idx, 1}}
+	case SchedulerProportionalFair:
+		// Rank by PF metric; split the slot between the top two
+		// proportionally to their metrics.
+		type scored struct {
+			idx    int
+			metric float64
+		}
+		var ss []scored
+		for _, st := range ready {
+			m := st.instSE / c.ues[st.idx].served
+			ss = append(ss, scored{st.idx, m})
+		}
+		for i := 1; i < len(ss); i++ {
+			for j := i; j > 0 && ss[j].metric > ss[j-1].metric; j-- {
+				ss[j], ss[j-1] = ss[j-1], ss[j]
+			}
+		}
+		if len(ss) == 1 {
+			grants = []grant{{ss[0].idx, 1}}
+		} else {
+			total := ss[0].metric + ss[1].metric
+			grants = []grant{
+				{ss[0].idx, ss[0].metric / total},
+				{ss[1].idx, ss[1].metric / total},
+			}
+		}
+	default: // equal share
+		frac := 1 / float64(len(ready))
+		for _, st := range ready {
+			grants = append(grants, grant{st.idx, frac})
+		}
+	}
+
+	for _, g := range grants {
+		st := &states[g.idx]
+		u := c.ues[g.idx]
+		alloc, ok := c.transmitUE(u, st.report, st.sample, dlSym, g.frac)
+		if !ok {
+			continue
+		}
+		res.Allocs = append(res.Allocs, UEAlloc{
+			UE: g.idx, Alloc: alloc, SINRdB: st.sample.SINRdB, CQI: st.report.CQI,
+		})
+	}
+	// PF window update (also decays unserved UEs).
+	w := float64(c.cfg.PFWindowSlots)
+	servedNow := make([]float64, len(c.ues))
+	for _, a := range res.Allocs {
+		servedNow[a.UE] = float64(a.Alloc.DeliveredBits)
+	}
+	for i, u := range c.ues {
+		u.served = (1-1/w)*u.served + servedNow[i]/w
+		if u.served < 1 {
+			u.served = 1
+		}
+	}
+	return res
+}
+
+func (c *Cell) dlSymbols(slot int64) int {
+	cfg := c.cfg.Carrier
+	if cfg.FDD {
+		return phy.SymbolsPerSlot - cfg.PDCCHSymbols
+	}
+	s := cfg.Pattern.DLSymbols(slot)
+	if s == 0 {
+		return 0
+	}
+	if s -= cfg.PDCCHSymbols; s < 1 {
+		return 0
+	}
+	return s
+}
+
+// transmitUE schedules one TB for a UE with the given RB fraction,
+// mirroring Carrier.transmit's AMC/OLLA/BLER behaviour (without HARQ —
+// multi-UE HARQ bookkeeping adds little to the Fig. 14 questions).
+func (c *Cell) transmitUE(u *cellUE, report ue.Report, sample channel.Sample, symbols int, frac float64) (Alloc, bool) {
+	cfg := c.cfg.Carrier
+	row, err := u.csi.Config().Table.Lookup(report.CQI)
+	if err != nil {
+		return Alloc{}, false
+	}
+	eff := row.Efficiency * math.Pow(10, u.olla/10)
+	mcs := cfg.MCSTable.HighestMCSForEfficiency(eff)
+	rbs := int(float64(cfg.NRB) * frac * (1 - cfg.RBJitterFrac*u.rng.Float64()))
+	if rbs < 1 {
+		rbs = 1
+	}
+	mcsRow, err := cfg.MCSTable.Lookup(mcs)
+	if err != nil {
+		return Alloc{}, false
+	}
+	dmrs := cfg.DMRSPerPRB
+	if m := phy.SubcarriersPerRB * symbols; dmrs > m {
+		dmrs = m
+	}
+	params := phy.TBSParams{
+		Symbols: symbols, DMRSPerPRB: dmrs, PRBs: rbs,
+		MCS: mcsRow, Layers: report.RI,
+	}
+	tbs, err := phy.TBS(params)
+	if err != nil {
+		return Alloc{}, false
+	}
+	perLayer := sample.SINRdB - 10*u.csi.Config().LayerPenaltyExp*math.Log10(float64(report.RI))
+	p := bler(perLayer, mcsRow.RequiredSINRdB())
+	ack := u.rng.Float64() >= p
+	if ack {
+		u.olla += 0.05 * cfg.TargetBLER / (1 - cfg.TargetBLER)
+	} else {
+		u.olla -= 0.05
+	}
+	u.olla = math.Max(-6, math.Min(3, u.olla))
+	delivered := 0
+	if ack {
+		delivered = tbs
+	}
+	return Alloc{
+		RBs: rbs, REs: params.REs(), Table: cfg.MCSTable, MCS: mcs,
+		Rank: report.RI, TBSBits: tbs, ACK: ack, DeliveredBits: delivered,
+	}, true
+}
+
+// SlotDuration returns the cell's slot length.
+func (c *Cell) SlotDuration() time.Duration {
+	return c.cfg.Carrier.Numerology.SlotDuration()
+}

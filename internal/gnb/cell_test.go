@@ -1,0 +1,163 @@
+package gnb
+
+import (
+	"testing"
+
+	"github.com/midband5g/midband/internal/channel"
+	"github.com/midband5g/midband/internal/phy"
+	"github.com/midband5g/midband/internal/tdd"
+)
+
+func testCellConfig(t *testing.T, policy SchedulerPolicy, ues []channel.Point) CellConfig {
+	t.Helper()
+	return CellConfig{
+		Carrier: CarrierConfig{
+			Label:      "cell/60MHz",
+			Numerology: phy.Mu1,
+			NRB:        162,
+			Pattern:    tdd.MustParse("DDDSU"),
+			MCSTable:   phy.MCSTable256QAM,
+			Channel: channel.Config{
+				CarrierFreqMHz:           3750,
+				Route:                    channel.Stationary(channel.Point{X: 45}), // template; overridden per UE
+				Deployment:               channel.Deployment{Sites: []channel.Point{{}}, TxPowerDBmPerRE: 18},
+				OtherCellInterferenceDBm: -100,
+				ShadowSigmaDB:            2,
+				FastSigmaDB:              1,
+				SINRBiasDB:               -18,
+			},
+		},
+		UEs:    ues,
+		Policy: policy,
+		Seed:   13,
+	}
+}
+
+// run aggregates a cell simulation.
+type cellStats struct {
+	bits  []float64 // per-UE delivered bits
+	rbs   []float64 // per-UE mean RBs over scheduled slots
+	slots []float64
+}
+
+func runCell(t *testing.T, cfg CellConfig, n int) cellStats {
+	t.Helper()
+	cell, err := NewCell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cellStats{
+		bits:  make([]float64, len(cfg.UEs)),
+		rbs:   make([]float64, len(cfg.UEs)),
+		slots: make([]float64, len(cfg.UEs)),
+	}
+	for i := 0; i < n; i++ {
+		res := cell.Step()
+		for _, a := range res.Allocs {
+			s.bits[a.UE] += float64(a.Alloc.DeliveredBits)
+			s.rbs[a.UE] += float64(a.Alloc.RBs)
+			s.slots[a.UE]++
+		}
+	}
+	for i := range s.rbs {
+		if s.slots[i] > 0 {
+			s.rbs[i] /= s.slots[i]
+		}
+	}
+	return s
+}
+
+func TestCellValidation(t *testing.T) {
+	cfg := testCellConfig(t, SchedulerEqualShare, nil)
+	if _, err := NewCell(cfg); err == nil {
+		t.Error("cell without UEs should fail")
+	}
+	cfg = testCellConfig(t, SchedulerEqualShare, []channel.Point{{X: 45}})
+	cfg.Carrier.NRB = 0
+	if _, err := NewCell(cfg); err == nil {
+		t.Error("invalid carrier should fail")
+	}
+}
+
+func TestCellEqualShareHalvesResources(t *testing.T) {
+	// The Fig. 14 observation, now with two real UEs: each gets ≈ half
+	// the RBs and ≈ half the throughput of a lone UE.
+	solo := runCell(t, testCellConfig(t, SchedulerEqualShare, []channel.Point{{X: 0, Y: 45}}), 40000)
+	duo := runCell(t, testCellConfig(t, SchedulerEqualShare,
+		[]channel.Point{{X: 0, Y: 45}, {X: 0, Y: 117}}), 40000)
+	rbRatio := duo.rbs[0] / solo.rbs[0]
+	if rbRatio < 0.42 || rbRatio > 0.58 {
+		t.Errorf("two-UE RB ratio = %.2f, want ≈ 0.5", rbRatio)
+	}
+	tputRatio := duo.bits[0] / solo.bits[0]
+	if tputRatio < 0.35 || tputRatio > 0.65 {
+		t.Errorf("two-UE throughput ratio = %.2f, want ≈ 0.5", tputRatio)
+	}
+	// Both UEs are served.
+	if duo.bits[1] == 0 {
+		t.Error("second UE starved under equal share")
+	}
+}
+
+func TestCellMaxRateFavorsNearUE(t *testing.T) {
+	s := runCell(t, testCellConfig(t, SchedulerMaxRate,
+		[]channel.Point{{X: 0, Y: 45}, {X: 0, Y: 117}}), 40000)
+	if s.bits[0] <= s.bits[1] {
+		t.Errorf("max-rate should favor the near UE: near=%.0f far=%.0f", s.bits[0], s.bits[1])
+	}
+	// The far UE gets (almost) nothing — the fairness price of max-rate.
+	if s.bits[1] > 0.25*s.bits[0] {
+		t.Errorf("max-rate should starve the far UE: near=%.0f far=%.0f", s.bits[0], s.bits[1])
+	}
+}
+
+func TestCellPFBetweenExtremes(t *testing.T) {
+	near := channel.Point{X: 0, Y: 45}
+	far := channel.Point{X: 0, Y: 117}
+	eq := runCell(t, testCellConfig(t, SchedulerEqualShare, []channel.Point{near, far}), 40000)
+	pf := runCell(t, testCellConfig(t, SchedulerProportionalFair, []channel.Point{near, far}), 40000)
+	mr := runCell(t, testCellConfig(t, SchedulerMaxRate, []channel.Point{near, far}), 40000)
+
+	total := func(s cellStats) float64 { return s.bits[0] + s.bits[1] }
+	fairness := func(s cellStats) float64 { // Jain's index for 2 users
+		a, b := s.bits[0], s.bits[1]
+		return (a + b) * (a + b) / (2 * (a*a + b*b))
+	}
+	// PF trades between equal-share fairness and max-rate capacity.
+	// With only two UEs the capacity edge over equal share is small;
+	// allow a statistical tie.
+	if total(pf) < 0.95*total(eq) {
+		t.Errorf("PF capacity %.0f should be ≈≥ equal share %.0f", total(pf), total(eq))
+	}
+	if total(mr) < total(pf) {
+		t.Errorf("max-rate capacity %.0f should be ≥ PF %.0f", total(mr), total(pf))
+	}
+	if fairness(pf) < fairness(mr) {
+		t.Errorf("PF fairness %.3f should be ≥ max-rate %.3f", fairness(pf), fairness(mr))
+	}
+	// Sanity: the far UE is not starved under PF.
+	if pf.bits[1] < 0.05*pf.bits[0] {
+		t.Errorf("PF starved the far UE: near=%.0f far=%.0f", pf.bits[0], pf.bits[1])
+	}
+}
+
+func TestCellTDDGating(t *testing.T) {
+	cell, err := NewCell(testCellConfig(t, SchedulerEqualShare, []channel.Point{{X: 0, Y: 45}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		res := cell.Step()
+		if len(res.Allocs) > 0 && cell.cfg.Carrier.Pattern.DLSymbols(res.Slot) == 0 {
+			t.Fatalf("slot %d: allocation on a non-DL slot", res.Slot)
+		}
+	}
+}
+
+func TestSchedulerPolicyString(t *testing.T) {
+	if SchedulerEqualShare.String() != "equal-share" ||
+		SchedulerProportionalFair.String() != "proportional-fair" ||
+		SchedulerMaxRate.String() != "max-rate" {
+		t.Error("policy strings wrong")
+	}
+}

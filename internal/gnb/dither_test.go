@@ -1,0 +1,70 @@
+package gnb
+
+import (
+	"testing"
+
+	"github.com/midband5g/midband/internal/analysis"
+)
+
+// TestDitherCreatesSlotScaleVariability verifies the per-slot DCI dither
+// produces the finest-scale parameter variability the paper's Fig. 12
+// measures, and that disabling it removes exactly that component.
+func TestDitherCreatesSlotScaleVariability(t *testing.T) {
+	collect := func(mutate func(*CarrierConfig)) (vMCS, vRank float64) {
+		c := testCarrier(t, mutate)
+		var mcs, rank []float64
+		for i := 0; i < 40000; i++ {
+			r := c.Step(FullBuffer, Demand{})
+			if r.DL != nil {
+				mcs = append(mcs, float64(r.DL.MCS))
+				rank = append(rank, float64(r.DL.Rank))
+			}
+		}
+		vm, err := analysis.Variability(mcs, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vr, err := analysis.Variability(rank, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vm, vr
+	}
+	vOn, rOn := collect(nil)
+	vOff, rOff := collect(func(c *CarrierConfig) {
+		c.MCSDither = -1
+		c.RankDitherProb = -1
+	})
+	// With ±1 dither the slot-scale MCS variability sits near the paper's
+	// Fig. 12 values (V(τ) of a few MCS steps); without it, the MCS only
+	// moves at CQI-report boundaries.
+	if vOn < 0.5 {
+		t.Errorf("dithered slot-scale MCS V = %.2f, want ≥ 0.5", vOn)
+	}
+	if vOff >= vOn/3 {
+		t.Errorf("undithered MCS V = %.2f should be far below dithered %.2f", vOff, vOn)
+	}
+	if rOn <= rOff {
+		t.Errorf("rank dither should raise slot-scale rank V: on=%.3f off=%.3f", rOn, rOff)
+	}
+}
+
+// TestDitherDoesNotBreakOLLA: the outer loop still holds BLER near target
+// with dithering active.
+func TestDitherDoesNotBreakOLLA(t *testing.T) {
+	c := testCarrier(t, nil)
+	errs, n := 0, 0
+	for i := 0; i < 120000; i++ {
+		r := c.Step(FullBuffer, Demand{})
+		if r.DL != nil {
+			n++
+			if !r.DL.ACK {
+				errs++
+			}
+		}
+	}
+	bler := float64(errs) / float64(n)
+	if bler < 0.02 || bler > 0.3 {
+		t.Errorf("BLER with dither = %.3f, should remain near the 10%% target", bler)
+	}
+}

@@ -1,0 +1,66 @@
+package gnb
+
+import (
+	"testing"
+
+	"github.com/midband5g/midband/internal/channel"
+)
+
+// TestHandoverInterruptsData drives a UE across two cells and checks that
+// every serving-cell change is followed by an interruption gap.
+func TestHandoverInterruptsData(t *testing.T) {
+	c := testCarrier(t, func(cfg *CarrierConfig) {
+		cfg.Channel.Deployment.Sites = []channel.Point{{X: 0}, {X: 400}}
+		// Drive back and forth across the midpoint.
+		cfg.Channel.Route = channel.Route{
+			Waypoints: []channel.Point{{X: 100, Y: 60}, {X: 300, Y: 60}},
+			SpeedMPS:  11,
+		}
+		cfg.Channel.ShadowSigmaDB = 0.5 // keep the crossing crisp
+	})
+	lastCell := -1
+	handovers := 0
+	interrupted := 0
+	for i := 0; i < 200000; i++ { // 100 s of driving
+		r := c.Step(FullBuffer, Demand{})
+		if lastCell >= 0 && r.Sample.ServingCell != lastCell {
+			handovers++
+			// The next ~100 slots must carry no data.
+			if r.DL != nil {
+				t.Fatalf("slot %d: allocation during handover execution", r.Slot)
+			}
+			interrupted++
+		}
+		lastCell = r.Sample.ServingCell
+	}
+	if handovers == 0 {
+		t.Fatal("route crossing two cells produced no handovers")
+	}
+	if interrupted == 0 {
+		t.Fatal("handovers did not interrupt data")
+	}
+}
+
+// TestHandoverDisabled checks the opt-out.
+func TestHandoverDisabled(t *testing.T) {
+	c := testCarrier(t, func(cfg *CarrierConfig) {
+		cfg.HandoverInterruptionSlots = -1
+		cfg.Channel.Deployment.Sites = []channel.Point{{X: 0}, {X: 400}}
+		cfg.Channel.Route = channel.Route{
+			Waypoints: []channel.Point{{X: 100, Y: 60}, {X: 300, Y: 60}},
+			SpeedMPS:  11,
+		}
+	})
+	lastCell := -1
+	for i := 0; i < 100000; i++ {
+		r := c.Step(FullBuffer, Demand{})
+		if lastCell >= 0 && r.Sample.ServingCell != lastCell {
+			// With interruption disabled, data can flow on the very
+			// handover slot (if it is a DL slot with CSI primed).
+			if c.cfg.Pattern.DLSymbols(r.Slot) > 0 && r.DL == nil && r.Slot > 100 {
+				t.Fatalf("slot %d: unexpected gap with handover interruption disabled", r.Slot)
+			}
+		}
+		lastCell = r.Sample.ServingCell
+	}
+}

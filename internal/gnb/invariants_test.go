@@ -1,0 +1,97 @@
+package gnb
+
+import (
+	"testing"
+
+	"github.com/midband5g/midband/internal/phy"
+)
+
+// TestCarrierInvariants checks per-slot structural invariants over a long
+// mixed DL/UL run: resource accounting, HARQ bounds and goodput consistency.
+func TestCarrierInvariants(t *testing.T) {
+	c := testCarrier(t, nil)
+	cfg := c.Config()
+	for i := 0; i < 100000; i++ {
+		r := c.Step(FullBuffer, FullBuffer)
+		for _, a := range []*Alloc{r.DL, r.UL} {
+			if a == nil {
+				continue
+			}
+			if a.RBs < 1 || a.RBs > cfg.NRB {
+				t.Fatalf("slot %d: RBs %d outside [1, %d]", i, a.RBs, cfg.NRB)
+			}
+			if a.REs > a.RBs*phy.REsPerPRBCap {
+				t.Fatalf("slot %d: REs %d exceed cap for %d RBs", i, a.REs, a.RBs)
+			}
+			if a.Rank < 1 || a.Rank > 4 {
+				t.Fatalf("slot %d: rank %d", i, a.Rank)
+			}
+			if int(a.HARQRetx) > cfg.MaxHARQRetx {
+				t.Fatalf("slot %d: retx %d exceeds max %d", i, a.HARQRetx, cfg.MaxHARQRetx)
+			}
+			if a.DeliveredBits != 0 && a.DeliveredBits != a.TBSBits {
+				t.Fatalf("slot %d: delivered %d not 0 or TBS %d", i, a.DeliveredBits, a.TBSBits)
+			}
+			if a.ACK != (a.DeliveredBits > 0) {
+				t.Fatalf("slot %d: ACK %v inconsistent with delivered %d", i, a.ACK, a.DeliveredBits)
+			}
+			if _, err := a.Table.Lookup(a.MCS); err != nil {
+				t.Fatalf("slot %d: invalid MCS %d in table %v", i, a.MCS, a.Table)
+			}
+		}
+		// UL allocations only on UL slots, DL only on DL-capable slots.
+		if r.DL != nil && c.Config().Pattern.DLSymbols(r.Slot) == 0 {
+			t.Fatalf("slot %d: DL allocation on a non-DL slot", i)
+		}
+		if r.UL != nil && c.Config().Pattern.ULSymbols(r.Slot) == 0 {
+			t.Fatalf("slot %d: UL allocation on a non-UL slot", i)
+		}
+	}
+}
+
+// TestHARQEventuallyDelivers confirms retransmissions recover most failed
+// blocks: goodput with HARQ exceeds the ideal-minus-BLER floor of the
+// no-HARQ configuration.
+func TestHARQEventuallyDelivers(t *testing.T) {
+	c := testCarrier(t, nil)
+	firstTxFail, retxDeliver := 0, 0
+	for i := 0; i < 200000; i++ {
+		r := c.Step(FullBuffer, Demand{})
+		if r.DL == nil {
+			continue
+		}
+		if r.DL.HARQRetx == 0 && !r.DL.ACK {
+			firstTxFail++
+		}
+		if r.DL.HARQRetx > 0 && r.DL.ACK {
+			retxDeliver++
+		}
+	}
+	if firstTxFail == 0 {
+		t.Fatal("no first-transmission failures in 100 s; BLER model broken")
+	}
+	recovery := float64(retxDeliver) / float64(firstTxFail)
+	if recovery < 0.7 {
+		t.Errorf("HARQ recovered only %.0f%% of failures", 100*recovery)
+	}
+}
+
+// TestCQIReflectsChannel: the reported CQI distribution shifts with
+// deployment quality, the §4.1 causal link.
+func TestCQIReflectsChannel(t *testing.T) {
+	mean := func(bias float64) float64 {
+		c := testCarrier(t, func(cfg *CarrierConfig) { cfg.Channel.SINRBiasDB = bias })
+		tot, n := 0.0, 0
+		for i := 0; i < 40000; i++ {
+			r := c.Step(FullBuffer, Demand{})
+			if r.CQI > 0 {
+				tot += float64(r.CQI)
+				n++
+			}
+		}
+		return tot / float64(n)
+	}
+	if good, poor := mean(5), mean(-8); good <= poor {
+		t.Errorf("CQI should track channel quality: good=%.1f poor=%.1f", good, poor)
+	}
+}

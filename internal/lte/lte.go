@@ -1,0 +1,96 @@
+// Package lte models the 4G anchor carrier of NSA deployments. In every
+// operator the paper studied, uplink traffic rides on the LTE leg some or
+// most of the time (§4.2: T-Mobile prefers LTE for UL outright); the anchor
+// is also what the UE falls back to during 5G outages.
+package lte
+
+import (
+	"fmt"
+
+	"github.com/midband5g/midband/internal/channel"
+	"github.com/midband5g/midband/internal/gnb"
+	"github.com/midband5g/midband/internal/phy"
+)
+
+// AnchorConfig describes an LTE anchor cell.
+type AnchorConfig struct {
+	// Label names the anchor in traces.
+	Label string
+	// BandwidthMHz is the LTE channel bandwidth (typ. 10–20).
+	BandwidthMHz int
+	// Channel is the anchor's radio environment. LTE low/mid-band macro
+	// coverage is typically better than the 5G carrier's (larger cells,
+	// mature deployment), which is exactly why NSA UL prefers it.
+	Channel channel.Config
+	// ULSINROffsetDB derates UL relative to DL.
+	ULSINROffsetDB float64
+	// Seed drives the anchor's randomness.
+	Seed int64
+}
+
+// NRBForBandwidth maps LTE bandwidth to resource blocks (TS 36.101: 5→25,
+// 10→50, 15→75, 20→100).
+func NRBForBandwidth(mhz int) (int, error) {
+	switch mhz {
+	case 5:
+		return 25, nil
+	case 10:
+		return 50, nil
+	case 15:
+		return 75, nil
+	case 20:
+		return 100, nil
+	default:
+		return 0, fmt.Errorf("lte: unsupported LTE bandwidth %d MHz", mhz)
+	}
+}
+
+// NewAnchor builds the anchor as an FDD carrier at 15 kHz numerology with
+// LTE-grade limits: 64QAM maximum, rank ≤ 2 DL / 1 UL.
+func NewAnchor(cfg AnchorConfig) (*gnb.Carrier, error) {
+	nrb, err := NRBForBandwidth(cfg.BandwidthMHz)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ULSINROffsetDB == 0 {
+		cfg.ULSINROffsetDB = 4
+	}
+	cc := gnb.CarrierConfig{
+		Label:          cfg.Label,
+		Numerology:     phy.Mu0,
+		NRB:            nrb,
+		FDD:            true,
+		MCSTable:       phy.MCSTable64QAM,
+		Channel:        cfg.Channel,
+		ULSINROffsetDB: cfg.ULSINROffsetDB,
+		ULMaxRank:      1,
+		Seed:           cfg.Seed,
+	}
+	cc.CSI.MaxRank = 2
+	return gnb.NewCarrier(cc)
+}
+
+// ULPolicy selects how NSA splits uplink between NR and LTE (§4.2).
+type ULPolicy uint8
+
+const (
+	// ULDynamic sends UL on NR when its channel is usable and on LTE
+	// otherwise (the common European behaviour).
+	ULDynamic ULPolicy = iota
+	// ULPreferLTE routes UL to LTE whenever the anchor exists
+	// (T-Mobile's observed behaviour).
+	ULPreferLTE
+	// ULNROnly forces UL onto NR (SA-style; used for ablations).
+	ULNROnly
+)
+
+func (p ULPolicy) String() string {
+	switch p {
+	case ULPreferLTE:
+		return "prefer-lte"
+	case ULNROnly:
+		return "nr-only"
+	default:
+		return "dynamic"
+	}
+}

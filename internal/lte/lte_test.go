@@ -1,0 +1,91 @@
+package lte
+
+import (
+	"testing"
+
+	"github.com/midband5g/midband/internal/channel"
+	"github.com/midband5g/midband/internal/gnb"
+	"github.com/midband5g/midband/internal/phy"
+)
+
+func testAnchorConfig() AnchorConfig {
+	return AnchorConfig{
+		Label:        "lte/20MHz",
+		BandwidthMHz: 20,
+		Channel: channel.Config{
+			CarrierFreqMHz:           2100,
+			Route:                    channel.Stationary(channel.Point{X: 250}),
+			Deployment:               channel.Deployment{Sites: []channel.Point{{}}, TxPowerDBmPerRE: 18},
+			OtherCellInterferenceDBm: -102,
+		},
+		Seed: 3,
+	}
+}
+
+func TestNRBForBandwidth(t *testing.T) {
+	cases := map[int]int{5: 25, 10: 50, 15: 75, 20: 100}
+	for bw, want := range cases {
+		got, err := NRBForBandwidth(bw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("NRB(%d MHz) = %d, want %d", bw, got, want)
+		}
+	}
+	if _, err := NRBForBandwidth(40); err == nil {
+		t.Error("40 MHz is not an LTE bandwidth")
+	}
+}
+
+func TestAnchorProperties(t *testing.T) {
+	a, err := NewAnchor(testAnchorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := a.Config()
+	if !cfg.FDD || cfg.Numerology != phy.Mu0 || cfg.NRB != 100 {
+		t.Errorf("anchor config wrong: %+v", cfg)
+	}
+	if cfg.MCSTable != phy.MCSTable64QAM {
+		t.Error("LTE anchor should cap at 64QAM")
+	}
+	if cfg.ULMaxRank != 1 {
+		t.Error("LTE UL should be single layer")
+	}
+}
+
+func TestAnchorULThroughputRange(t *testing.T) {
+	a, err := NewAnchor(testAnchorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := 0.0
+	const slots = 30000 // 30 s at 1 ms
+	for i := 0; i < slots; i++ {
+		r := a.Step(gnb.Demand{}, gnb.Demand{Active: true, Share: 1})
+		if r.UL != nil {
+			bits += float64(r.UL.DeliveredBits)
+		}
+	}
+	mbps := bits / 30 / 1e6
+	// Fig. 10's LTE_US box sits at ≈ 45–73 Mbps; a healthy 20 MHz anchor
+	// lands in the tens of Mbps.
+	if mbps < 20 || mbps > 110 {
+		t.Errorf("LTE UL = %.1f Mbps, want tens of Mbps", mbps)
+	}
+}
+
+func TestAnchorBadBandwidth(t *testing.T) {
+	cfg := testAnchorConfig()
+	cfg.BandwidthMHz = 7
+	if _, err := NewAnchor(cfg); err == nil {
+		t.Error("unsupported bandwidth should fail")
+	}
+}
+
+func TestULPolicyString(t *testing.T) {
+	if ULDynamic.String() != "dynamic" || ULPreferLTE.String() != "prefer-lte" || ULNROnly.String() != "nr-only" {
+		t.Error("policy strings wrong")
+	}
+}

@@ -1,0 +1,269 @@
+// Package net5g assembles an end-to-end 5G NSA link out of NR component
+// carriers (carrier aggregation) plus the LTE anchor, and provides the
+// user-plane latency model of §4.3. It is the layer the workload drivers
+// (iperf, video) talk to.
+package net5g
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/midband5g/midband/internal/gnb"
+	"github.com/midband5g/midband/internal/lte"
+	"github.com/midband5g/midband/internal/xcal"
+)
+
+// LinkConfig assembles a link.
+type LinkConfig struct {
+	// Carriers are the NR component carriers; index 0 is the primary
+	// cell. European operators have exactly one (no CA, Table 2); US
+	// operators aggregate several (Table 3).
+	Carriers []gnb.CarrierConfig
+	// LTEAnchor, when non-nil, adds the 4G leg used for NSA UL.
+	LTEAnchor *lte.AnchorConfig
+	// ULPolicy selects the NSA uplink split.
+	ULPolicy lte.ULPolicy
+	// ULDynamicThresholdDB is the NR UL per-layer SINR below which
+	// ULDynamic shifts traffic to LTE (default 0 dB).
+	ULDynamicThresholdDB float64
+}
+
+// Validate checks the configuration.
+func (c LinkConfig) Validate() error {
+	if len(c.Carriers) == 0 {
+		return fmt.Errorf("net5g: link needs at least one NR carrier")
+	}
+	if c.ULPolicy == lte.ULPreferLTE && c.LTEAnchor == nil {
+		return fmt.Errorf("net5g: ULPreferLTE requires an LTE anchor")
+	}
+	return nil
+}
+
+// Link is the end-to-end simulator. Not safe for concurrent use.
+type Link struct {
+	cfg      LinkConfig
+	carriers []*gnb.Carrier
+	anchor   *gnb.Carrier
+	// timeline state: the link steps at the PCell slot duration;
+	// carriers with longer slots step when their boundary passes.
+	step     time.Duration
+	now      time.Duration
+	nextTick []time.Duration // per NR carrier
+	lteTick  time.Duration
+
+	lastPcellSINR float64 // previous step's PCell SINR, for UL routing
+	havePcellSINR bool
+
+	results []gnb.SlotResult // reused per-step storage
+}
+
+// NewLink builds the link.
+func NewLink(cfg LinkConfig) (*Link, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l := &Link{cfg: cfg}
+	for i, cc := range cfg.Carriers {
+		c, err := gnb.NewCarrier(cc)
+		if err != nil {
+			return nil, fmt.Errorf("net5g: carrier %d: %w", i, err)
+		}
+		l.carriers = append(l.carriers, c)
+	}
+	if cfg.LTEAnchor != nil {
+		a, err := lte.NewAnchor(*cfg.LTEAnchor)
+		if err != nil {
+			return nil, fmt.Errorf("net5g: anchor: %w", err)
+		}
+		l.anchor = a
+	}
+	l.step = l.carriers[0].SlotDuration()
+	for _, c := range l.carriers {
+		if d := c.SlotDuration(); d < l.step {
+			l.step = d
+		}
+	}
+	l.nextTick = make([]time.Duration, len(l.carriers))
+	l.results = make([]gnb.SlotResult, len(l.carriers))
+	return l, nil
+}
+
+// SlotDuration returns the link's stepping period (the shortest carrier
+// slot).
+func (l *Link) SlotDuration() time.Duration { return l.step }
+
+// Now returns the simulated time.
+func (l *Link) Now() time.Duration { return l.now }
+
+// PCell returns the primary NR carrier.
+func (l *Link) PCell() *gnb.Carrier { return l.carriers[0] }
+
+// Carriers returns all NR carriers.
+func (l *Link) Carriers() []*gnb.Carrier { return l.carriers }
+
+// Anchor returns the LTE anchor carrier (nil if none).
+func (l *Link) Anchor() *gnb.Carrier { return l.anchor }
+
+// StepResult aggregates one link step.
+type StepResult struct {
+	// Time is the step's start time.
+	Time time.Duration
+	// DLBits and ULBits are the goodput delivered this step across all
+	// carriers (UL includes the LTE leg).
+	DLBits, ULBits int
+	// NRULBits and LTEULBits split the uplink by RAT.
+	NRULBits, LTEULBits int
+	// NR holds the per-carrier slot results for carriers that ticked
+	// this step (indices matching Carriers()); entries for carriers that
+	// did not tick have a zero Time and nil allocations.
+	NR []gnb.SlotResult
+	// NRTicked[i] reports whether carrier i produced NR[i] this step.
+	NRTicked []bool
+	// LTE is the anchor's result if it ticked.
+	LTE *gnb.SlotResult
+}
+
+// Demand describes offered load for one step.
+type Demand struct {
+	// DL and UL indicate saturating traffic in each direction.
+	DL, UL bool
+	// Share is this UE's share of cell resources (1 = alone).
+	Share float64
+}
+
+// Saturate is full-buffer bidirectional traffic for a lone UE.
+var Saturate = Demand{DL: true, UL: true, Share: 1}
+
+// Step advances the link by one step and returns what was delivered. The
+// returned slices are owned by the Link and valid until the next Step.
+func (l *Link) Step(d Demand) StepResult {
+	if d.Share == 0 {
+		d.Share = 1
+	}
+	res := StepResult{Time: l.now, NR: l.results}
+	if cap(res.NRTicked) < len(l.carriers) {
+		res.NRTicked = make([]bool, len(l.carriers))
+	}
+	res.NRTicked = res.NRTicked[:len(l.carriers)]
+
+	// Decide the NSA UL route once per step, based on PCell state.
+	nrUL := d.UL
+	lteUL := false
+	if l.anchor != nil {
+		switch l.cfg.ULPolicy {
+		case lte.ULPreferLTE:
+			nrUL, lteUL = false, d.UL
+		case lte.ULNROnly:
+			// keep nrUL
+		default: // ULDynamic: LTE fallback below threshold
+			if d.UL && l.pcellULWeak() {
+				nrUL, lteUL = false, true
+			}
+		}
+	}
+
+	for i, c := range l.carriers {
+		res.NRTicked[i] = false
+		l.results[i] = gnb.SlotResult{}
+		if l.now < l.nextTick[i] {
+			continue
+		}
+		l.nextTick[i] += c.SlotDuration()
+		dl := gnb.Demand{Active: d.DL, Share: d.Share}
+		ul := gnb.Demand{Active: nrUL && i == 0, Share: d.Share} // UL rides the PCell
+		r := c.Step(dl, ul)
+		l.results[i] = r
+		res.NRTicked[i] = true
+		if i == 0 {
+			l.lastPcellSINR = r.Sample.SINRdB
+			l.havePcellSINR = true
+		}
+		if r.DL != nil {
+			res.DLBits += r.DL.DeliveredBits
+		}
+		if r.UL != nil {
+			res.ULBits += r.UL.DeliveredBits
+			res.NRULBits += r.UL.DeliveredBits
+		}
+	}
+	if l.anchor != nil && l.now >= l.lteTick {
+		l.lteTick += l.anchor.SlotDuration()
+		r := l.anchor.Step(gnb.Demand{}, gnb.Demand{Active: lteUL, Share: d.Share})
+		res.LTE = &r
+		if r.UL != nil {
+			res.ULBits += r.UL.DeliveredBits
+			res.LTEULBits += r.UL.DeliveredBits
+		}
+	}
+	l.now += l.step
+	return res
+}
+
+// pcellULWeak reports whether the NR uplink is currently too weak: the
+// previous step's PCell SINR minus the UL power deficit falls below the
+// dynamic-split threshold. It is a coarse stand-in for the power-headroom
+// reports real gNBs use; the one-step lag mirrors the reporting delay.
+func (l *Link) pcellULWeak() bool {
+	if !l.havePcellSINR {
+		return true // no NR measurement yet: stay on the anchor
+	}
+	ulSINR := l.lastPcellSINR - l.carriers[0].Config().ULSINROffsetDB
+	return ulSINR < l.cfg.ULDynamicThresholdDB
+}
+
+// KPIRecords converts a step result into xcal slot records, appending to
+// dst and returning it.
+func KPIRecords(res StepResult, dst []xcal.SlotKPI) []xcal.SlotKPI {
+	for i := range res.NR {
+		if !res.NRTicked[i] {
+			continue
+		}
+		dst = appendKPI(dst, &res.NR[i], uint8(i), xcal.NR)
+	}
+	if res.LTE != nil {
+		dst = appendKPI(dst, res.LTE, uint8(len(res.NR)), xcal.LTE)
+	}
+	return dst
+}
+
+func appendKPI(dst []xcal.SlotKPI, r *gnb.SlotResult, carrier uint8, rat xcal.RAT) []xcal.SlotKPI {
+	base := xcal.SlotKPI{
+		Slot:        r.Slot,
+		Time:        r.Time,
+		Carrier:     carrier,
+		RAT:         rat,
+		CQI:         uint8(r.CQI),
+		ServingCell: uint16(r.Sample.ServingCell),
+		SINRdB:      float32(r.Sample.SINRdB),
+		RSRPdBm:     float32(r.Sample.RSRPdBm),
+		RSRQdB:      float32(r.Sample.RSRQdB),
+		PosX:        float32(r.Sample.Pos.X),
+		PosY:        float32(r.Sample.Pos.Y),
+		Outage:      r.Sample.Outage,
+	}
+	emit := func(dir xcal.Direction, a *gnb.Alloc) {
+		k := base
+		k.Dir = dir
+		k.MCSTable = uint8(a.Table)
+		k.MCS = a.MCS
+		k.Rank = uint8(a.Rank)
+		k.HARQRetx = a.HARQRetx
+		k.ACK = a.ACK
+		k.RBs = uint16(a.RBs)
+		k.REs = uint32(a.REs)
+		k.TBSBits = uint32(a.TBSBits)
+		k.DeliveredBits = uint32(a.DeliveredBits)
+		dst = append(dst, k)
+	}
+	if r.DL != nil {
+		emit(xcal.DL, r.DL)
+	}
+	if r.UL != nil {
+		emit(xcal.UL, r.UL)
+	}
+	if r.DL == nil && r.UL == nil {
+		// Idle or outage slot: keep the radio sample for coverage maps.
+		dst = append(dst, base)
+	}
+	return dst
+}

@@ -1,0 +1,249 @@
+package operators
+
+import (
+	"testing"
+
+	"github.com/midband5g/midband/internal/net5g"
+	"github.com/midband5g/midband/internal/phy"
+)
+
+func TestRegistryIntegrity(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("registry has %d operators, want 12 (11 mid-band + mmWave)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, op := range all {
+		if op.Acronym == "" || op.Name == "" || op.Country == "" {
+			t.Errorf("operator %+v missing identity fields", op)
+		}
+		if seen[op.Acronym] {
+			t.Errorf("duplicate acronym %s", op.Acronym)
+		}
+		seen[op.Acronym] = true
+		if len(op.Carriers) == 0 {
+			t.Errorf("%s has no carriers", op.Acronym)
+		}
+		if !op.NSA {
+			t.Errorf("%s: every deployment in the study is NSA", op.Acronym)
+		}
+		for _, c := range op.Carriers {
+			if _, err := c.NRB(); err != nil {
+				t.Errorf("%s %s: NRB: %v", op.Acronym, c.Label(), err)
+			}
+			if c.MaxMIMOLayers < 1 || c.MaxMIMOLayers > 4 {
+				t.Errorf("%s %s: MIMO layers %d", op.Acronym, c.Label(), c.MaxMIMOLayers)
+			}
+		}
+	}
+	for _, want := range []string{"V_It", "V_Sp", "O_Sp90", "O_Sp100", "O_Fr", "S_Fr", "T_Ge", "V_Ge", "Tmb_US", "Vzw_US", "Att_US", "Vzw_mmW"} {
+		if !seen[want] {
+			t.Errorf("missing operator %s", want)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	// Table 2: all European operators use n78 at 30 kHz TDD, no CA,
+	// bandwidths 80–100 MHz.
+	for _, acr := range []string{"V_It", "V_Sp", "O_Sp90", "O_Sp100", "O_Fr", "S_Fr", "T_Ge", "V_Ge"} {
+		op, err := ByAcronym(acr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op.CarrierAggregation() {
+			t.Errorf("%s: European operators have not deployed CA", acr)
+		}
+		c := op.PCell()
+		if c.Band.Name != "n78" || c.SCSkHz != 30 || c.TDDPattern == "" {
+			t.Errorf("%s: not an n78/30kHz TDD deployment: %+v", acr, c)
+		}
+		if c.BandwidthMHz < 80 || c.BandwidthMHz > 100 {
+			t.Errorf("%s: bandwidth %d outside Table 2 range", acr, c.BandwidthMHz)
+		}
+		nrb, _ := c.NRB()
+		want := map[int]int{80: 217, 90: 245, 100: 273}[c.BandwidthMHz]
+		if nrb != want {
+			t.Errorf("%s: N_RB = %d, want %d", acr, nrb, want)
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	// Table 3: all US operators aggregate carriers.
+	for _, acr := range []string{"Tmb_US", "Vzw_US", "Att_US"} {
+		op, err := ByAcronym(acr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !op.CarrierAggregation() {
+			t.Errorf("%s: US operators use CA", acr)
+		}
+	}
+	tmb, _ := ByAcronym("Tmb_US")
+	if tmb.PCell().Band.Name != "n41" || tmb.PCell().BandwidthMHz != 100 {
+		t.Errorf("T-Mobile PCell should be n41/100MHz, got %s", tmb.PCell().Label())
+	}
+	if tmb.ULPolicy.String() != "prefer-lte" {
+		t.Error("T-Mobile routes UL to LTE (§4.2)")
+	}
+	// The printed n25 rows: N_RB overrides 51 and 11.
+	var n25 []Carrier
+	for _, c := range tmb.Carriers {
+		if c.Band.Name == "n25" {
+			n25 = append(n25, c)
+		}
+	}
+	if len(n25) != 2 {
+		t.Fatalf("T-Mobile should have 2 n25 carriers, got %d", len(n25))
+	}
+	for _, c := range n25 {
+		nrb, _ := c.NRB()
+		if nrb != 51 && nrb != 11 {
+			t.Errorf("n25 N_RB = %d, want the paper's printed 51/11", nrb)
+		}
+		if c.TDDPattern != "" {
+			t.Error("n25 is FDD")
+		}
+	}
+	vzw, _ := ByAcronym("Vzw_US")
+	if vzw.PCell().Band.Name != "n77" || vzw.PCell().BandwidthMHz != 60 {
+		t.Errorf("Verizon PCell should be n77/60MHz, got %s", vzw.PCell().Label())
+	}
+	att, _ := ByAcronym("Att_US")
+	if att.PCell().Band.Name != "n77" || att.PCell().BandwidthMHz != 40 {
+		t.Errorf("AT&T PCell should be n77/40MHz, got %s", att.PCell().Label())
+	}
+}
+
+func TestOSp100Is64QAM(t *testing.T) {
+	// The §4.1 root cause: Orange Spain's 100 MHz channel caps at 64QAM.
+	op, _ := ByAcronym("O_Sp100")
+	if op.PCell().MCSTable != phy.MCSTable64QAM {
+		t.Error("O_Sp100 must use the 64QAM MCS table")
+	}
+	op90, _ := ByAcronym("O_Sp90")
+	if op90.PCell().MCSTable != phy.MCSTable256QAM {
+		t.Error("O_Sp90 uses the 256QAM table")
+	}
+}
+
+func TestCoverageDensitySpain(t *testing.T) {
+	// Appendix 10.3: Vodafone Spain deploys 3 sites, Orange Spain 2.
+	vsp, _ := ByAcronym("V_Sp")
+	osp, _ := ByAcronym("O_Sp100")
+	if vsp.PCell().Sites != 3 || osp.PCell().Sites != 2 {
+		t.Errorf("site counts: V_Sp=%d (want 3), O_Sp=%d (want 2)",
+			vsp.PCell().Sites, osp.PCell().Sites)
+	}
+}
+
+func TestByAcronymUnknown(t *testing.T) {
+	if _, err := ByAcronym("X_Yz"); err == nil {
+		t.Error("unknown acronym should fail")
+	}
+}
+
+func TestLinkConfigBuildsForAll(t *testing.T) {
+	for _, op := range All() {
+		for _, sc := range []Scenario{Stationary(1), Walking(2), Driving(3)} {
+			cfg, err := op.LinkConfig(sc)
+			if err != nil {
+				t.Fatalf("%s %s: %v", op.Acronym, sc.Name, err)
+			}
+			if _, err := net5g.NewLink(cfg); err != nil {
+				t.Fatalf("%s %s: link: %v", op.Acronym, sc.Name, err)
+			}
+		}
+	}
+}
+
+func TestLatencyConfigBuilds(t *testing.T) {
+	for _, op := range MidBand() {
+		cfg, err := op.LatencyConfig(0.05, 0.05, 9)
+		if err != nil {
+			t.Fatalf("%s: %v", op.Acronym, err)
+		}
+		if _, err := net5g.NewLatencyModel(cfg); err != nil {
+			t.Fatalf("%s: model: %v", op.Acronym, err)
+		}
+	}
+	if _, err := (Operator{Carriers: []Carrier{{SCSkHz: 7}}}).LatencyConfig(0, 0, 1); err == nil {
+		t.Error("bad SCS should fail")
+	}
+}
+
+func TestCarrierConfigErrors(t *testing.T) {
+	op, _ := ByAcronym("V_Sp")
+	if _, err := op.CarrierConfig(5, Stationary(1)); err == nil {
+		t.Error("out-of-range carrier index should fail")
+	}
+}
+
+func TestScenarioHelpers(t *testing.T) {
+	if Stationary(1).SpeedMPS != 0 {
+		t.Error("stationary should not move")
+	}
+	if Walking(1).SpeedMPS <= 0 || Driving(1).SpeedMPS <= Walking(1).SpeedMPS {
+		t.Error("driving should be faster than walking")
+	}
+	op, _ := ByAcronym("V_Sp")
+	if op.TotalBandwidthMHz() != 90 {
+		t.Errorf("V_Sp total bandwidth = %d", op.TotalBandwidthMHz())
+	}
+	tmb, _ := ByAcronym("Tmb_US")
+	if tmb.TotalBandwidthMHz() != 165 {
+		t.Errorf("Tmb total bandwidth = %d, want 165 (100+40+20+5)", tmb.TotalBandwidthMHz())
+	}
+}
+
+func TestMmWaveProfile(t *testing.T) {
+	op, err := ByAcronym("Vzw_mmW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !op.MmWave {
+		t.Error("mmWave profile should be marked")
+	}
+	for _, c := range op.Carriers {
+		if c.Band.Name != "n261" || c.SCSkHz != 120 || !c.MmWaveBlockage {
+			t.Errorf("mmWave carrier wrong: %+v", c)
+		}
+	}
+	if len(op.Carriers) != 4 {
+		t.Errorf("mmWave aggregates 4 carriers, got %d", len(op.Carriers))
+	}
+}
+
+func TestTargetsCoverOperators(t *testing.T) {
+	for acr := range Targets {
+		if _, err := ByAcronym(acr); err != nil {
+			t.Errorf("target for unknown operator %s", acr)
+		}
+	}
+}
+
+func TestAsSA(t *testing.T) {
+	op, err := ByAcronym("Tmb_US")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := op.AsSA()
+	if sa.NSA || sa.LTE != nil {
+		t.Error("SA variant should drop the anchor")
+	}
+	if sa.Acronym != "Tmb_US_SA" {
+		t.Errorf("SA acronym = %s", sa.Acronym)
+	}
+	// The original is untouched.
+	if !op.NSA || op.LTE == nil {
+		t.Error("AsSA mutated the original operator")
+	}
+	cfg, err := sa.LinkConfig(Stationary(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.LTEAnchor != nil {
+		t.Error("SA link should have no LTE anchor")
+	}
+}

@@ -1,0 +1,33 @@
+package phy
+
+import "testing"
+
+func BenchmarkTBS(b *testing.B) {
+	mcs, err := MCSTable256QAM.Lookup(22)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := TBSParams{Symbols: 13, DMRSPerPRB: 12, PRBs: 245, MCS: mcs, Layers: 4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := TBS(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHighestMCSForEfficiency(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MCSTable256QAM.HighestMCSForEfficiency(4.5)
+	}
+}
+
+func BenchmarkMaxRateMbps(b *testing.B) {
+	c := CarrierRateParams{Layers: 4, Modulation: QAM256, Numerology: Mu1,
+		NRB: 273, Overhead: OverheadDLFR1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MaxRateMbps(c)
+	}
+}

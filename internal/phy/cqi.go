@@ -1,0 +1,99 @@
+package phy
+
+import "fmt"
+
+// CQI is a channel quality indicator in [0, 15]. 0 means "out of range";
+// 15 indicates the best channel condition (paper §3.1).
+type CQI uint8
+
+// MaxCQI is the highest CQI value.
+const MaxCQI CQI = 15
+
+// Valid reports whether the CQI is within [0, 15].
+func (c CQI) Valid() bool { return c <= MaxCQI }
+
+// CQIRow is one row of a CQI table: the modulation, code rate and spectral
+// efficiency the UE declares it could sustain at ~10% BLER.
+type CQIRow struct {
+	CQI          CQI
+	Modulation   Modulation
+	CodeRate1024 float64
+	// Efficiency is the spectral efficiency in bits per resource element.
+	Efficiency float64
+}
+
+// CQITable identifies one of the standardized CQI tables (TS 38.214
+// §5.2.2.1). Like the MCS tables, which one is configured determines whether
+// the UE can report 256QAM-grade channel quality.
+type CQITable uint8
+
+const (
+	// CQITable64QAM is TS 38.214 Table 5.2.2.1-2.
+	CQITable64QAM CQITable = 1
+	// CQITable256QAM is TS 38.214 Table 5.2.2.1-3.
+	CQITable256QAM CQITable = 2
+)
+
+// cqiTable1 is TS 38.214 Table 5.2.2.1-2 (max 64QAM). Index 0 is reserved
+// ("out of range").
+var cqiTable1 = []CQIRow{
+	{0, 0, 0, 0},
+	{1, QPSK, 78, 0.1523}, {2, QPSK, 120, 0.2344}, {3, QPSK, 193, 0.3770},
+	{4, QPSK, 308, 0.6016}, {5, QPSK, 449, 0.8770}, {6, QPSK, 602, 1.1758},
+	{7, QAM16, 378, 1.4766}, {8, QAM16, 490, 1.9141}, {9, QAM16, 616, 2.4063},
+	{10, QAM64, 466, 2.7305}, {11, QAM64, 567, 3.3223}, {12, QAM64, 666, 3.9023},
+	{13, QAM64, 772, 4.5234}, {14, QAM64, 873, 5.1152}, {15, QAM64, 948, 5.5547},
+}
+
+// cqiTable2 is TS 38.214 Table 5.2.2.1-3 (max 256QAM).
+var cqiTable2 = []CQIRow{
+	{0, 0, 0, 0},
+	{1, QPSK, 78, 0.1523}, {2, QPSK, 193, 0.3770}, {3, QPSK, 449, 0.8770},
+	{4, QAM16, 378, 1.4766}, {5, QAM16, 490, 1.9141}, {6, QAM16, 616, 2.4063},
+	{7, QAM64, 466, 2.7305}, {8, QAM64, 567, 3.3223}, {9, QAM64, 666, 3.9023},
+	{10, QAM64, 772, 4.5234}, {11, QAM64, 873, 5.1152},
+	{12, QAM256, 711, 5.5547}, {13, QAM256, 797, 6.2266},
+	{14, QAM256, 885, 6.9141}, {15, QAM256, 948, 7.4063},
+}
+
+func (t CQITable) rows() ([]CQIRow, error) {
+	switch t {
+	case CQITable64QAM:
+		return cqiTable1, nil
+	case CQITable256QAM:
+		return cqiTable2, nil
+	default:
+		return nil, fmt.Errorf("phy: unknown CQI table %d", uint8(t))
+	}
+}
+
+// Lookup returns the row for CQI c.
+func (t CQITable) Lookup(c CQI) (CQIRow, error) {
+	rows, err := t.rows()
+	if err != nil {
+		return CQIRow{}, err
+	}
+	if !c.Valid() {
+		return CQIRow{}, fmt.Errorf("phy: CQI %d out of range", c)
+	}
+	return rows[c], nil
+}
+
+// CQIFromEfficiency returns the highest CQI whose spectral efficiency does
+// not exceed se bits per RE (the reporting rule of TS 38.214 §5.2.2.1:
+// the UE reports the highest CQI it could receive at ≤10%% BLER).
+func (t CQITable) CQIFromEfficiency(se float64) CQI {
+	rows, err := t.rows()
+	if err != nil {
+		return 0
+	}
+	best := CQI(0)
+	for _, r := range rows[1:] {
+		if r.Efficiency <= se {
+			best = r.CQI
+		} else {
+			break
+		}
+	}
+	return best
+}

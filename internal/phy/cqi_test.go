@@ -1,0 +1,108 @@
+package phy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCQITableSpotValues(t *testing.T) {
+	cases := []struct {
+		table CQITable
+		cqi   CQI
+		mod   Modulation
+		eff   float64
+	}{
+		{CQITable64QAM, 1, QPSK, 0.1523},
+		{CQITable64QAM, 7, QAM16, 1.4766},
+		{CQITable64QAM, 15, QAM64, 5.5547},
+		{CQITable256QAM, 1, QPSK, 0.1523},
+		{CQITable256QAM, 11, QAM64, 5.1152},
+		{CQITable256QAM, 12, QAM256, 5.5547},
+		{CQITable256QAM, 15, QAM256, 7.4063},
+	}
+	for _, c := range cases {
+		row, err := c.table.Lookup(c.cqi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.Modulation != c.mod || row.Efficiency != c.eff {
+			t.Errorf("%d.Lookup(%d) = (%v, %g), want (%v, %g)",
+				c.table, c.cqi, row.Modulation, row.Efficiency, c.mod, c.eff)
+		}
+	}
+}
+
+func TestCQILookupErrors(t *testing.T) {
+	if _, err := CQITable64QAM.Lookup(16); err == nil {
+		t.Error("CQI 16 should be rejected")
+	}
+	if _, err := CQITable(7).Lookup(4); err == nil {
+		t.Error("unknown CQI table should be rejected")
+	}
+}
+
+func TestCQIEfficiencyMonotone(t *testing.T) {
+	for _, table := range []CQITable{CQITable64QAM, CQITable256QAM} {
+		prev := 0.0
+		for c := CQI(1); c <= MaxCQI; c++ {
+			row, err := table.Lookup(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if row.Efficiency <= prev {
+				t.Errorf("table %d CQI %d efficiency %g not increasing", table, c, row.Efficiency)
+			}
+			prev = row.Efficiency
+		}
+	}
+}
+
+func TestCQIFromEfficiency(t *testing.T) {
+	if got := CQITable256QAM.CQIFromEfficiency(100); got != 15 {
+		t.Errorf("huge efficiency → CQI %d, want 15", got)
+	}
+	if got := CQITable256QAM.CQIFromEfficiency(0.01); got != 0 {
+		t.Errorf("tiny efficiency → CQI %d, want 0", got)
+	}
+	// Exactly at a row boundary the row itself is reported.
+	if got := CQITable64QAM.CQIFromEfficiency(5.5547); got != 15 {
+		t.Errorf("boundary efficiency → CQI %d, want 15", got)
+	}
+}
+
+func TestCQIFromEfficiencyProperty(t *testing.T) {
+	f := func(se float64, useTable2 bool) bool {
+		if se < 0 || se > 10 {
+			se = 2.5
+		}
+		table := CQITable64QAM
+		if useTable2 {
+			table = CQITable256QAM
+		}
+		c := table.CQIFromEfficiency(se)
+		if c == 0 {
+			return true
+		}
+		row, err := table.Lookup(c)
+		if err != nil {
+			return false
+		}
+		// Reported CQI must be sustainable, and the next one must not be.
+		if row.Efficiency > se {
+			return false
+		}
+		if c < MaxCQI {
+			next, err := table.Lookup(c + 1)
+			if err != nil {
+				return false
+			}
+			if next.Efficiency <= se {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

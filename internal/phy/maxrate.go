@@ -1,0 +1,64 @@
+package phy
+
+// This file implements the approximate maximum data-rate formula of
+// TS 38.306 §4.1.2, which §3.2 of the paper uses to bound the attainable
+// PHY throughput of each operator configuration:
+//
+//	rate(Mbps) = 1e-6 · Σ_j { υ_j · Qm_j · f_j · Rmax · 12·N_RB / T_s^µ · (1 − OH_j) }
+
+// RMax is the maximum LDPC code rate 948/1024 used by the formula.
+const RMax = 948.0 / 1024.0
+
+// Overhead values per TS 38.306 §4.1.2, by link direction and frequency
+// range. For all 5G mid-band (FR1): DL 0.14, UL 0.08 (paper §3.2).
+const (
+	OverheadDLFR1 = 0.14
+	OverheadULFR1 = 0.08
+	OverheadDLFR2 = 0.18
+	OverheadULFR2 = 0.10
+)
+
+// CarrierRateParams describes one component carrier j in the maximum
+// data-rate formula.
+type CarrierRateParams struct {
+	// Layers is υ, the number of MIMO layers.
+	Layers int
+	// Modulation supplies the maximum modulation order Qm.
+	Modulation Modulation
+	// ScalingFactor is f ∈ {1, 0.8, 0.75, 0.4}; 1 when no CA is used.
+	ScalingFactor float64
+	// Numerology determines T_s^µ.
+	Numerology Numerology
+	// NRB is the maximum RB allocation N_RB^{BW,µ} for the carrier
+	// bandwidth.
+	NRB int
+	// Overhead is OH (one of the Overhead* constants).
+	Overhead float64
+	// DLDutyCycle optionally derates the rate by the TDD downlink duty
+	// cycle (fraction of symbols usable for the link direction). Use 1
+	// (or 0, treated as 1) for the pure TS 38.306 number; the paper's
+	// §3.2 figures of 1213.44/1352.12 Mbps bake in the duty cycle of the
+	// DDDDDDDSUU frame the Spanish carriers use.
+	DLDutyCycle float64
+}
+
+// MaxRateMbps computes the aggregate maximum data rate in Mbps over all
+// component carriers.
+func MaxRateMbps(carriers ...CarrierRateParams) float64 {
+	total := 0.0
+	for _, c := range carriers {
+		f := c.ScalingFactor
+		if f == 0 {
+			f = 1
+		}
+		duty := c.DLDutyCycle
+		if duty == 0 {
+			duty = 1
+		}
+		ts := c.Numerology.AvgSymbolDuration()
+		rate := float64(c.Layers) * float64(c.Modulation.BitsPerSymbol()) * f *
+			RMax * float64(SubcarriersPerRB*c.NRB) / ts * (1 - c.Overhead) * duty
+		total += rate * 1e-6
+	}
+	return total
+}

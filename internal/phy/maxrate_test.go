@@ -1,0 +1,68 @@
+package phy
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPaperSec32Numbers reproduces the two theoretical maxima quoted in §3.2
+// of the paper: 1213.44 Mbps for a 90 MHz channel (N_RB=245) and
+// 1352.12 Mbps for 100 MHz (N_RB=273). The paper's numbers correspond to
+// υ=4 layers, Qm=6, f=1, Rmax=948/1024, OH=0.14 and the DL duty cycle of the
+// DDDDDDDSUU frame counting the special slot's 10 DL symbols (108/140).
+func TestPaperSec32Numbers(t *testing.T) {
+	duty := 108.0 / 140.0
+	mk := func(nrb int) CarrierRateParams {
+		return CarrierRateParams{
+			Layers: 4, Modulation: QAM64, ScalingFactor: 1,
+			Numerology: Mu1, NRB: nrb, Overhead: OverheadDLFR1,
+			DLDutyCycle: duty,
+		}
+	}
+	got90 := MaxRateMbps(mk(245))
+	if math.Abs(got90-1213.44) > 0.01 {
+		t.Errorf("90 MHz max rate = %.2f Mbps, want 1213.44", got90)
+	}
+	got100 := MaxRateMbps(mk(273))
+	if math.Abs(got100-1352.13) > 0.01 {
+		t.Errorf("100 MHz max rate = %.2f Mbps, want 1352.13", got100)
+	}
+}
+
+func TestMaxRateDefaults(t *testing.T) {
+	// Zero scaling factor and duty cycle are treated as 1.
+	a := MaxRateMbps(CarrierRateParams{Layers: 2, Modulation: QAM256,
+		Numerology: Mu1, NRB: 100, Overhead: OverheadDLFR1})
+	b := MaxRateMbps(CarrierRateParams{Layers: 2, Modulation: QAM256,
+		ScalingFactor: 1, DLDutyCycle: 1,
+		Numerology: Mu1, NRB: 100, Overhead: OverheadDLFR1})
+	if a != b {
+		t.Errorf("defaulted = %g, explicit = %g", a, b)
+	}
+}
+
+func TestMaxRateAggregatesCarriers(t *testing.T) {
+	c := CarrierRateParams{Layers: 4, Modulation: QAM64, Numerology: Mu1,
+		NRB: 106, Overhead: OverheadDLFR1}
+	single := MaxRateMbps(c)
+	double := MaxRateMbps(c, c)
+	if math.Abs(double-2*single) > 1e-9 {
+		t.Errorf("two identical carriers = %g, want %g", double, 2*single)
+	}
+}
+
+func TestMaxRateScalesWithLayersAndQm(t *testing.T) {
+	base := CarrierRateParams{Layers: 1, Modulation: QPSK, Numerology: Mu1,
+		NRB: 245, Overhead: OverheadDLFR1}
+	r1 := MaxRateMbps(base)
+	base.Layers = 4
+	r4 := MaxRateMbps(base)
+	if math.Abs(r4-4*r1) > 1e-9 {
+		t.Errorf("4 layers = %g, want %g", r4, 4*r1)
+	}
+	base.Modulation = QAM256
+	r48 := MaxRateMbps(base)
+	if math.Abs(r48-16*r1) > 1e-9 {
+		t.Errorf("4 layers 256QAM = %g, want %g", r48, 16*r1)
+	}
+}

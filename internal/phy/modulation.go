@@ -1,0 +1,45 @@
+package phy
+
+import "fmt"
+
+// Modulation is an NR modulation order. The paper's Figure 5 reports the
+// share of slots transmitted with each of these.
+type Modulation uint8
+
+const (
+	// QPSK carries 2 bits per symbol.
+	QPSK Modulation = 2
+	// QAM16 carries 4 bits per symbol.
+	QAM16 Modulation = 4
+	// QAM64 carries 6 bits per symbol.
+	QAM64 Modulation = 6
+	// QAM256 carries 8 bits per symbol.
+	QAM256 Modulation = 8
+)
+
+// BitsPerSymbol returns the modulation order Qm.
+func (m Modulation) BitsPerSymbol() int { return int(m) }
+
+// Valid reports whether m is one of the defined NR modulation orders.
+func (m Modulation) Valid() bool {
+	switch m {
+	case QPSK, QAM16, QAM64, QAM256:
+		return true
+	}
+	return false
+}
+
+func (m Modulation) String() string {
+	switch m {
+	case QPSK:
+		return "QPSK"
+	case QAM16:
+		return "16QAM"
+	case QAM64:
+		return "64QAM"
+	case QAM256:
+		return "256QAM"
+	default:
+		return fmt.Sprintf("Modulation(%d)", uint8(m))
+	}
+}

@@ -1,0 +1,55 @@
+package phy
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNumerologySCS(t *testing.T) {
+	cases := []struct {
+		mu   Numerology
+		scs  int
+		slot time.Duration
+		spf  int
+	}{
+		{Mu0, 15, time.Millisecond, 10},
+		{Mu1, 30, 500 * time.Microsecond, 20},
+		{Mu2, 60, 250 * time.Microsecond, 40},
+		{Mu3, 120, 125 * time.Microsecond, 80},
+	}
+	for _, c := range cases {
+		if got := c.mu.SCSkHz(); got != c.scs {
+			t.Errorf("µ=%d SCS = %d, want %d", c.mu, got, c.scs)
+		}
+		if got := c.mu.SlotDuration(); got != c.slot {
+			t.Errorf("µ=%d slot = %v, want %v", c.mu, got, c.slot)
+		}
+		if got := c.mu.SlotsPerFrame(); got != c.spf {
+			t.Errorf("µ=%d slots/frame = %d, want %d", c.mu, got, c.spf)
+		}
+	}
+}
+
+func TestFromSCS(t *testing.T) {
+	for _, scs := range []int{15, 30, 60, 120} {
+		mu, err := FromSCS(scs)
+		if err != nil {
+			t.Fatalf("FromSCS(%d): %v", scs, err)
+		}
+		if mu.SCSkHz() != scs {
+			t.Errorf("FromSCS(%d) round trip = %d", scs, mu.SCSkHz())
+		}
+	}
+	if _, err := FromSCS(45); err == nil {
+		t.Error("FromSCS(45) should fail")
+	}
+}
+
+func TestAvgSymbolDuration(t *testing.T) {
+	// The paper: T_s^µ = 10^-3 / (14·2^µ); for µ=1 that is ≈ 35.714 µs.
+	got := Mu1.AvgSymbolDuration()
+	want := 1e-3 / 28
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("AvgSymbolDuration(µ=1) = %g, want %g", got, want)
+	}
+}

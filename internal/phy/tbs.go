@@ -1,0 +1,130 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+)
+
+// tbsTable is TS 38.214 Table 5.1.3.2-1: the 93 quantized transport block
+// sizes used when the intermediate information bit count N_info ≤ 3824.
+var tbsTable = []int{
+	24, 32, 40, 48, 56, 64, 72, 80, 88, 96, 104, 112, 120, 128, 136, 144,
+	152, 160, 168, 176, 184, 192, 208, 224, 240, 256, 272, 288, 304, 320,
+	336, 352, 368, 384, 408, 432, 456, 480, 504, 528, 552, 576, 608, 640,
+	672, 704, 736, 768, 808, 848, 888, 928, 984, 1032, 1064, 1128, 1160,
+	1192, 1224, 1256, 1288, 1320, 1352, 1416, 1480, 1544, 1608, 1672, 1736,
+	1800, 1864, 1928, 2024, 2088, 2152, 2216, 2280, 2408, 2472, 2536, 2600,
+	2664, 2728, 2792, 2856, 2976, 3104, 3240, 3368, 3496, 3624, 3752, 3824,
+}
+
+// TBSParams are the inputs to the transport block size determination of
+// TS 38.214 §5.1.3.2. The data transmitted in a slot is one transport block
+// (per codeword); its size follows deterministically from these values —
+// this is the "given N_RB allocated, the TB size is determined by the MCS"
+// relationship §3.1 of the paper calls out.
+type TBSParams struct {
+	// Symbols is the number of OFDM symbols allocated to the PDSCH/PUSCH
+	// within the slot (≤ 14).
+	Symbols int
+	// DMRSPerPRB is the number of REs per PRB occupied by demodulation
+	// reference signals (N^PRB_DMRS).
+	DMRSPerPRB int
+	// OverheadPerPRB is the configured higher-layer overhead N^PRB_oh
+	// (0, 6, 12 or 18).
+	OverheadPerPRB int
+	// PRBs is the number of allocated physical resource blocks n_PRB.
+	PRBs int
+	// MCS provides the modulation order and target code rate.
+	MCS MCS
+	// Layers is the number of MIMO layers υ (1–4 per codeword).
+	Layers int
+}
+
+// REsPerPRBCap is the cap on resource elements counted per PRB in the TBS
+// computation (TS 38.214 step 2).
+const REsPerPRBCap = 156
+
+// REs returns N_RE, the number of resource elements available for data:
+// min(156, 12·N_symb − N_dmrs − N_oh) · n_PRB.
+func (p TBSParams) REs() int {
+	perPRB := SubcarriersPerRB*p.Symbols - p.DMRSPerPRB - p.OverheadPerPRB
+	if perPRB < 0 {
+		perPRB = 0
+	}
+	if perPRB > REsPerPRBCap {
+		perPRB = REsPerPRBCap
+	}
+	return perPRB * p.PRBs
+}
+
+// Validate reports whether the parameters are in range.
+func (p TBSParams) Validate() error {
+	switch {
+	case p.Symbols < 1 || p.Symbols > SymbolsPerSlot:
+		return fmt.Errorf("phy: TBS symbols %d out of range [1,14]", p.Symbols)
+	case p.DMRSPerPRB < 0 || p.DMRSPerPRB > SubcarriersPerRB*p.Symbols:
+		return fmt.Errorf("phy: TBS DMRS overhead %d out of range", p.DMRSPerPRB)
+	case p.OverheadPerPRB != 0 && p.OverheadPerPRB != 6 && p.OverheadPerPRB != 12 && p.OverheadPerPRB != 18:
+		return fmt.Errorf("phy: TBS xOverhead %d not one of 0/6/12/18", p.OverheadPerPRB)
+	case p.PRBs < 1:
+		return fmt.Errorf("phy: TBS PRBs %d must be ≥ 1", p.PRBs)
+	case p.Layers < 1 || p.Layers > 4:
+		return fmt.Errorf("phy: TBS layers %d out of range [1,4]", p.Layers)
+	case !p.MCS.Modulation.Valid():
+		return fmt.Errorf("phy: TBS modulation %v invalid", p.MCS.Modulation)
+	}
+	return nil
+}
+
+// TBS computes the transport block size in bits following TS 38.214
+// §5.1.3.2 steps 1–4, including the LDPC code-block segmentation rules for
+// large blocks.
+func TBS(p TBSParams) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	nRE := p.REs()
+	r := p.MCS.CodeRate()
+	qm := float64(p.MCS.Modulation.BitsPerSymbol())
+	nInfo := float64(nRE) * r * qm * float64(p.Layers)
+	if nInfo <= 0 {
+		return 0, nil
+	}
+
+	if nInfo <= 3824 {
+		// Step 3: quantize and read the table.
+		n := math.Max(3, math.Floor(math.Log2(nInfo))-6)
+		step := math.Pow(2, n)
+		nInfoQ := math.Max(24, step*math.Floor(nInfo/step))
+		for _, tbs := range tbsTable {
+			if float64(tbs) >= nInfoQ {
+				return tbs, nil
+			}
+		}
+		return tbsTable[len(tbsTable)-1], nil
+	}
+
+	// Step 4: large blocks.
+	n := math.Floor(math.Log2(nInfo-24)) - 5
+	step := math.Pow(2, n)
+	nInfoQ := math.Max(3840, step*math.Round((nInfo-24)/step))
+	if r <= 0.25 {
+		c := math.Ceil((nInfoQ + 24) / 3816)
+		return int(8*c*math.Ceil((nInfoQ+24)/(8*c)) - 24), nil
+	}
+	if nInfoQ > 8424 {
+		c := math.Ceil((nInfoQ + 24) / 8424)
+		return int(8*c*math.Ceil((nInfoQ+24)/(8*c)) - 24), nil
+	}
+	return int(8*math.Ceil((nInfoQ+24)/8) - 24), nil
+}
+
+// MustTBS is TBS but panics on invalid parameters. It is intended for
+// callers that construct parameters from already-validated configuration.
+func MustTBS(p TBSParams) int {
+	tbs, err := TBS(p)
+	if err != nil {
+		panic(err)
+	}
+	return tbs
+}

@@ -1,0 +1,133 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"github.com/midband5g/midband/internal/experiments"
+)
+
+// CSV export: machine-readable result files, one per artifact, mirroring
+// the processed result files the paper's artifact repository releases.
+
+func writeCSV(dir, name string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func f1(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+func f3(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+// Fig01CSV writes fig01.csv.
+func Fig01CSV(dir string, rows []experiments.Fig01Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Operator, r.Region, f1(r.DLMbps)})
+	}
+	return writeCSV(dir, "fig01.csv", []string{"operator", "region", "dl_mbps"}, out)
+}
+
+// Fig02CSV writes fig02.csv.
+func Fig02CSV(dir string, rows []experiments.Fig02Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Operator, strconv.Itoa(r.BandwidthMHz), f1(r.DLMbps)})
+	}
+	return writeCSV(dir, "fig02.csv", []string{"operator", "bandwidth_mhz", "dl_mbps_cqi12"}, out)
+}
+
+// Fig09CSV writes fig09.csv.
+func Fig09CSV(dir string, rows []experiments.Fig09Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Operator, strconv.Itoa(r.BandwidthMHz), f1(r.ULMbps)})
+	}
+	return writeCSV(dir, "fig09.csv", []string{"operator", "bandwidth_mhz", "ul_mbps_cqi12"}, out)
+}
+
+// Fig11CSV writes fig11.csv.
+func Fig11CSV(dir string, rows []experiments.Fig11Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Operator, r.Pattern, f3(r.CleanMs), f3(r.RetxMs)})
+	}
+	return writeCSV(dir, "fig11.csv", []string{"operator", "tdd_pattern", "latency_ms_bler0", "latency_ms_bler_gt0"}, out)
+}
+
+// Fig12CSV writes fig12.csv with one row per (operator, scale).
+func Fig12CSV(dir string, series []experiments.Fig12Series) error {
+	var out [][]string
+	for _, s := range series {
+		for i, p := range s.Tput {
+			row := []string{
+				s.Operator,
+				fmt.Sprintf("%g", p.Duration.Seconds()),
+				f3(p.V),
+			}
+			if i < len(s.MCS) {
+				row = append(row, f3(s.MCS[i].V))
+			} else {
+				row = append(row, "")
+			}
+			if i < len(s.MIMO) {
+				row = append(row, f3(s.MIMO[i].V))
+			} else {
+				row = append(row, "")
+			}
+			out = append(out, row)
+		}
+	}
+	return writeCSV(dir, "fig12.csv", []string{"operator", "scale_s", "v_tput_mbps", "v_mcs", "v_mimo"}, out)
+}
+
+// Fig17CSV writes fig17.csv.
+func Fig17CSV(dir string, rows []experiments.Fig17Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Operator, f1(r.ChunkSec), f3(r.NormBitrate), f3(r.StallPct)})
+	}
+	return writeCSV(dir, "fig17.csv", []string{"operator", "chunk_s", "norm_bitrate", "stall_pct"}, out)
+}
+
+// Fig18CSV writes fig18.csv with one row per (tech, mobility, scale).
+func Fig18CSV(dir string, series []experiments.Fig18Series) error {
+	var out [][]string
+	for _, s := range series {
+		for _, p := range s.Curve {
+			out = append(out, []string{
+				s.Tech, s.Mobility,
+				fmt.Sprintf("%g", p.Duration.Seconds()),
+				f3(p.V), f1(s.DLMbps), f3(s.OutagePct),
+			})
+		}
+	}
+	return writeCSV(dir, "fig18.csv",
+		[]string{"tech", "mobility", "scale_s", "v_tput_mbps", "dl_mbps", "outage_pct"}, out)
+}
+
+// Sec7CSV writes sec7.csv.
+func Sec7CSV(dir string, rows []experiments.Sec7Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Mobility, f1(r.MidBandMbps), f1(r.MmWaveMbps), f1(r.StabilityGainPct)})
+	}
+	return writeCSV(dir, "sec7.csv", []string{"mobility", "midband_mbps", "mmwave_mbps", "stability_gain_pct"}, out)
+}

@@ -1,0 +1,426 @@
+// Package report renders experiment results as the text tables and series
+// the paper's figures show. cmd/figures uses it; EXPERIMENTS.md quotes its
+// output.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/midband5g/midband/internal/analysis"
+	"github.com/midband5g/midband/internal/core"
+	"github.com/midband5g/midband/internal/experiments"
+	"github.com/midband5g/midband/internal/operators"
+	"github.com/midband5g/midband/internal/phy"
+)
+
+// Section prints a figure/table header.
+func Section(w io.Writer, id, title string) {
+	fmt.Fprintf(w, "\n%s — %s\n%s\n", id, title, strings.Repeat("-", len(id)+len(title)+3))
+}
+
+// Table1 renders the campaign statistics.
+func Table1(w io.Writer, s *core.CampaignStats) {
+	Section(w, "Table 1", "Statistics of the data collected across countries")
+	countries := keys(s.Countries)
+	cities := keys(s.Cities)
+	fmt.Fprintf(w, "countries: %s\n", strings.Join(countries, ", "))
+	fmt.Fprintf(w, "cities:    %s\n", strings.Join(cities, ", "))
+	fmt.Fprintf(w, "operators: %d   sessions: %d   traces: %d\n",
+		s.Operators, len(s.Sessions), s.TraceFiles)
+	fmt.Fprintf(w, "5G network tests: %.1f minutes   data consumed: %.4f TB\n", s.Minutes, s.DataTB)
+	fmt.Fprintf(w, "%-9s %-8s %10s %9s %12s %12s\n", "operator", "country", "DL Mbps", "UL Mbps", "lat(BLER=0)", "lat(BLER>0)")
+	for _, sess := range s.Sessions {
+		fmt.Fprintf(w, "%-9s %-8s %10.1f %9.1f %9.2f ms %9.2f ms\n",
+			sess.Operator, sess.Country, sess.DLMbps, sess.ULMbps,
+			float64(sess.LatencyClean)/1e6, float64(sess.LatencyRetx)/1e6)
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tables23 renders the recovered network configurations.
+func Tables23(w io.Writer, rows []experiments.ConfigRow) {
+	Section(w, "Tables 2+3", "Network configurations recovered from signaling")
+	fmt.Fprintf(w, "%-9s %-8s %-6s %6s %5s %5s %-4s %-12s %-6s %-6s %s\n",
+		"operator", "country", "band", "MHz", "SCS", "N_RB", "dup", "TDD pattern", "layers", "table", "note")
+	for _, r := range rows {
+		for i, c := range r.Carriers {
+			name := r.Operator
+			if i > 0 {
+				name = "  +CA"
+			}
+			fmt.Fprintf(w, "%-9s %-8s %-6s %6d %5d %5d %-4s %-12s %6d %6d %s\n",
+				name, r.Country, c.Band, c.BandwidthMHz, c.SCSkHz, c.NRB,
+				c.Duplex, c.TDDPattern, c.MaxMIMOLayers, c.MCSTable, c.Note)
+		}
+	}
+}
+
+// Sec32 renders the theoretical-vs-observed comparison.
+func Sec32(w io.Writer, rows []experiments.Sec32Result) {
+	Section(w, "§3.2", "Theoretical max PHY throughput vs observed maximum")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9s %3d MHz  theory %8.2f Mbps  observed max %8.2f Mbps  gap %+5.1f%%\n",
+			r.Operator, r.BandwidthMHz, r.TheoreticalMax, r.ObservedMax, r.GapPct)
+	}
+}
+
+// Fig01 renders the DL throughput bars.
+func Fig01(w io.Writer, rows []experiments.Fig01Row) {
+	Section(w, "Figure 1", "PHY DL throughput of European and U.S. operators")
+	for _, r := range rows {
+		if r.Region == "EU" {
+			fmt.Fprintf(w, "EU %-9s %8.1f Mbps   %s\n", r.Operator, r.DLMbps, bar(r.DLMbps/25))
+		} else {
+			fmt.Fprintf(w, "US %-9s %8.2f Gbps   %s\n", r.Operator, r.DLMbps/1000, bar(r.DLMbps/25))
+		}
+	}
+}
+
+// Fig02 renders the Spain CQI≥12 comparison.
+func Fig02(w io.Writer, rows []experiments.Fig02Row) {
+	Section(w, "Figure 2", "DL throughput with CQI ≥ 12 (Spain case study)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9s %3d MHz %8.1f Mbps   %s\n", r.Operator, r.BandwidthMHz, r.DLMbps, bar(r.DLMbps/25))
+	}
+}
+
+// Fig03 renders the RE-allocation CDFs.
+func Fig03(w io.Writer, series []experiments.Fig03Series) {
+	Section(w, "Figure 3", "Resource elements allocated (CDF)")
+	fmt.Fprintf(w, "%-9s %10s %10s %10s\n", "operator", "P25 REs", "median REs", "P75 REs")
+	for _, s := range series {
+		fmt.Fprintf(w, "%-9s %10.0f %10.0f %10.0f\n",
+			s.Operator, s.CDF.Quantile(0.25), s.CDF.Quantile(0.5), s.CDF.Quantile(0.75))
+	}
+}
+
+// Fig04 renders the max-RB allocations.
+func Fig04(w io.Writer, rows []experiments.Fig04Row) {
+	Section(w, "Figure 4", "Maximum number of RBs allocated by each operator")
+	fmt.Fprintf(w, "%-9s %4s %5s %10s %8s\n", "operator", "MHz", "N_RB", "mean RBs", "P95 RBs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9s %4d %5d %10.1f %8.1f\n",
+			r.Operator, r.BandwidthMHz, r.NRB, r.Alloc.Mean, r.Alloc.P75)
+	}
+}
+
+// Fig05 renders modulation shares.
+func Fig05(w io.Writer, rows []experiments.Fig05Row) {
+	Section(w, "Figure 5", "Modulation scheme utilization (Spain)")
+	mods := []phy.Modulation{phy.QPSK, phy.QAM16, phy.QAM64, phy.QAM256}
+	fmt.Fprintf(w, "%-9s", "operator")
+	for _, m := range mods {
+		fmt.Fprintf(w, " %8s", m)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9s", r.Operator)
+		for _, m := range mods {
+			fmt.Fprintf(w, " %7.1f%%", 100*r.Shares[m])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig06 renders MIMO-layer shares.
+func Fig06(w io.Writer, rows []experiments.Fig06Row) {
+	Section(w, "Figure 6", "MIMO layer utilization (Spain)")
+	fmt.Fprintf(w, "%-9s %8s %8s %8s %8s\n", "operator", "1 layer", "2 layers", "3 layers", "4 layers")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9s %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+			r.Operator, 100*r.Shares[1], 100*r.Shares[2], 100*r.Shares[3], 100*r.Shares[4])
+	}
+}
+
+// Fig07 renders the RSRQ route comparison.
+func Fig07(w io.Writer, series []experiments.Fig07Series) {
+	Section(w, "Figure 7", "RSRQ along the same route (coverage density)")
+	for _, s := range series {
+		fmt.Fprintf(w, "%-9s (%d sites): mean RSRQ %6.1f dB\n", s.Operator, s.Sites, s.MeanRSRQ)
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "   %6.0f m  %6.1f dB  %s\n", p.PosM, p.RSRQdB, bar((p.RSRQdB+20)*2))
+		}
+	}
+}
+
+// Fig08 renders the spider-plot factors.
+func Fig08(w io.Writer, rows []experiments.Fig08Row) {
+	Section(w, "Figure 8", "Factors affecting PHY DL throughput (spider plot)")
+	fmt.Fprintf(w, "%-9s %9s %5s %10s %9s %9s %8s\n",
+		"operator", "DL Mbps", "MHz", "mean REs", "mean rank", "256QAM", "max mod")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9s %9.1f %5d %10.0f %9.2f %8.1f%% %8s\n",
+			r.Operator, r.DLMbps, r.BandwidthMHz, r.MeanREs, r.MeanRank,
+			100*r.Mod256Share, r.MaxModulation)
+	}
+}
+
+// Fig09 renders the EU UL throughputs.
+func Fig09(w io.Writer, rows []experiments.Fig09Row) {
+	Section(w, "Figure 9", "[Europe] PHY UL throughput with CQI ≥ 12")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9s %3d MHz %7.1f Mbps  %s\n", r.Operator, r.BandwidthMHz, r.ULMbps, bar(r.ULMbps/2))
+	}
+}
+
+// Fig10 renders the US UL throughputs.
+func Fig10(w io.Writer, rows []experiments.Fig10Row) {
+	Section(w, "Figure 10", "[U.S.] PHY UL throughput by channel")
+	fmt.Fprintf(w, "%-8s %-9s %14s %14s\n", "channel", "operator", "CQI≥12 (Mbps)", "CQI<10 (Mbps)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-9s %14.1f %14.1f\n", r.Channel, r.Operator, r.GoodULMbps, r.PoorULMbps)
+	}
+}
+
+// Fig11 renders the latency comparison.
+func Fig11(w io.Writer, rows []experiments.Fig11Row) {
+	Section(w, "Figure 11", "5G PHY user-plane latency")
+	fmt.Fprintf(w, "%-9s %4s %-12s %12s %12s %16s\n",
+		"operator", "MHz", "TDD frame", "BLER=0 (ms)", "BLER>0 (ms)", "P5–P95 (ms)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9s %4d %-12s %12.2f %12.2f %8.2f–%6.2f\n",
+			r.Operator, r.BandwidthMHz, r.Pattern, r.CleanMs, r.RetxMs, r.CleanP5Ms, r.CleanP95Ms)
+	}
+}
+
+// Fig12 renders the variability curves.
+func Fig12(w io.Writer, series []experiments.Fig12Series) {
+	Section(w, "Figure 12", "Variability of throughput, MCS and MIMO across time scales")
+	for _, s := range series {
+		fmt.Fprintf(w, "%s: tput V %.1f±%.1f Mbps | MCS V %.2f±%.2f | MIMO V %.3f±%.3f | stabilizes ≈%v\n",
+			s.Operator, s.TputMean, s.TputStd, s.MCSMean, s.MCSStd, s.MIMOMean, s.MIMOStd, s.Stabilization)
+		fmt.Fprintf(w, "   scale     V(tput)   V(MCS)   V(MIMO)\n")
+		for i, p := range s.Tput {
+			if i >= len(s.MCS) || i >= len(s.MIMO) {
+				break
+			}
+			fmt.Fprintf(w, "   %8v %8.1f %8.2f %9.3f\n", p.Duration, p.V, s.MCS[i].V, s.MIMO[i].V)
+		}
+	}
+}
+
+// Fig13 renders the time-series summary.
+func Fig13(w io.Writer, r *experiments.Fig13Result) {
+	Section(w, "Figure 13", "V_Sp time series at 60 ms granularity")
+	fmt.Fprintf(w, "samples: %d × %.0f ms\n", len(r.TputMbps), r.StepSec*1000)
+	fmt.Fprintf(w, "tput  mean %7.1f Mbps  std %6.1f\n", analysis.Mean(r.TputMbps), analysis.Std(r.TputMbps))
+	fmt.Fprintf(w, "MCS   mean %7.2f       std %6.2f   relative V %.4f\n", analysis.Mean(r.MCS), analysis.Std(r.MCS), r.MCSVariability)
+	fmt.Fprintf(w, "MIMO  mean %7.2f       std %6.2f\n", analysis.Mean(r.MIMO), analysis.Std(r.MIMO))
+	fmt.Fprintf(w, "RBs   mean %7.1f       std %6.1f   relative V %.4f (≪ MCS: RBs contribute less)\n",
+		analysis.Mean(r.RBs), analysis.Std(r.RBs), r.RBVariability)
+}
+
+// Fig14 renders the location/user experiment.
+func Fig14(w io.Writer, cells []experiments.Fig14Cell) {
+	Section(w, "Figure 14", "Variability across locations and simultaneous users")
+	fmt.Fprintf(w, "%-4s %6s %-12s %9s %9s %8s %8s\n", "loc", "dist", "mode", "DL Mbps", "mean RBs", "V(MCS)", "V(MIMO)")
+	for _, c := range cells {
+		mode := "simultaneous"
+		if c.Sequential {
+			mode = "sequential"
+		}
+		fmt.Fprintf(w, "%-4s %5.0fm %-12s %9.1f %9.1f %8.3f %8.3f\n",
+			c.Location, c.DistanceM, mode, c.DLMbps, c.MeanRBs, c.VMCS, c.VMIMO)
+	}
+}
+
+// Fig15 renders the QoE scatter.
+func Fig15(w io.Writer, points []experiments.Fig15Point) {
+	Section(w, "Figure 15", "Channel variability → video QoE")
+	fmt.Fprintf(w, "%-9s %10s %10s %9s %8s %8s\n", "operator", "tput Mbps", "norm rate", "stall %", "V(MCS)", "V(MIMO)")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-9s %10.1f %10.2f %9.2f %8.2f %8.3f\n",
+			p.Operator, p.AvgTputMbps, p.NormBitrate, p.StallPct, p.VMCS, p.VMIMO)
+	}
+}
+
+// Fig16 renders the video deep dive.
+func Fig16(w io.Writer, r *experiments.Fig16Result) {
+	Section(w, "Figure 16", "Throughput variability impact on a V_Sp video session")
+	fmt.Fprintf(w, "avg quality = %.2f   stall time = %.2f%%   stalls = %d   chunks = %d\n",
+		r.AvgQuality, r.StallPct, len(r.Stalls), len(r.Decisions))
+	fmt.Fprintf(w, "first chunk decisions (index, quality, buffer at decision):\n")
+	for i, d := range r.Decisions {
+		if i >= 12 {
+			fmt.Fprintf(w, "   ...\n")
+			break
+		}
+		fmt.Fprintf(w, "   #%02d q=%d buf=%5.1fs tput=%6.1f Mbps\n", d.Index, d.Quality, d.BufferAtDecision, d.ThroughputMbps)
+	}
+}
+
+// Fig17 renders the chunk-length comparison.
+func Fig17(w io.Writer, rows []experiments.Fig17Row) {
+	Section(w, "Figure 17", "Impact of video chunk length on QoE")
+	fmt.Fprintf(w, "%-9s %8s %10s %9s\n", "operator", "chunk", "norm rate", "stall %")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9s %6.0f s %10.2f %9.2f\n", r.Operator, r.ChunkSec, r.NormBitrate, r.StallPct)
+	}
+}
+
+// Fig18 renders the mid-band vs mmWave variability comparison.
+func Fig18(w io.Writer, series []experiments.Fig18Series) {
+	Section(w, "Figure 18", "Mid-band vs mmWave throughput and variability under mobility")
+	for _, s := range series {
+		fmt.Fprintf(w, "%-8s %-8s %8.0f Mbps  outage %5.1f%%\n", s.Tech, s.Mobility, s.DLMbps, s.OutagePct)
+		for _, p := range s.Curve {
+			if p.Duration < 8_000_000 { // start at 8 ms
+				continue
+			}
+			fmt.Fprintf(w, "   %8v V=%8.1f (rel %.3f)\n", p.Duration, p.V, p.V/s.DLMbps)
+		}
+	}
+}
+
+// Fig19 renders the mobility QoE comparison.
+func Fig19(w io.Writer, points []experiments.Fig19Point) {
+	Section(w, "Figure 19", "Mid-band vs mmWave video QoE under mobility")
+	fmt.Fprintf(w, "%-8s %-8s %-9s %10s %9s\n", "tech", "mobility", "ladder", "norm rate", "stall %")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-8s %-8s %-9s %10.2f %9.2f\n", p.Tech, p.Mobility, p.Ladder, p.NormBitrate, p.StallPct)
+	}
+}
+
+// Fig23 renders the CA benefit.
+func Fig23(w io.Writer, rows []experiments.Fig23Row) {
+	Section(w, "Figure 23", "Benefits of carrier aggregation (T-Mobile)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s %4d MHz %9.1f Mbps  %s\n", r.Combo, r.BandwidthMHz, r.DLMbps, bar(r.DLMbps/30))
+	}
+}
+
+// Fig24 renders the ABR comparison.
+func Fig24(w io.Writer, rows []experiments.Fig24Row) {
+	Section(w, "Figure 24", "ABR algorithm comparison")
+	fmt.Fprintf(w, "%-11s %-9s %10s %9s\n", "ABR", "operator", "norm rate", "stall %")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-11s %-9s %10.2f %9.2f\n", r.ABR, r.Operator, r.NormBitrate, r.StallPct)
+	}
+}
+
+// Sec7 renders the aggregate mobility comparison.
+func Sec7(w io.Writer, rows []experiments.Sec7Row) {
+	Section(w, "§7", "Aggregate mid-band vs mmWave under mobility")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s mid-band %7.1f Mbps | mmWave %7.1f Mbps | mid-band %4.1f%% more stable\n",
+			r.Mobility, r.MidBandMbps, r.MmWaveMbps, r.StabilityGainPct)
+	}
+}
+
+// PaperComparison prints paper-reported vs measured values for the headline
+// per-operator metrics — the EXPERIMENTS.md source material.
+func PaperComparison(w io.Writer, fig1 []experiments.Fig01Row, fig9 []experiments.Fig09Row, fig11 []experiments.Fig11Row) {
+	Section(w, "Summary", "Paper-reported vs measured")
+	fmt.Fprintf(w, "%-9s %18s %18s %24s\n", "operator", "DL Mbps (paper)", "UL Mbps (paper)", "latency ms (paper)")
+	byOp := map[string]*[3][2]float64{}
+	rowOf := func(acr string) *[3][2]float64 {
+		if byOp[acr] == nil {
+			byOp[acr] = &[3][2]float64{}
+		}
+		return byOp[acr]
+	}
+	var order []string
+	for _, r := range fig1 {
+		rowOf(r.Operator)[0][0] = r.DLMbps
+		order = append(order, r.Operator)
+	}
+	for _, r := range fig9 {
+		if byOp[r.Operator] == nil {
+			order = append(order, r.Operator)
+		}
+		rowOf(r.Operator)[1][0] = r.ULMbps
+	}
+	for _, r := range fig11 {
+		if byOp[r.Operator] == nil {
+			order = append(order, r.Operator)
+		}
+		rowOf(r.Operator)[2][0] = r.CleanMs
+	}
+	for _, acr := range order {
+		t := operators.Targets[acr]
+		v := byOp[acr]
+		fmt.Fprintf(w, "%-9s %8.1f (%7.1f) %8.1f (%7.1f) %11.2f (%8.2f)\n",
+			acr, v[0][0], t.DLMbps, v[1][0], t.ULMbps, v[2][0], t.LatencyCleanMs)
+	}
+}
+
+// bar draws a crude horizontal bar for terminal output.
+func bar(n float64) string {
+	if n < 0 {
+		n = 0
+	}
+	if n > 60 {
+		n = 60
+	}
+	return strings.Repeat("#", int(n))
+}
+
+// Extensions renders the beyond-the-paper experiments.
+
+// ExtNSAvsSA renders the NSA/SA uplink comparison.
+func ExtNSAvsSA(w io.Writer, rows []experiments.ExtNSAvsSARow) {
+	Section(w, "Ext A", "T-Mobile NSA vs SA uplink routing")
+	fmt.Fprintf(w, "%-5s %10s %10s %10s\n", "mode", "UL Mbps", "NR UL", "LTE UL")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-5s %10.1f %10.1f %10.1f\n", r.Mode, r.ULMbps, r.NRULMbps, r.LTEULMbps)
+	}
+}
+
+// ExtTDDSweep renders the frame-structure design-space sweep.
+func ExtTDDSweep(w io.Writer, rows []experiments.ExtTDDSweepRow) {
+	Section(w, "Ext B", "TDD frame-structure sweep (the tradeoff §3.1 defers)")
+	fmt.Fprintf(w, "%-12s %8s %9s %9s %12s %12s\n",
+		"pattern", "DL duty", "DL Mbps", "UL Mbps", "lat (ms)", "lat+SR (ms)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %8.3f %9.1f %9.1f %12.2f %12.2f\n",
+			r.Pattern, r.DLDuty, r.DLMbps, r.ULMbps, r.LatencyMs, r.LatencySRMs)
+	}
+}
+
+// ExtABR renders the five-algorithm comparison.
+func ExtABR(w io.Writer, rows []experiments.ExtABRRow) {
+	Section(w, "Ext C", "Extended ABR comparison (incl. L2A and LoLP, footnote 6)")
+	fmt.Fprintf(w, "%-11s %10s %9s %9s\n", "ABR", "norm rate", "stall %", "switches")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-11s %10.2f %9.2f %9d\n", r.ABR, r.NormBitrate, r.StallPct, r.Switches)
+	}
+}
+
+// ExtSchedulers renders the multi-UE scheduler comparison.
+func ExtSchedulers(w io.Writer, rows []experiments.ExtSchedulerRow) {
+	Section(w, "Ext D", "Two-UE cell under different schedulers (Fig. 14 substrate)")
+	fmt.Fprintf(w, "%-18s %10s %10s %9s\n", "policy", "near Mbps", "far Mbps", "fairness")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %10.1f %10.1f %9.3f\n", r.Policy, r.NearMbps, r.FarMbps, r.JainFairness)
+	}
+}
+
+// ExtTransport renders the PHY-vs-TCP goodput gap.
+func ExtTransport(w io.Writer, rows []experiments.ExtTransportRow) {
+	Section(w, "Ext E", "Transport-layer gap: TCP goodput vs PHY capacity")
+	fmt.Fprintf(w, "%-9s %10s %12s %11s %10s\n", "operator", "PHY Mbps", "TCP Mbps", "efficiency", "mean RTT")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9s %10.1f %12.1f %10.1f%% %7.1f ms\n",
+			r.Operator, r.PHYMbps, r.GoodputMbps, r.EfficiencyPc, r.MeanRTTms)
+	}
+}
+
+// ExtHandover renders the mobility handover cost.
+func ExtHandover(w io.Writer, rows []experiments.ExtHandoverRow) {
+	Section(w, "Ext F", "Handover interruption cost under mobility")
+	fmt.Fprintf(w, "%-9s %12s %15s %10s\n", "mobility", "with (Mbps)", "without (Mbps)", "cost")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9s %12.1f %15.1f %9.1f%%\n", r.Mobility, r.WithMbps, r.WithoutMbps, r.InterruptionPct)
+	}
+}

@@ -1,0 +1,173 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/midband5g/midband/internal/analysis"
+	"github.com/midband5g/midband/internal/config"
+	"github.com/midband5g/midband/internal/core"
+	"github.com/midband5g/midband/internal/experiments"
+	"github.com/midband5g/midband/internal/phy"
+	"github.com/midband5g/midband/internal/video"
+)
+
+// The report package is pure formatting; these tests render each artifact
+// from synthetic rows and check the load-bearing content appears.
+
+func render(f func(w *strings.Builder)) string {
+	var b strings.Builder
+	f(&b)
+	return b.String()
+}
+
+func TestTable1Rendering(t *testing.T) {
+	s := &core.CampaignStats{
+		Countries: map[string]bool{"Spain": true, "USA": true},
+		Cities:    map[string]bool{"Madrid": true, "Chicago": true},
+		Operators: 2,
+		Minutes:   12.5,
+		DataTB:    0.004,
+		Sessions: []core.SessionReport{{
+			Operator: "V_Sp", Country: "Spain", DLMbps: 743.2, ULMbps: 55.1,
+			LatencyClean: 2_300_000, LatencyRetx: 2_800_000,
+		}},
+		TraceFiles: 1,
+	}
+	out := render(func(w *strings.Builder) { Table1(w, s) })
+	for _, want := range []string{"Spain, USA", "V_Sp", "743.2", "12.5 minutes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTables23Rendering(t *testing.T) {
+	rows := []experiments.ConfigRow{{
+		Operator: "Tmb_US", Country: "USA", CA: true,
+		Carriers: []config.ChannelConfig{
+			{Band: "n41", BandwidthMHz: 100, SCSkHz: 30, NRB: 273, Duplex: "TDD", TDDPattern: "DDDDDDDSUU", MaxMIMOLayers: 4, MCSTable: 2},
+			{Band: "n25", BandwidthMHz: 20, SCSkHz: 15, NRB: 51, Duplex: "FDD", Note: "printed-table mismatch"},
+		},
+	}}
+	out := render(func(w *strings.Builder) { Tables23(w, rows) })
+	for _, want := range []string{"n41", "DDDDDDDSUU", "+CA", "printed-table mismatch"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Tables23 output missing %q", want)
+		}
+	}
+}
+
+func TestFigureRenderings(t *testing.T) {
+	var b strings.Builder
+	Sec32(&b, []experiments.Sec32Result{{Operator: "V_Sp", BandwidthMHz: 90, TheoreticalMax: 1213.44, ObservedMax: 1100, GapPct: 10.3}})
+	Fig01(&b, []experiments.Fig01Row{{Operator: "V_It", Region: "EU", DLMbps: 810}, {Operator: "Vzw_US", Region: "US", DLMbps: 1260}})
+	Fig02(&b, []experiments.Fig02Row{{Operator: "V_Sp", BandwidthMHz: 90, DLMbps: 771}})
+	Fig03(&b, []experiments.Fig03Series{{Operator: "V_Sp", CDF: analysis.NewCDF([]float64{1, 2, 3})}})
+	Fig04(&b, []experiments.Fig04Row{{Operator: "V_Sp", BandwidthMHz: 90, NRB: 245, Alloc: analysis.Summarize([]float64{240, 244})}})
+	Fig05(&b, []experiments.Fig05Row{{Operator: "V_Sp", Shares: map[phy.Modulation]float64{phy.QAM64: 0.91, phy.QAM256: 0.08}}})
+	Fig06(&b, []experiments.Fig06Row{{Operator: "V_Sp", Shares: map[int]float64{4: 0.87, 3: 0.12}}})
+	Fig07(&b, []experiments.Fig07Series{{Operator: "V_Sp", Sites: 3, MeanRSRQ: -11.2, Points: []experiments.Fig07Point{{PosM: 0, RSRQdB: -11}}}})
+	Fig08(&b, []experiments.Fig08Row{{Operator: "V_Sp", DLMbps: 743, BandwidthMHz: 90, MeanREs: 33000, MeanRank: 3.8, Mod256Share: 0.08, MaxModulation: phy.QAM256}})
+	Fig09(&b, []experiments.Fig09Row{{Operator: "O_Sp90", BandwidthMHz: 90, ULMbps: 95.6}})
+	Fig10(&b, []experiments.Fig10Row{{Channel: "LTE_US", Operator: "Tmb_US", GoodULMbps: 72.6, PoorULMbps: 44.8}})
+	Fig11(&b, []experiments.Fig11Row{{Operator: "V_Ge", BandwidthMHz: 80, Pattern: "DDDSU", CleanMs: 2.13, RetxMs: 2.20}})
+	Fig12(&b, []experiments.Fig12Series{{Operator: "V_It", Tput: []analysis.ScalePoint{{Scale: 1, Duration: time.Millisecond, V: 50}}, MCS: []analysis.ScalePoint{{V: 1}}, MIMO: []analysis.ScalePoint{{V: 0.1}}}})
+	Fig13(&b, &experiments.Fig13Result{Operator: "V_Sp", StepSec: 0.06, TputMbps: []float64{700, 720}, MCS: []float64{13, 14}, MIMO: []float64{4, 4}, RBs: []float64{240, 241}, RBVariability: 0.002, MCSVariability: 0.05})
+	Fig14(&b, []experiments.Fig14Cell{{Location: "A", DistanceM: 45, Sequential: true, DLMbps: 595, MeanRBs: 172, VMCS: 0.4, VMIMO: 0.05}})
+	Fig15(&b, []experiments.Fig15Point{{Operator: "V_It", AvgTputMbps: 652, NormBitrate: 0.9, StallPct: 0.2, VMCS: 2, VMIMO: 0.1}})
+	Fig16(&b, &experiments.Fig16Result{Operator: "V_Sp", AvgQuality: 5.41, StallPct: 9.96, Decisions: []video.ChunkRecord{{Index: 0, Quality: 6}}})
+	Fig17(&b, []experiments.Fig17Row{{Operator: "V_Ge", ChunkSec: 1, NormBitrate: 0.9, StallPct: 0.4}})
+	Fig18(&b, []experiments.Fig18Series{{Tech: "mmwave", Mobility: "driving", DLMbps: 1100, OutagePct: 15, Curve: []analysis.ScalePoint{{Duration: 16 * time.Millisecond, V: 200}}}})
+	Fig19(&b, []experiments.Fig19Point{{Tech: "mmwave", Mobility: "driving", Ladder: "1.25Gbps", NormBitrate: 0.6, StallPct: 2.5}})
+	Fig23(&b, []experiments.Fig23Row{{Combo: "n41-100+n41-40", BandwidthMHz: 140, DLMbps: 1300}})
+	Fig24(&b, []experiments.Fig24Row{{ABR: "bola", Operator: "V_Sp", NormBitrate: 0.9, StallPct: 0.5}})
+	Sec7(&b, []experiments.Sec7Row{{Mobility: "walking", MidBandMbps: 1600, MmWaveMbps: 3200, StabilityGainPct: 41.4}})
+	out := b.String()
+
+	for _, want := range []string{
+		"1213.44", "V_It", "1.26", // Sec32/Fig01 content (1260 Mbps renders as 1.26 Gbps)
+		"DDDSU", "5.41", "41.4", "n41-100+n41-40",
+		"Figure 12", "Figure 19", "§7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("combined rendering missing %q", want)
+		}
+	}
+	// Every section got its header.
+	for _, id := range []string{"Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5",
+		"Figure 6", "Figure 7", "Figure 8", "Figure 9", "Figure 10", "Figure 11",
+		"Figure 13", "Figure 14", "Figure 15", "Figure 16", "Figure 17", "Figure 18",
+		"Figure 23", "Figure 24"} {
+		if !strings.Contains(out, id+" —") {
+			t.Errorf("missing section header %q", id)
+		}
+	}
+}
+
+func TestPaperComparison(t *testing.T) {
+	out := render(func(w *strings.Builder) {
+		PaperComparison(w,
+			[]experiments.Fig01Row{{Operator: "V_It", Region: "EU", DLMbps: 805}},
+			[]experiments.Fig09Row{{Operator: "V_It", ULMbps: 88.5}},
+			[]experiments.Fig11Row{{Operator: "V_It", CleanMs: 7.9}})
+	})
+	// Paper targets appear next to measured values.
+	for _, want := range []string{"V_It", "809.8", "88.0", "6.93"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	dir := t.TempDir()
+	if err := Fig01CSV(dir, []experiments.Fig01Row{{Operator: "V_It", Region: "EU", DLMbps: 809.8}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig02CSV(dir, []experiments.Fig02Row{{Operator: "V_Sp", BandwidthMHz: 90, DLMbps: 771}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig09CSV(dir, []experiments.Fig09Row{{Operator: "O_Sp90", BandwidthMHz: 90, ULMbps: 95.6}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig11CSV(dir, []experiments.Fig11Row{{Operator: "V_Ge", Pattern: "DDDSU", CleanMs: 2.13, RetxMs: 2.2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig12CSV(dir, []experiments.Fig12Series{{
+		Operator: "V_It",
+		Tput:     []analysis.ScalePoint{{Duration: time.Millisecond, V: 50}},
+		MCS:      []analysis.ScalePoint{{Duration: time.Millisecond, V: 1}},
+		MIMO:     []analysis.ScalePoint{{Duration: time.Millisecond, V: 0.1}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig17CSV(dir, []experiments.Fig17Row{{Operator: "V_Ge", ChunkSec: 1, NormBitrate: 0.9, StallPct: 0.4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig18CSV(dir, []experiments.Fig18Series{{
+		Tech: "mmwave", Mobility: "driving", DLMbps: 1100, OutagePct: 15,
+		Curve: []analysis.ScalePoint{{Duration: 16 * time.Millisecond, V: 200}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Sec7CSV(dir, []experiments.Sec7Row{{Mobility: "walking", MidBandMbps: 1600, MmWaveMbps: 3200, StabilityGainPct: 41.4}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig01.csv", "fig02.csv", "fig09.csv", "fig11.csv", "fig12.csv", "fig17.csv", "fig18.csv", "sec7.csv"} {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+		if len(lines) < 2 {
+			t.Errorf("%s: no data rows", name)
+		}
+		if !strings.Contains(lines[0], ",") {
+			t.Errorf("%s: header not CSV", name)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package tdd models NR TDD UL/DL frame patterns such as DDDSU and
+// DDDDDDDSUU. Section 4.3 of the paper attributes the user-plane latency
+// differences between operators (e.g. Vodafone Italy's 6.93 ms vs Vodafone
+// Germany's 2.13 ms) to exactly these patterns, and §4.2 attributes the
+// DL/UL throughput asymmetry to their slot split.
+package tdd
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/midband5g/midband/internal/phy"
+)
+
+// SlotType classifies a slot in the TDD pattern.
+type SlotType uint8
+
+const (
+	// Downlink slots carry only DL symbols.
+	Downlink SlotType = iota
+	// Uplink slots carry only UL symbols.
+	Uplink
+	// Special (flexible) slots split their symbols between DL, guard
+	// and UL.
+	Special
+)
+
+func (s SlotType) String() string {
+	switch s {
+	case Downlink:
+		return "D"
+	case Uplink:
+		return "U"
+	case Special:
+		return "S"
+	default:
+		return "?"
+	}
+}
+
+// SpecialConfig is the symbol split of a special slot. DL+Guard+UL must be
+// 14 symbols.
+type SpecialConfig struct {
+	DLSymbols, GuardSymbols, ULSymbols int
+}
+
+// DefaultSpecial is the common 10:2:2 special-slot configuration. With the
+// DDDDDDDSUU frame it yields the exact 108/140 DL duty cycle behind the
+// paper's §3.2 theoretical throughput numbers.
+var DefaultSpecial = SpecialConfig{DLSymbols: 10, GuardSymbols: 2, ULSymbols: 2}
+
+// Validate checks the symbol split sums to one slot.
+func (c SpecialConfig) Validate() error {
+	if c.DLSymbols < 0 || c.GuardSymbols < 0 || c.ULSymbols < 0 {
+		return fmt.Errorf("tdd: negative symbol counts in special config %+v", c)
+	}
+	if sum := c.DLSymbols + c.GuardSymbols + c.ULSymbols; sum != phy.SymbolsPerSlot {
+		return fmt.Errorf("tdd: special slot symbols sum to %d, want %d", sum, phy.SymbolsPerSlot)
+	}
+	return nil
+}
+
+// Pattern is a repeating TDD UL/DL slot pattern.
+type Pattern struct {
+	slots   []SlotType
+	special SpecialConfig
+	str     string
+}
+
+// Parse builds a Pattern from a string of 'D', 'S' and 'U' characters using
+// the given special-slot configuration (DefaultSpecial if zero).
+func Parse(s string, special SpecialConfig) (Pattern, error) {
+	if s == "" {
+		return Pattern{}, fmt.Errorf("tdd: empty pattern")
+	}
+	if special == (SpecialConfig{}) {
+		special = DefaultSpecial
+	}
+	if err := special.Validate(); err != nil {
+		return Pattern{}, err
+	}
+	slots := make([]SlotType, 0, len(s))
+	for i, r := range strings.ToUpper(s) {
+		switch r {
+		case 'D':
+			slots = append(slots, Downlink)
+		case 'U':
+			slots = append(slots, Uplink)
+		case 'S':
+			slots = append(slots, Special)
+		default:
+			return Pattern{}, fmt.Errorf("tdd: invalid slot %q at position %d in %q", r, i, s)
+		}
+	}
+	return Pattern{slots: slots, special: special, str: strings.ToUpper(s)}, nil
+}
+
+// MustParse is Parse with a panic on error, for static pattern literals.
+func MustParse(s string) Pattern {
+	p, err := Parse(s, SpecialConfig{})
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// String returns the D/S/U string form.
+func (p Pattern) String() string { return p.str }
+
+// Period returns the number of slots in one repetition.
+func (p Pattern) Period() int { return len(p.slots) }
+
+// Special returns the special-slot symbol configuration.
+func (p Pattern) Special() SpecialConfig { return p.special }
+
+// Slot returns the slot type at absolute slot index i (the pattern repeats).
+func (p Pattern) Slot(i int64) SlotType {
+	n := int64(len(p.slots))
+	idx := i % n
+	if idx < 0 {
+		idx += n
+	}
+	return p.slots[idx]
+}
+
+// DLSymbols returns the number of symbols usable for downlink data in the
+// slot at index i.
+func (p Pattern) DLSymbols(i int64) int {
+	switch p.Slot(i) {
+	case Downlink:
+		return phy.SymbolsPerSlot
+	case Special:
+		return p.special.DLSymbols
+	default:
+		return 0
+	}
+}
+
+// ULSymbols returns the number of symbols usable for uplink data in the
+// slot at index i.
+func (p Pattern) ULSymbols(i int64) int {
+	switch p.Slot(i) {
+	case Uplink:
+		return phy.SymbolsPerSlot
+	case Special:
+		return p.special.ULSymbols
+	default:
+		return 0
+	}
+}
+
+// DLDutyCycle returns the fraction of symbols per period usable for DL.
+// For DDDDDDDSUU with the 10:2:2 special slot this is 108/140 ≈ 0.771.
+func (p Pattern) DLDutyCycle() float64 {
+	total := len(p.slots) * phy.SymbolsPerSlot
+	dl := 0
+	for i := range p.slots {
+		dl += p.DLSymbols(int64(i))
+	}
+	return float64(dl) / float64(total)
+}
+
+// ULDutyCycle returns the fraction of symbols per period usable for UL.
+func (p Pattern) ULDutyCycle() float64 {
+	total := len(p.slots) * phy.SymbolsPerSlot
+	ul := 0
+	for i := range p.slots {
+		ul += p.ULSymbols(int64(i))
+	}
+	return float64(ul) / float64(total)
+}
+
+// NextUL returns the smallest j ≥ from such that slot j carries UL symbols.
+func (p Pattern) NextUL(from int64) int64 {
+	for j := from; j < from+int64(len(p.slots)); j++ {
+		if p.ULSymbols(j) > 0 {
+			return j
+		}
+	}
+	return -1 // unreachable for any valid pattern containing U or S
+}
+
+// NextDL returns the smallest j ≥ from such that slot j carries DL symbols.
+func (p Pattern) NextDL(from int64) int64 {
+	for j := from; j < from+int64(len(p.slots)); j++ {
+		if p.DLSymbols(j) > 0 {
+			return j
+		}
+	}
+	return -1
+}
+
+// MeanULWaitSlots returns the expected number of whole slots a transmission
+// ready at a uniformly random slot boundary waits until the next slot with
+// full UL symbols (Special-slot UL is ignored here because scheduling
+// requests and data PUSCH use the full UL slots in commercial mid-band
+// deployments). This drives the user-plane latency asymmetry of Fig. 11.
+func (p Pattern) MeanULWaitSlots() float64 {
+	n := len(p.slots)
+	total := 0
+	for i := 0; i < n; i++ {
+		for j := 0; ; j++ {
+			if p.Slot(int64(i+j)) == Uplink {
+				total += j
+				break
+			}
+			if j > 2*n {
+				return -1
+			}
+		}
+	}
+	return float64(total) / float64(n)
+}
+
+// ULSlotsPerPeriod counts the full UL slots in one period.
+func (p Pattern) ULSlotsPerPeriod() int {
+	c := 0
+	for _, s := range p.slots {
+		if s == Uplink {
+			c++
+		}
+	}
+	return c
+}
+
+// DLSlotsPerPeriod counts the full DL slots in one period.
+func (p Pattern) DLSlotsPerPeriod() int {
+	c := 0
+	for _, s := range p.slots {
+		if s == Downlink {
+			c++
+		}
+	}
+	return c
+}

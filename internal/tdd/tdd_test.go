@@ -1,0 +1,147 @@
+package tdd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestParse(t *testing.T) {
+	p, err := Parse("dddsu", SpecialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "DDDSU" || p.Period() != 5 {
+		t.Errorf("parsed %q period %d", p.String(), p.Period())
+	}
+	if _, err := Parse("DDXSU", SpecialConfig{}); err == nil {
+		t.Error("invalid slot letter should fail")
+	}
+	if _, err := Parse("", SpecialConfig{}); err == nil {
+		t.Error("empty pattern should fail")
+	}
+	if _, err := Parse("DSU", SpecialConfig{DLSymbols: 9, GuardSymbols: 2, ULSymbols: 2}); err == nil {
+		t.Error("special slot not summing to 14 should fail")
+	}
+}
+
+func TestSlotIndexing(t *testing.T) {
+	p := MustParse("DDDSU")
+	want := []SlotType{Downlink, Downlink, Downlink, Special, Uplink}
+	for i := int64(0); i < 15; i++ {
+		if got := p.Slot(i); got != want[i%5] {
+			t.Errorf("slot %d = %v, want %v", i, got, want[i%5])
+		}
+	}
+	if p.Slot(-1) != Uplink {
+		t.Error("negative indices should wrap")
+	}
+}
+
+func TestDutyCycles(t *testing.T) {
+	// DDDDDDDSUU with 10:2:2 special: DL duty = (7·14+10)/140 = 108/140,
+	// the exact factor behind the paper's §3.2 numbers.
+	p := MustParse("DDDDDDDSUU")
+	if got, want := p.DLDutyCycle(), 108.0/140.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("DDDDDDDSUU DL duty = %g, want %g", got, want)
+	}
+	if got, want := p.ULDutyCycle(), 30.0/140.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("DDDDDDDSUU UL duty = %g, want %g", got, want)
+	}
+	q := MustParse("DDDSU")
+	if got, want := q.DLDutyCycle(), 52.0/70.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("DDDSU DL duty = %g, want %g", got, want)
+	}
+	// DDDSU has proportionally more UL opportunities per unit time.
+	if q.ULDutyCycle() <= p.ULDutyCycle() {
+		t.Error("DDDSU should have higher UL duty than DDDDDDDSUU")
+	}
+}
+
+func TestSymbolCounts(t *testing.T) {
+	p := MustParse("DDDSU")
+	if p.DLSymbols(0) != 14 || p.ULSymbols(0) != 0 {
+		t.Error("D slot symbols wrong")
+	}
+	if p.DLSymbols(3) != 10 || p.ULSymbols(3) != 2 {
+		t.Error("S slot symbols wrong")
+	}
+	if p.DLSymbols(4) != 0 || p.ULSymbols(4) != 14 {
+		t.Error("U slot symbols wrong")
+	}
+}
+
+func TestNextULDL(t *testing.T) {
+	p := MustParse("DDDDDDDSUU")
+	if got := p.NextUL(0); got != 7 { // special slot carries UL symbols
+		t.Errorf("NextUL(0) = %d, want 7", got)
+	}
+	if got := p.NextUL(9); got != 9 {
+		t.Errorf("NextUL(9) = %d, want 9", got)
+	}
+	if got := p.NextUL(10); got != 17 {
+		t.Errorf("NextUL(10) = %d, want 17", got)
+	}
+	if got := p.NextDL(8); got != 10 {
+		t.Errorf("NextDL(8) = %d, want 10", got)
+	}
+}
+
+func TestMeanULWaitOrdering(t *testing.T) {
+	// The latency mechanism of §4.3: the bunched DDDDDDDSUU pattern makes
+	// a UE wait much longer for a full UL slot than DDDSU does.
+	long := MustParse("DDDDDDDSUU").MeanULWaitSlots()
+	short := MustParse("DDDSU").MeanULWaitSlots()
+	if long <= short {
+		t.Errorf("DDDDDDDSUU mean UL wait %g should exceed DDDSU %g", long, short)
+	}
+	// Exact values: DDDDDDDSUU waits (8+7+6+5+4+3+2+1+0+0)/10 = 3.6 slots;
+	// DDDSU waits (4+3+2+1+0)/5 = 2 slots.
+	if math.Abs(long-3.6) > 1e-12 {
+		t.Errorf("DDDDDDDSUU mean UL wait = %g, want 3.6", long)
+	}
+	if math.Abs(short-2.0) > 1e-12 {
+		t.Errorf("DDDSU mean UL wait = %g, want 2.0", short)
+	}
+}
+
+func TestSlotCounts(t *testing.T) {
+	p := MustParse("DDDDDDDSUU")
+	if p.DLSlotsPerPeriod() != 7 || p.ULSlotsPerPeriod() != 2 {
+		t.Errorf("DDDDDDDSUU D/U = %d/%d, want 7/2", p.DLSlotsPerPeriod(), p.ULSlotsPerPeriod())
+	}
+}
+
+func TestDutyCyclesSumProperty(t *testing.T) {
+	// DL duty + UL duty + guard fraction = 1 for every valid pattern.
+	patterns := []string{"DDDSU", "DDDDDDDSUU", "DSUUU", "DDDDDDDDSU", "DU", "DDSU"}
+	f := func(pick uint8) bool {
+		p := MustParse(patterns[int(pick)%len(patterns)])
+		guardFrac := float64(p.Special().GuardSymbols*countSpecials(p)) /
+			float64(p.Period()*14)
+		sum := p.DLDutyCycle() + p.ULDutyCycle() + guardFrac
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func countSpecials(p Pattern) int {
+	c := 0
+	for i := 0; i < p.Period(); i++ {
+		if p.Slot(int64(i)) == Special {
+			c++
+		}
+	}
+	return c
+}
+
+func TestSlotTypeString(t *testing.T) {
+	if Downlink.String() != "D" || Uplink.String() != "U" || Special.String() != "S" {
+		t.Error("SlotType strings wrong")
+	}
+	if SlotType(9).String() != "?" {
+		t.Error("unknown slot type should print ?")
+	}
+}

@@ -1,0 +1,215 @@
+// Package transport implements a congestion-controlled bulk-transfer flow
+// (TCP CUBIC-style) running over the simulated 5G link. The paper's iPerf3
+// sessions measure PHY goodput through exactly such a flow; this substrate
+// quantifies the transport-layer gap — bufferbloat, slow start after
+// outages, loss recovery — between the PHY capacity and what an application
+// actually sees.
+package transport
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/midband5g/midband/internal/net5g"
+)
+
+// FlowConfig parameterizes a downlink bulk flow.
+type FlowConfig struct {
+	// RTTBase is the non-radio round trip (server/core network). The
+	// paper's Ookla/Wavelength edge servers sit close to the core; a few
+	// milliseconds is representative.
+	RTTBase time.Duration
+	// RadioRTT is the PHY user-plane contribution added to the base RTT
+	// (see internal/net5g's latency model for per-operator values).
+	RadioRTT time.Duration
+	// MSSBytes is the segment size (default 1400).
+	MSSBytes int
+	// BufferBytes is the bottleneck (RLC) buffer; packets beyond it are
+	// dropped, which is what the congestion controller reacts to.
+	// Default 4 MiB.
+	BufferBytes int
+	// InitialCwnd is in segments (default 10).
+	InitialCwnd int
+}
+
+func (c FlowConfig) withDefaults() FlowConfig {
+	if c.RTTBase == 0 {
+		c.RTTBase = 6 * time.Millisecond
+	}
+	if c.RadioRTT == 0 {
+		c.RadioRTT = 4 * time.Millisecond
+	}
+	if c.MSSBytes == 0 {
+		c.MSSBytes = 1400
+	}
+	if c.BufferBytes == 0 {
+		c.BufferBytes = 4 << 20
+	}
+	if c.InitialCwnd == 0 {
+		c.InitialCwnd = 10
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c FlowConfig) Validate() error {
+	c = c.withDefaults()
+	if c.MSSBytes < 100 || c.BufferBytes < c.MSSBytes || c.InitialCwnd < 1 {
+		return fmt.Errorf("transport: invalid flow config %+v", c)
+	}
+	return nil
+}
+
+// FlowResult is the outcome of a bulk transfer.
+type FlowResult struct {
+	// GoodputMbps is the application-layer rate.
+	GoodputMbps float64
+	// PHYMbps is what the link delivered at the PHY during the flow.
+	PHYMbps float64
+	// Losses counts buffer-overflow drops.
+	Losses int
+	// MeanRTT includes queueing delay (bufferbloat).
+	MeanRTT time.Duration
+	// CwndTrace samples the congestion window (segments) every 100 ms.
+	CwndTrace []float64
+}
+
+// Run drives a downlink bulk flow over the link for the given duration.
+//
+// The model is deliberately compact: the sender's window paces bytes into
+// the bottleneck buffer after one RTT; the link drains the buffer at the
+// PHY rate slot by slot; overflow drops trigger a CUBIC-style multiplicative
+// decrease and window regrowth. Delayed feedback rides the configured RTT
+// plus the current queueing delay.
+func Run(link *net5g.Link, cfg FlowConfig, duration time.Duration) (*FlowResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("transport: duration %v invalid", duration)
+	}
+	slot := link.SlotDuration()
+	steps := int(duration / slot)
+	if steps < 1 {
+		return nil, fmt.Errorf("transport: duration shorter than a slot")
+	}
+
+	mss := float64(cfg.MSSBytes)
+	cwnd := float64(cfg.InitialCwnd) // segments
+	ssthresh := math.Inf(1)
+	var (
+		queued      float64 // bytes in the bottleneck buffer
+		inFlight    float64 // bytes sent, not yet acked
+		delivered   float64 // application bytes
+		phyBits     float64
+		losses      int
+		rttSum      float64
+		rttN        int
+		wMax        float64 // CUBIC W_max
+		lastLossSec = -1.0
+	)
+
+	// acks[i] = bytes whose ACK arrives at step i.
+	acks := make([]float64, steps+1)
+	sampleEvery := int((100 * time.Millisecond) / slot)
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	var cwndTrace []float64
+
+	for i := 0; i < steps; i++ {
+		nowSec := float64(i) * slot.Seconds()
+
+		// Process arriving ACKs.
+		if acked := acks[i]; acked > 0 {
+			inFlight -= acked
+			segs := acked / mss
+			if cwnd < ssthresh {
+				cwnd += segs // slow start
+			} else if !math.IsInf(ssthresh, 1) && wMax > 0 {
+				// CUBIC growth: W(t) = C(t−K)³ + W_max.
+				const cCubic = 0.4
+				t := nowSec - lastLossSec
+				k := math.Cbrt(wMax * 0.3 / cCubic)
+				target := cCubic*math.Pow(t-k, 3) + wMax
+				if target > cwnd {
+					cwnd += math.Min(target-cwnd, segs)
+				} else {
+					cwnd += segs / cwnd // Reno-friendly region
+				}
+			} else {
+				cwnd += segs / cwnd
+			}
+		}
+
+		// Send whatever the window allows into the bottleneck buffer.
+		canSend := cwnd*mss - inFlight
+		if canSend > 0 {
+			space := float64(cfg.BufferBytes) - queued
+			sent := math.Min(canSend, space)
+			if sent > 0 {
+				queued += sent
+				inFlight += sent
+			}
+			if canSend > space {
+				// Overflow: one congestion event per RTT.
+				if lastLossSec < 0 || nowSec-lastLossSec > (cfg.RTTBase+cfg.RadioRTT).Seconds() {
+					losses++
+					wMax = cwnd
+					cwnd = math.Max(2, cwnd*0.7) // CUBIC beta = 0.7
+					ssthresh = cwnd
+					lastLossSec = nowSec
+					// The overflowed bytes are dropped from flight.
+					inFlight -= canSend - space
+					if inFlight < 0 {
+						inFlight = 0
+					}
+				}
+			}
+		}
+
+		// Drain the buffer at the PHY rate.
+		r := link.Step(net5g.Demand{DL: queued > 0, Share: 1})
+		phyBits += float64(r.DLBits)
+		drain := math.Min(queued, float64(r.DLBits)/8)
+		queued -= drain
+		delivered += drain
+
+		// Schedule the ACK after RTT + queueing delay at drain time.
+		if drain > 0 {
+			queueDelay := 0.0
+			if r.DLBits > 0 {
+				// Approximate: remaining queue drains at the current rate.
+				queueDelay = queued / (float64(r.DLBits) / 8 / slot.Seconds())
+			}
+			rtt := (cfg.RTTBase + cfg.RadioRTT).Seconds() + queueDelay
+			rttSum += rtt
+			rttN++
+			at := i + int(rtt/slot.Seconds())
+			if at <= i {
+				at = i + 1
+			}
+			if at > steps {
+				at = steps
+			}
+			acks[at] += drain
+		}
+
+		if i%sampleEvery == 0 {
+			cwndTrace = append(cwndTrace, cwnd)
+		}
+	}
+
+	res := &FlowResult{
+		GoodputMbps: delivered * 8 / duration.Seconds() / 1e6,
+		PHYMbps:     phyBits / duration.Seconds() / 1e6,
+		Losses:      losses,
+		CwndTrace:   cwndTrace,
+	}
+	if rttN > 0 {
+		res.MeanRTT = time.Duration(rttSum / float64(rttN) * float64(time.Second))
+	}
+	return res, nil
+}

@@ -1,0 +1,114 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"github.com/midband5g/midband/internal/net5g"
+	"github.com/midband5g/midband/internal/operators"
+)
+
+func testLink(t *testing.T, acr string, seed int64) *net5g.Link {
+	t.Helper()
+	op, err := operators.ByAcronym(acr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := op.LinkConfig(operators.Stationary(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := net5g.NewLink(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CSI warm-up so the link carries traffic from the start.
+	for i := 0; i < 2000; i++ {
+		link.Step(net5g.Demand{DL: true})
+	}
+	return link
+}
+
+func TestFlowValidation(t *testing.T) {
+	link := testLink(t, "V_Ge", 1)
+	if _, err := Run(link, FlowConfig{MSSBytes: 10}, time.Second); err == nil {
+		t.Error("tiny MSS should fail")
+	}
+	if _, err := Run(link, FlowConfig{}, 0); err == nil {
+		t.Error("zero duration should fail")
+	}
+}
+
+func TestFlowReachesMostOfPHY(t *testing.T) {
+	link := testLink(t, "V_Ge", 2)
+	res, err := Run(link, FlowConfig{}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GoodputMbps <= 0 {
+		t.Fatal("no goodput")
+	}
+	// A well-buffered bulk flow sustains most of the PHY rate but never
+	// exceeds it.
+	if res.GoodputMbps > res.PHYMbps+1 {
+		t.Errorf("goodput %.0f exceeds PHY %.0f", res.GoodputMbps, res.PHYMbps)
+	}
+	ratio := res.GoodputMbps / res.PHYMbps
+	if ratio < 0.7 {
+		t.Errorf("transport efficiency %.2f too low (goodput %.0f, PHY %.0f)",
+			ratio, res.GoodputMbps, res.PHYMbps)
+	}
+	if len(res.CwndTrace) == 0 {
+		t.Error("no cwnd trace")
+	}
+}
+
+func TestFlowBufferbloat(t *testing.T) {
+	// A larger bottleneck buffer inflates the measured RTT (bufferbloat)
+	// but does not reduce goodput.
+	link1 := testLink(t, "T_Ge", 3)
+	small, err := Run(link1, FlowConfig{BufferBytes: 1 << 20}, 8*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link2 := testLink(t, "T_Ge", 3)
+	big, err := Run(link2, FlowConfig{BufferBytes: 16 << 20}, 8*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.MeanRTT <= small.MeanRTT {
+		t.Errorf("bigger buffer should inflate RTT: %v vs %v", big.MeanRTT, small.MeanRTT)
+	}
+	if big.GoodputMbps < 0.9*small.GoodputMbps {
+		t.Errorf("bigger buffer should not hurt goodput: %.0f vs %.0f",
+			big.GoodputMbps, small.GoodputMbps)
+	}
+}
+
+func TestFlowLossesWithTinyBuffer(t *testing.T) {
+	link := testLink(t, "V_Sp", 4)
+	res, err := Run(link, FlowConfig{BufferBytes: 256 << 10}, 8*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Losses == 0 {
+		t.Error("a 256 KiB buffer under a >500 Mbps flow should overflow")
+	}
+	if res.GoodputMbps <= 0 {
+		t.Error("flow should still make progress through losses")
+	}
+}
+
+func TestFlowTracksChannelQuality(t *testing.T) {
+	good, err := Run(testLink(t, "V_It", 5), FlowConfig{}, 6*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weak, err := Run(testLink(t, "Att_US", 5), FlowConfig{}, 6*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.GoodputMbps <= weak.GoodputMbps {
+		t.Errorf("V_It flow %.0f should beat Att_US %.0f", good.GoodputMbps, weak.GoodputMbps)
+	}
+}

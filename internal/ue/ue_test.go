@@ -1,0 +1,150 @@
+package ue
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/midband5g/midband/internal/phy"
+)
+
+func csiConfig() CSIConfig {
+	return CSIConfig{Table: phy.CQITable256QAM, Seed: 4}
+}
+
+func TestCSIDefaultsAndValidation(t *testing.T) {
+	c, err := NewCSI(csiConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := c.Config()
+	if cfg.MaxRank != 4 || cfg.PeriodSlots != 40 || cfg.DelaySlots != 8 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+	bad := csiConfig()
+	bad.MaxRank = 5
+	if _, err := NewCSI(bad); err == nil {
+		t.Error("max rank 5 should fail")
+	}
+	bad = csiConfig()
+	bad.RankThresholdsDB = [3]float64{10, 9, 8}
+	if _, err := NewCSI(bad); err == nil {
+		t.Error("non-increasing thresholds should fail")
+	}
+}
+
+func TestCSIReportingDelay(t *testing.T) {
+	c, err := NewCSI(csiConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Current(); ok {
+		t.Error("no report before first observation matures")
+	}
+	// Report generated at slot 0 must not be visible until slot 8.
+	for slot := int64(0); slot < 8; slot++ {
+		c.Observe(slot, 20)
+		if _, ok := c.Current(); ok && slot < 8 {
+			t.Fatalf("report visible at slot %d, before the %d-slot delay", slot, 8)
+		}
+	}
+	c.Observe(8, 20)
+	rep, ok := c.Current()
+	if !ok {
+		t.Fatal("report should be visible at slot 8")
+	}
+	if rep.Slot != 0 {
+		t.Errorf("report generated at slot %d, want 0", rep.Slot)
+	}
+	if rep.CQI == 0 || rep.RI < 1 {
+		t.Errorf("suspicious report %+v", rep)
+	}
+}
+
+func TestCSIRankTracksSINR(t *testing.T) {
+	run := func(sinr float64) float64 {
+		c, err := NewCSI(csiConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		total, n := 0.0, 0
+		for slot := int64(0); slot < 40*200; slot++ {
+			c.Observe(slot, sinr)
+			if rep, ok := c.Current(); ok && slot%40 == 39 {
+				total += float64(rep.RI)
+				n++
+			}
+		}
+		return total / float64(n)
+	}
+	low, mid, high := run(4), run(14), run(26)
+	if !(low < mid && mid < high) {
+		t.Errorf("mean rank should grow with SINR: %g, %g, %g", low, mid, high)
+	}
+	if high < 3.8 {
+		t.Errorf("26 dB SINR should almost always give rank 4, got mean %g", high)
+	}
+	if low > 1.5 {
+		t.Errorf("4 dB SINR should mostly give rank 1, got mean %g", low)
+	}
+}
+
+func TestCSICQIGradeCap(t *testing.T) {
+	cfg := csiConfig()
+	cfg.Table = phy.CQITable64QAM
+	c, _ := NewCSI(cfg)
+	for slot := int64(0); slot < 400; slot++ {
+		c.Observe(slot, 40) // superb channel
+	}
+	rep, ok := c.Current()
+	if !ok || rep.CQI != 15 {
+		t.Fatalf("excellent channel should report CQI 15, got %+v ok=%v", rep, ok)
+	}
+}
+
+func TestCSIOutageReportsZero(t *testing.T) {
+	c, _ := NewCSI(csiConfig())
+	for slot := int64(0); slot < 100; slot++ {
+		c.Observe(slot, math.Inf(-1))
+	}
+	rep, ok := c.Current()
+	if !ok || rep.CQI != 0 {
+		t.Errorf("outage should produce CQI 0, got %+v", rep)
+	}
+}
+
+func TestRRCLifecycle(t *testing.T) {
+	r, err := NewRRC(DefaultRRC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.State() != RRCIdle {
+		t.Error("fresh RRC should be idle")
+	}
+	d := r.Touch(0)
+	if d != DefaultRRC.PromotionDelay || r.State() != RRCConnecting {
+		t.Errorf("first touch: delay %v state %v", d, r.State())
+	}
+	// Touch midway through promotion returns the remaining time.
+	if d := r.Touch(60 * time.Millisecond); d != 60*time.Millisecond {
+		t.Errorf("mid-promotion remaining = %v, want 60ms", d)
+	}
+	r.Tick(130 * time.Millisecond)
+	if r.State() != RRCConnected {
+		t.Errorf("after promotion delay state = %v", r.State())
+	}
+	if d := r.Touch(200 * time.Millisecond); d != 0 {
+		t.Errorf("connected touch should be free, got %v", d)
+	}
+	// Inactivity demotes.
+	r.Tick(200*time.Millisecond + DefaultRRC.InactivityTimeout)
+	if r.State() != RRCIdle {
+		t.Errorf("after inactivity state = %v", r.State())
+	}
+	if _, err := NewRRC(RRCConfig{PromotionDelay: -1, InactivityTimeout: time.Second}); err == nil {
+		t.Error("negative promotion delay should fail")
+	}
+	if RRCIdle.String() != "idle" || RRCConnecting.String() != "connecting" || RRCConnected.String() != "connected" {
+		t.Error("state strings wrong")
+	}
+}

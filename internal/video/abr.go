@@ -1,0 +1,220 @@
+// Package video implements the §6 DASH video-streaming evaluation: a
+// chunked VoD player driven by the simulated 5G link, the BOLA,
+// throughput-based and dynamic (hybrid) ABR algorithms, and the QoE metrics
+// the paper reports (normalized bitrate, stall-time percentage, buffer
+// evolution).
+package video
+
+import (
+	"fmt"
+	"math"
+)
+
+// Ladder is a quality ladder: ascending bitrates in Mbps, one per quality
+// level (levels are indexed 0..len-1 as in the paper).
+type Ladder []float64
+
+// Paper ladders (§6 and §7): chunk bandwidth requirements.
+var (
+	// Ladder400 is the ≈400 Mbps-average ladder of §6:
+	// 30/60/75/200/400/600/750 Mbps for levels 0–6.
+	Ladder400 = Ladder{30, 60, 75, 200, 400, 600, 750}
+	// LadderMmWave is the scaled-up §7 ladder with ≈1.25 Gbps average:
+	// 400/800/1200/1500/2000/2400/2800 Mbps.
+	LadderMmWave = Ladder{400, 800, 1200, 1500, 2000, 2400, 2800}
+)
+
+// Validate checks the ladder is ascending and positive.
+func (l Ladder) Validate() error {
+	if len(l) < 2 {
+		return fmt.Errorf("video: ladder needs ≥ 2 levels")
+	}
+	prev := 0.0
+	for i, b := range l {
+		if b <= prev {
+			return fmt.Errorf("video: ladder not ascending at level %d", i)
+		}
+		prev = b
+	}
+	return nil
+}
+
+// Top returns the highest bitrate.
+func (l Ladder) Top() float64 { return l[len(l)-1] }
+
+// State is what an ABR algorithm sees when deciding the next chunk's
+// quality.
+type State struct {
+	// BufferSec is the client buffer level in seconds of media.
+	BufferSec float64
+	// LastThroughputMbps is the throughput measured on the previous
+	// chunk download (0 before the first chunk).
+	LastThroughputMbps float64
+	// HarmonicMeanMbps is the harmonic mean over the recent window.
+	HarmonicMeanMbps float64
+	// LastQuality is the previous chunk's level (-1 before the first).
+	LastQuality int
+	// ChunkIndex is the next chunk's index.
+	ChunkIndex int
+	// ChunkLengthSec is the segment duration.
+	ChunkLengthSec float64
+	// Ladder is the quality ladder.
+	Ladder Ladder
+}
+
+// ABR decides the quality level of the next chunk.
+type ABR interface {
+	Name() string
+	Decide(s State) int
+}
+
+// BOLA is the Lyapunov buffer-based algorithm of Spiteri, Urgaonkar and
+// Sitaraman (ToN'20), in its BOLA-BASIC form as deployed in dash.js: pick
+// the level maximizing (V·(u_m + gp) − Q)/S_m, where u_m are log utilities,
+// Q the buffer level and S_m the chunk size.
+type BOLA struct {
+	// MinBufferSec and TargetBufferSec control the V and gp parameters
+	// (dash.js uses 10 s and a stable target around 12 s).
+	MinBufferSec, TargetBufferSec float64
+	// GammaP overrides the derived gp when non-zero (ablation knob).
+	GammaP float64
+}
+
+// NewBOLA returns BOLA with dash.js defaults (10 s minimum buffer; target
+// derived per ladder size).
+func NewBOLA() *BOLA { return &BOLA{MinBufferSec: 10} }
+
+// Name implements ABR.
+func (b *BOLA) Name() string { return "bola" }
+
+// params derives (Vp, gp) exactly as dash.js's BolaRule does: utilities are
+// u_m = ln(b_m/b_0) + 1 (so the lowest level has utility 1), the buffer
+// target is MinBuffer + 2 s per ladder level, and
+//
+//	gp = (u_max − 1) / (target/minBuffer − 1),   Vp = minBuffer / gp.
+//
+// This makes the lowest level win at the minimum buffer and the highest at
+// the target.
+func (b *BOLA) params(l Ladder) (vp, gp float64) {
+	minBuf := b.MinBufferSec
+	if minBuf <= 0 {
+		minBuf = 10
+	}
+	target := b.TargetBufferSec
+	if target <= minBuf {
+		target = minBuf + 2*float64(len(l))
+	}
+	uMax := math.Log(l.Top()/l[0]) + 1
+	gp = b.GammaP
+	if gp == 0 {
+		gp = (uMax - 1) / (target/minBuf - 1)
+	}
+	vp = minBuf / gp
+	return vp, gp
+}
+
+// Decide implements ABR. Below the minimum buffer it applies dash.js's
+// startup/low-buffer rule: the buffer objective alone would crawl up from
+// the lowest level, so the decision is floored by what the measured
+// throughput safely sustains. This is what lets short-chunk sessions
+// recover quality quickly after a stall (§6.2).
+func (b *BOLA) Decide(s State) int {
+	vp, gp := b.params(s.Ladder)
+	best, bestScore := 0, math.Inf(-1)
+	for m, bitrate := range s.Ladder {
+		u := math.Log(bitrate/s.Ladder[0]) + 1
+		size := bitrate * s.ChunkLengthSec // ∝ chunk bits
+		score := (vp*(u+gp) - s.BufferSec) / size
+		if score > bestScore {
+			best, bestScore = m, score
+		}
+	}
+	minBuf := b.MinBufferSec
+	if minBuf <= 0 {
+		minBuf = 10
+	}
+	if s.BufferSec < minBuf && s.HarmonicMeanMbps > 0 {
+		// Conservative safety: during a sag the harmonic window still
+		// carries pre-sag samples, so the floor must undershoot.
+		budget := 0.5 * s.HarmonicMeanMbps
+		tput := 0
+		for m, bitrate := range s.Ladder {
+			if bitrate <= budget {
+				tput = m
+			}
+		}
+		if tput > best {
+			best = tput
+		}
+	}
+	return best
+}
+
+// ThroughputABR is the classic rate-based algorithm ("probe and adapt",
+// Li et al.): pick the highest level whose bitrate fits within a safety
+// fraction of the harmonic-mean throughput.
+type ThroughputABR struct {
+	// Safety is the headroom factor (default 0.9).
+	Safety float64
+}
+
+// Name implements ABR.
+func (t *ThroughputABR) Name() string { return "throughput" }
+
+// Decide implements ABR.
+func (t *ThroughputABR) Decide(s State) int {
+	safety := t.Safety
+	if safety == 0 {
+		safety = 0.9
+	}
+	est := s.HarmonicMeanMbps
+	if est == 0 {
+		return 0 // conservative start
+	}
+	budget := est * safety
+	best := 0
+	for m, bitrate := range s.Ladder {
+		if bitrate <= budget {
+			best = m
+		}
+	}
+	return best
+}
+
+// DynamicABR is dash.js's "abrDynamic" hybrid: throughput-based while the
+// buffer is shallow, BOLA once it is comfortably filled (with hysteresis).
+type DynamicABR struct {
+	bola    *BOLA
+	tput    *ThroughputABR
+	useBola bool
+	// SwitchOnSec / SwitchOffSec are the buffer hysteresis bounds
+	// (dash.js uses 10 s on, 10 s off with a trend; we use 10/8).
+	SwitchOnSec, SwitchOffSec float64
+}
+
+// NewDynamic builds the hybrid with default parameters.
+func NewDynamic() *DynamicABR {
+	return &DynamicABR{bola: NewBOLA(), tput: &ThroughputABR{}, SwitchOnSec: 10, SwitchOffSec: 8}
+}
+
+// Name implements ABR.
+func (d *DynamicABR) Name() string { return "dynamic" }
+
+// Decide implements ABR.
+func (d *DynamicABR) Decide(s State) int {
+	on, off := d.SwitchOnSec, d.SwitchOffSec
+	if on == 0 {
+		on, off = 10, 8
+	}
+	if d.useBola {
+		if s.BufferSec < off {
+			d.useBola = false
+		}
+	} else if s.BufferSec >= on {
+		d.useBola = true
+	}
+	if d.useBola {
+		return d.bola.Decide(s)
+	}
+	return d.tput.Decide(s)
+}

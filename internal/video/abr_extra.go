@@ -1,0 +1,146 @@
+package video
+
+import "math"
+
+// This file implements simplified versions of the two additional ABR
+// algorithms the paper's footnote 6 mentions evaluating ("We have also used
+// L2A and LoLP, the results of which are not included in this paper"):
+// an online-learning controller in the spirit of Learn2Adapt (Karagkioules
+// et al., MMSys'20) and a low-latency heuristic in the spirit of LoL+
+// (Bentaleb et al., IEEE TMM'22). Both are faithful to the papers'
+// decision structure rather than line-by-line ports.
+
+// L2A is an online-learning ABR: it keeps multiplicative weights over the
+// ladder levels and updates them after every chunk with a loss combining
+// throughput overshoot and buffer risk. Decisions follow the
+// highest-weight level, which makes the controller regret-bounded against
+// the best fixed level in hindsight.
+type L2A struct {
+	// LearningRate scales the weight updates (default 0.3).
+	LearningRate float64
+	// BufferTargetSec is the level the loss steers toward (default 12).
+	BufferTargetSec float64
+
+	weights []float64
+}
+
+// NewL2A returns an L2A controller with defaults.
+func NewL2A() *L2A { return &L2A{LearningRate: 0.3, BufferTargetSec: 12} }
+
+// Name implements ABR.
+func (l *L2A) Name() string { return "l2a" }
+
+// Decide implements ABR.
+func (l *L2A) Decide(s State) int {
+	n := len(s.Ladder)
+	if len(l.weights) != n {
+		l.weights = make([]float64, n)
+		for i := range l.weights {
+			l.weights[i] = 1
+		}
+	}
+	lr := l.LearningRate
+	if lr == 0 {
+		lr = 0.3
+	}
+	target := l.BufferTargetSec
+	if target == 0 {
+		target = 12
+	}
+
+	// Update weights from the previous observation.
+	if s.HarmonicMeanMbps > 0 {
+		for m, bitrate := range s.Ladder {
+			// Loss: overshooting the measured rate risks stalls; deep
+			// undershoot wastes utility. Buffer below target amplifies
+			// the overshoot term.
+			over := (bitrate - s.HarmonicMeanMbps) / s.Ladder.Top()
+			loss := 0.0
+			if over > 0 {
+				risk := 1 + math.Max(0, target-s.BufferSec)/target
+				loss = over * risk
+			} else {
+				loss = -0.3 * over // mild penalty for being too timid
+			}
+			l.weights[m] *= math.Exp(-lr * loss)
+		}
+		// Normalize to avoid underflow.
+		sum := 0.0
+		for _, w := range l.weights {
+			sum += w
+		}
+		if sum > 0 {
+			for i := range l.weights {
+				l.weights[i] /= sum
+			}
+		}
+	}
+	best, bestW := 0, -1.0
+	for m, w := range l.weights {
+		if w > bestW {
+			best, bestW = m, w
+		}
+	}
+	// Hard safety: never pick a level the buffer clearly cannot absorb.
+	if s.HarmonicMeanMbps > 0 && s.BufferSec < s.ChunkLengthSec {
+		for best > 0 && s.Ladder[best] > s.HarmonicMeanMbps {
+			best--
+		}
+	}
+	return best
+}
+
+// LoLP is a low-latency heuristic: it scores every level by a weighted sum
+// of expected download margin, buffer safety and switching cost, and picks
+// the best — the structure of LoL+'s "QoE-aware selector" without the
+// playback-speed control (our player does not vary playback rate).
+type LoLP struct {
+	// WeightThroughput, WeightBuffer, WeightSwitch scale the three score
+	// terms (defaults 1, 1, 0.3).
+	WeightThroughput, WeightBuffer, WeightSwitch float64
+}
+
+// NewLoLP returns a LoLP controller with defaults.
+func NewLoLP() *LoLP { return &LoLP{WeightThroughput: 1, WeightBuffer: 1, WeightSwitch: 0.3} }
+
+// Name implements ABR.
+func (l *LoLP) Name() string { return "lolp" }
+
+// Decide implements ABR.
+func (l *LoLP) Decide(s State) int {
+	wt, wb, ws := l.WeightThroughput, l.WeightBuffer, l.WeightSwitch
+	if wt == 0 && wb == 0 && ws == 0 {
+		wt, wb, ws = 1, 1, 0.3
+	}
+	est := s.HarmonicMeanMbps
+	if est == 0 {
+		return 0
+	}
+	best, bestScore := 0, math.Inf(-1)
+	for m, bitrate := range s.Ladder {
+		// Utility: log of the bitrate (diminishing returns).
+		utility := math.Log(bitrate / s.Ladder[0])
+		// Throughput margin: negative when the level overshoots the
+		// estimate (scaled by how long a chunk takes to drain).
+		margin := (est - bitrate) / est
+		// Buffer safety: expected download time vs buffer runway.
+		dlTime := bitrate * s.ChunkLengthSec / est
+		safety := (s.BufferSec - dlTime) / math.Max(s.ChunkLengthSec, 1)
+		if safety > 2 {
+			safety = 2
+		}
+		// Switching cost.
+		sw := 0.0
+		if s.LastQuality >= 0 {
+			sw = math.Abs(float64(m - s.LastQuality))
+		}
+		score := utility + wt*margin + wb*safety - ws*sw
+		if margin < 0 && s.BufferSec < s.ChunkLengthSec*2 {
+			score -= 10 // hard guard near empty buffer
+		}
+		if score > bestScore {
+			best, bestScore = m, score
+		}
+	}
+	return best
+}

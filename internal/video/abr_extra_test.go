@@ -1,0 +1,120 @@
+package video
+
+import (
+	"testing"
+	"time"
+
+	"github.com/midband5g/midband/internal/net5g"
+	"github.com/midband5g/midband/internal/operators"
+)
+
+func newTestLink(cfg net5g.LinkConfig) (*net5g.Link, error) {
+	return net5g.NewLink(cfg)
+}
+
+func TestL2ABasics(t *testing.T) {
+	l := NewL2A()
+	if l.Name() != "l2a" {
+		t.Error("name wrong")
+	}
+	// Cold start with no estimate: conservative.
+	if q := l.Decide(State{Ladder: Ladder400, ChunkLengthSec: 4}); q != 0 {
+		t.Errorf("cold start quality = %d, want 0", q)
+	}
+	// Feed a steady 500 Mbps estimate with healthy buffer: the learner
+	// converges to a level at or below the estimate.
+	var q int
+	for i := 0; i < 50; i++ {
+		q = l.Decide(State{
+			BufferSec: 20, HarmonicMeanMbps: 500,
+			LastQuality: q, ChunkIndex: i, ChunkLengthSec: 4, Ladder: Ladder400,
+		})
+	}
+	if Ladder400[q] > 500 {
+		t.Errorf("L2A converged to %d (%.0f Mbps) above the 500 Mbps estimate", q, Ladder400[q])
+	}
+	if q == 0 {
+		t.Error("L2A stayed at the lowest level despite a strong channel")
+	}
+	// Collapse of the channel pulls it down.
+	for i := 0; i < 50; i++ {
+		q = l.Decide(State{
+			BufferSec: 2, HarmonicMeanMbps: 50,
+			LastQuality: q, ChunkIndex: 50 + i, ChunkLengthSec: 4, Ladder: Ladder400,
+		})
+	}
+	if Ladder400[q] > 60 {
+		t.Errorf("L2A should retreat on a collapsed channel, at %.0f Mbps", Ladder400[q])
+	}
+}
+
+func TestLoLPBasics(t *testing.T) {
+	l := NewLoLP()
+	if l.Name() != "lolp" {
+		t.Error("name wrong")
+	}
+	if q := l.Decide(State{Ladder: Ladder400, ChunkLengthSec: 1}); q != 0 {
+		t.Errorf("no estimate should yield level 0, got %d", q)
+	}
+	// Strong channel, deep buffer: picks a high level.
+	q := l.Decide(State{
+		BufferSec: 20, HarmonicMeanMbps: 800, LastQuality: 5,
+		ChunkLengthSec: 1, Ladder: Ladder400,
+	})
+	if q < 4 {
+		t.Errorf("strong channel should pick a high level, got %d", q)
+	}
+	// Near-empty buffer with an overshooting estimate: hard guard.
+	q = l.Decide(State{
+		BufferSec: 0.5, HarmonicMeanMbps: 100, LastQuality: 6,
+		ChunkLengthSec: 1, Ladder: Ladder400,
+	})
+	if Ladder400[q] > 100 {
+		t.Errorf("LoLP must not overshoot near an empty buffer, got %.0f Mbps", Ladder400[q])
+	}
+	// Switching cost keeps decisions near the previous level when scores
+	// are close.
+	qFrom0 := (&LoLP{WeightSwitch: 5}).Decide(State{
+		BufferSec: 10, HarmonicMeanMbps: 400, LastQuality: 0,
+		ChunkLengthSec: 1, Ladder: Ladder400,
+	})
+	qFrom4 := (&LoLP{WeightSwitch: 5}).Decide(State{
+		BufferSec: 10, HarmonicMeanMbps: 400, LastQuality: 4,
+		ChunkLengthSec: 1, Ladder: Ladder400,
+	})
+	if qFrom0 > qFrom4 {
+		t.Errorf("heavy switch cost should anchor to the previous level: from0=%d from4=%d", qFrom0, qFrom4)
+	}
+}
+
+func TestExtraABRsStreamEndToEnd(t *testing.T) {
+	op, err := operators.ByAcronym("V_Ge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, abr := range []ABR{NewL2A(), NewLoLP()} {
+		cfg, err := op.LinkConfig(operators.Stationary(61))
+		if err != nil {
+			t.Fatal(err)
+		}
+		link, err := newTestLink(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Play(link, SessionConfig{
+			Ladder:        Ladder400,
+			ChunkLength:   time.Second,
+			VideoDuration: 30 * time.Second,
+			ABR:           abr,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", abr.Name(), err)
+		}
+		if res.AvgNormBitrate <= 0 {
+			t.Errorf("%s achieved no bitrate", abr.Name())
+		}
+		if res.AvgNormBitrate < 0.2 {
+			t.Errorf("%s bitrate %.2f suspiciously low on a healthy channel", abr.Name(), res.AvgNormBitrate)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package xcal
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file models the control-plane messages Appendix 10.1 of the paper
+// decodes to recover each operator's channel configuration: the MIB the UE
+// reads during initial access, the SIB1 carrying the carrier's frequency
+// resources, and the per-slot DCI whose format selects the MCS table.
+
+// MIB is the master information block (TS 38.331 §6.2.2, abridged to the
+// fields the extraction procedure uses).
+type MIB struct {
+	// SFN is the system frame number.
+	SFN uint16
+	// SCSkHz is the common subcarrier spacing.
+	SCSkHz uint16
+	// ControlResourceSetZero and SearchSpaceZero locate SIB1 (the
+	// Table 13-x lookups of TS 38.213).
+	ControlResourceSetZero uint8
+	SearchSpaceZero        uint8
+}
+
+const mibSize = 6
+
+// AppendTo encodes the MIB.
+func (m *MIB) AppendTo(buf []byte) []byte {
+	var b [mibSize]byte
+	binary.LittleEndian.PutUint16(b[0:], m.SFN)
+	binary.LittleEndian.PutUint16(b[2:], m.SCSkHz)
+	b[4] = m.ControlResourceSetZero
+	b[5] = m.SearchSpaceZero
+	return append(buf, b[:]...)
+}
+
+// DecodeMIB decodes a MIB from b.
+func DecodeMIB(b []byte, m *MIB) error {
+	if len(b) < mibSize {
+		return fmt.Errorf("xcal: MIB truncated: %d bytes", len(b))
+	}
+	m.SFN = binary.LittleEndian.Uint16(b[0:])
+	m.SCSkHz = binary.LittleEndian.Uint16(b[2:])
+	m.ControlResourceSetZero = b[4]
+	m.SearchSpaceZero = b[5]
+	return nil
+}
+
+// SIB1 carries the cell's frequency and access configuration (TS 38.331
+// ServingCellConfigCommonSIB, abridged). CarrierBandwidthRB is expressed in
+// resource blocks; recovering the channel bandwidth in MHz requires the
+// TS 38.101-1 Table 5.3.2-1 lookup the paper's appendix describes.
+type SIB1 struct {
+	// CellID is the physical cell identity.
+	CellID uint32
+	// Band is the NR band designator (e.g. "n78").
+	Band string
+	// AbsoluteFrequencyPointA is the NR-ARFCN of point A.
+	AbsoluteFrequencyPointA uint32
+	// OffsetToCarrier is in RBs from point A.
+	OffsetToCarrier uint16
+	// CarrierBandwidthRB is the carrier bandwidth in resource blocks.
+	CarrierBandwidthRB uint16
+	// SCSkHz is the carrier subcarrier spacing.
+	SCSkHz uint16
+	// FDD is true for paired-spectrum carriers.
+	FDD bool
+	// TDDPattern is the UL/DL pattern string (empty for FDD).
+	TDDPattern string
+	// MaxMIMOLayers is the configured maximum DL MIMO layers.
+	MaxMIMOLayers uint8
+	// MCSTable is the configured PDSCH MCS table (1 or 2).
+	MCSTable uint8
+}
+
+// AppendTo encodes the SIB1.
+func (s *SIB1) AppendTo(buf []byte) []byte {
+	if len(s.Band) > 255 || len(s.TDDPattern) > 255 {
+		panic("xcal: SIB1 string field too long")
+	}
+	var fixed [16]byte
+	binary.LittleEndian.PutUint32(fixed[0:], s.CellID)
+	binary.LittleEndian.PutUint32(fixed[4:], s.AbsoluteFrequencyPointA)
+	binary.LittleEndian.PutUint16(fixed[8:], s.OffsetToCarrier)
+	binary.LittleEndian.PutUint16(fixed[10:], s.CarrierBandwidthRB)
+	binary.LittleEndian.PutUint16(fixed[12:], s.SCSkHz)
+	if s.FDD {
+		fixed[14] = 1
+	}
+	fixed[15] = s.MaxMIMOLayers
+	buf = append(buf, fixed[:]...)
+	buf = append(buf, s.MCSTable)
+	buf = append(buf, uint8(len(s.Band)))
+	buf = append(buf, s.Band...)
+	buf = append(buf, uint8(len(s.TDDPattern)))
+	buf = append(buf, s.TDDPattern...)
+	return buf
+}
+
+// DecodeSIB1 decodes a SIB1 from b.
+func DecodeSIB1(b []byte, s *SIB1) error {
+	if len(b) < 18 {
+		return fmt.Errorf("xcal: SIB1 truncated: %d bytes", len(b))
+	}
+	s.CellID = binary.LittleEndian.Uint32(b[0:])
+	s.AbsoluteFrequencyPointA = binary.LittleEndian.Uint32(b[4:])
+	s.OffsetToCarrier = binary.LittleEndian.Uint16(b[8:])
+	s.CarrierBandwidthRB = binary.LittleEndian.Uint16(b[10:])
+	s.SCSkHz = binary.LittleEndian.Uint16(b[12:])
+	s.FDD = b[14] != 0
+	s.MaxMIMOLayers = b[15]
+	s.MCSTable = b[16]
+	rest := b[17:]
+	bandLen := int(rest[0])
+	if len(rest) < 1+bandLen+1 {
+		return fmt.Errorf("xcal: SIB1 band field truncated")
+	}
+	s.Band = string(rest[1 : 1+bandLen])
+	rest = rest[1+bandLen:]
+	patLen := int(rest[0])
+	if len(rest) < 1+patLen {
+		return fmt.Errorf("xcal: SIB1 TDD pattern truncated")
+	}
+	s.TDDPattern = string(rest[1 : 1+patLen])
+	return nil
+}
+
+// DCIFormat distinguishes the downlink control information formats relevant
+// to the paper: format 1_1 implies the 256QAM MCS table, format 1_0 the
+// 64QAM table (§3.1).
+type DCIFormat uint8
+
+const (
+	// DCI10 is fallback format 1_0.
+	DCI10 DCIFormat = 0
+	// DCI11 is format 1_1.
+	DCI11 DCIFormat = 1
+)
+
+func (f DCIFormat) String() string {
+	if f == DCI11 {
+		return "1_1"
+	}
+	return "1_0"
+}
+
+// MCSTable returns the PDSCH MCS table implied by the format.
+func (f DCIFormat) MCSTable() uint8 {
+	if f == DCI11 {
+		return 2
+	}
+	return 1
+}
+
+// DCI is a downlink control information capture (abridged).
+type DCI struct {
+	// Slot is the slot the grant applies to.
+	Slot int64
+	// Format is 1_0 or 1_1.
+	Format DCIFormat
+	// Carrier is the component carrier index.
+	Carrier uint8
+	// MCS, RBs, Rank echo the scheduled allocation.
+	MCS  uint8
+	RBs  uint16
+	Rank uint8
+	// HARQProcess is the HARQ process number.
+	HARQProcess uint8
+	// NDI is the new-data indicator (false marks a retransmission).
+	NDI bool
+}
+
+const dciSize = 15
+
+// AppendTo encodes the DCI.
+func (d *DCI) AppendTo(buf []byte) []byte {
+	var b [dciSize]byte
+	binary.LittleEndian.PutUint64(b[0:], uint64(d.Slot))
+	b[8] = uint8(d.Format)
+	b[9] = d.Carrier
+	b[10] = d.MCS
+	binary.LittleEndian.PutUint16(b[11:], d.RBs)
+	b[13] = d.Rank
+	var last uint8 = d.HARQProcess << 1
+	if d.NDI {
+		last |= 1
+	}
+	b[14] = last
+	return append(buf, b[:]...)
+}
+
+// DecodeDCI decodes a DCI from b.
+func DecodeDCI(b []byte, d *DCI) error {
+	if len(b) < dciSize {
+		return fmt.Errorf("xcal: DCI truncated: %d bytes", len(b))
+	}
+	d.Slot = int64(binary.LittleEndian.Uint64(b[0:]))
+	d.Format = DCIFormat(b[8])
+	d.Carrier = b[9]
+	d.MCS = b[10]
+	d.RBs = binary.LittleEndian.Uint16(b[11:])
+	d.Rank = b[13]
+	d.NDI = b[14]&1 != 0
+	d.HARQProcess = b[14] >> 1
+	return nil
+}

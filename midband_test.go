@@ -1,0 +1,116 @@
+package midband_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/midband5g/midband"
+)
+
+func TestOperatorsRegistry(t *testing.T) {
+	all := midband.Operators()
+	mid := midband.MidBandOperators()
+	if len(all) != 12 || len(mid) != 11 {
+		t.Fatalf("registry sizes: all=%d mid=%d, want 12/11", len(all), len(mid))
+	}
+	op, err := midband.OperatorByAcronym("O_Sp100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.PCell().BandwidthMHz != 100 {
+		t.Errorf("O_Sp100 bandwidth = %d", op.PCell().BandwidthMHz)
+	}
+	if _, err := midband.OperatorByAcronym("nope"); err == nil {
+		t.Error("unknown acronym should fail")
+	}
+}
+
+func TestEndToEndIperf(t *testing.T) {
+	op, err := midband.OperatorByAcronym("T_Ge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := midband.NewLink(op, midband.Stationary(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := midband.RunIperf(link, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DLMbps <= 100 || res.ULMbps <= 0 {
+		t.Errorf("throughput implausible: DL=%.0f UL=%.0f", res.DLMbps, res.ULMbps)
+	}
+	curve := midband.VariabilityCurve(res.ThroughputMbpsSeries(), res.SlotDuration, 8)
+	if len(curve) != 9 {
+		t.Errorf("curve points = %d", len(curve))
+	}
+	v, err := midband.Variability(res.ThroughputMbpsSeries(), 100)
+	if err != nil || v <= 0 {
+		t.Errorf("Variability = %g, %v", v, err)
+	}
+}
+
+func TestEndToEndVideo(t *testing.T) {
+	op, err := midband.OperatorByAcronym("V_It")
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := midband.NewLink(op, midband.Walking(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := midband.StreamVideo(link, midband.VideoSession{
+		Ladder:        midband.Ladder400,
+		ChunkLength:   time.Second,
+		VideoDuration: 20 * time.Second,
+		ABR:           midband.NewBOLA(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chunks) != 20 {
+		t.Errorf("chunks = %d", len(res.Chunks))
+	}
+	if res.AvgNormBitrate <= 0 {
+		t.Error("no bitrate achieved")
+	}
+	// The other two ABR constructors also stream.
+	for _, abr := range []midband.ABR{midband.NewThroughputABR(), midband.NewDynamicABR()} {
+		l2, err := midband.NewLink(op, midband.Stationary(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := midband.StreamVideo(l2, midband.VideoSession{
+			Ladder: midband.Ladder400, ChunkLength: time.Second,
+			VideoDuration: 10 * time.Second, ABR: abr,
+		}); err != nil {
+			t.Fatalf("%s: %v", abr.Name(), err)
+		}
+	}
+}
+
+func TestEndToEndCampaign(t *testing.T) {
+	dir := t.TempDir()
+	stats, err := midband.RunCampaign(500*time.Millisecond, dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Operators != 11 || stats.TraceFiles != 11 {
+		t.Errorf("campaign: operators=%d traces=%d", stats.Operators, stats.TraceFiles)
+	}
+}
+
+func TestSessionAPI(t *testing.T) {
+	op, err := midband.OperatorByAcronym("V_Ge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := midband.NewSession(op, midband.Stationary(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Meta().Operator != "V_Ge" {
+		t.Error("session meta wrong")
+	}
+}
