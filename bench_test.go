@@ -7,11 +7,15 @@
 package midband_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
 	"github.com/midband5g/midband"
+	"github.com/midband5g/midband/internal/core"
 	"github.com/midband5g/midband/internal/experiments"
+	"github.com/midband5g/midband/internal/operators"
 )
 
 // quick options keep the benches tractable; cmd/figures (without -quick)
@@ -343,6 +347,39 @@ func BenchmarkSec7_MobilityComparison(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(rows[0].StabilityGainPct, "walk_stability_gain_pct")
+	}
+}
+
+// BenchmarkCampaign_Parallel tracks the fleet speedup: the same
+// 7-operator campaign run serially (workers=1) and with one worker per
+// CPU. The sessions are independent simulations, so on an N-core
+// machine the parallel case should approach N× (≥2× on 4+ cores); the
+// aggregates are byte-identical either way.
+func BenchmarkCampaign_Parallel(b *testing.B) {
+	ops := operators.MidBand()
+	if len(ops) > 7 {
+		ops = ops[:7]
+	}
+	counts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				stats, err := core.RunCampaign(core.CampaignConfig{
+					Operators:       ops,
+					SessionDuration: 2 * time.Second,
+					LatencyProbes:   200,
+					Seed:            2024,
+					Workers:         workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(stats.Operators), "operators")
+			}
+		})
 	}
 }
 

@@ -1,10 +1,12 @@
 // Command campaign runs a measurement campaign across the operator registry
 // and writes one XCAL-style trace per session, reproducing the data
-// collection methodology of §2.
+// collection methodology of §2. Sessions fan out over the fleet worker
+// pool; -parallel bounds the workers and the results are identical for
+// any value because every session seed derives from the job key alone.
 //
 // Usage:
 //
-//	campaign [-out DIR] [-duration 10s] [-seed N] [-ops V_Sp,Tmb_US]
+//	campaign [-out DIR] [-duration 10s] [-seed N] [-ops V_Sp,Tmb_US] [-parallel N]
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"time"
 
 	"github.com/midband5g/midband/internal/core"
+	"github.com/midband5g/midband/internal/fleet"
 	"github.com/midband5g/midband/internal/operators"
 	"github.com/midband5g/midband/internal/report"
 )
@@ -27,6 +30,7 @@ func main() {
 	duration := flag.Duration("duration", 10*time.Second, "bulk-transfer duration per operator")
 	seed := flag.Int64("seed", 2024, "simulation seed")
 	ops := flag.String("ops", "", "comma-separated operator acronyms (default: all mid-band)")
+	parallel := flag.Int("parallel", 0, "concurrent sessions (default: GOMAXPROCS; 1 = serial)")
 	flag.Parse()
 
 	var selected []operators.Operator
@@ -42,15 +46,26 @@ func main() {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
 	}
+	var m fleet.Metrics
+	t0 := time.Now()
 	stats, err := core.RunCampaign(core.CampaignConfig{
 		Operators:       selected,
 		SessionDuration: *duration,
 		TraceDir:        *out,
 		Seed:            *seed,
+		Workers:         *parallel,
+		Metrics:         &m,
+		Progress: func(done, total int, key string) {
+			fmt.Fprintf(os.Stderr, "campaign: [%d/%d] %s (%.1fs)\n", done, total, key, time.Since(t0).Seconds())
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	elapsed := time.Since(t0).Seconds()
+	slots := float64(m.SlotsSimulated.Load())
+	fmt.Fprintf(os.Stderr, "campaign: %d sessions, %.2fM slots (%.2fM slots/s), %.1f KB traces, %.1fs wall\n",
+		m.JobsDone.Load(), slots/1e6, slots/1e6/elapsed, float64(m.TraceBytes.Load())/1e3, elapsed)
 	report.Table1(os.Stdout, stats)
 	fmt.Printf("\n%d traces written to %s\n", stats.TraceFiles, *out)
 }

@@ -1,51 +1,84 @@
 // Command figures regenerates every table and figure of the paper's
 // evaluation and prints the rows/series each one plots.
 //
+// The ~30 artifacts are independent simulation jobs, so they fan out
+// over the fleet worker pool: each job renders into its own buffer and
+// the buffers are emitted in figure order, making the output
+// byte-identical for any -parallel value.
+//
 // Usage:
 //
-//	figures [-quick] [-seed N] [-only fig11,fig12,...]
+//	figures [-quick] [-seed N] [-only fig11,fig12,...] [-parallel N]
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/midband5g/midband/internal/experiments"
+	"github.com/midband5g/midband/internal/fleet"
 	"github.com/midband5g/midband/internal/report"
 )
+
+// options carry the CLI flags into run, keeping it testable.
+type options struct {
+	quick    bool
+	seed     int64
+	only     string
+	csvDir   string
+	parallel int
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
-	quick := flag.Bool("quick", false, "run shortened sessions")
-	seed := flag.Int64("seed", 2024, "simulation seed")
-	only := flag.String("only", "", "comma-separated subset, e.g. fig01,fig11,table1")
-	csvDir := flag.String("csv", "", "also write machine-readable CSV files to this directory")
+	var opt options
+	flag.BoolVar(&opt.quick, "quick", false, "run shortened sessions")
+	flag.Int64Var(&opt.seed, "seed", 2024, "simulation seed")
+	flag.StringVar(&opt.only, "only", "", "comma-separated subset, e.g. fig01,fig11,table1")
+	flag.StringVar(&opt.csvDir, "csv", "", "also write machine-readable CSV files to this directory")
+	flag.IntVar(&opt.parallel, "parallel", 0, "concurrent figure jobs (default: GOMAXPROCS; 1 = serial)")
 	flag.Parse()
+	if err := run(opt, os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	o := experiments.Options{Quick: *quick, Seed: *seed}
-	w := os.Stdout
+// run regenerates the selected figures, streaming progress to stderr and
+// the rendered tables — in deterministic figure order — to stdout.
+func run(opt options, stdout, stderr io.Writer) error {
+	o := experiments.Options{Quick: opt.quick, Seed: opt.seed, Workers: opt.parallel}
 
 	wanted := map[string]bool{}
-	for _, k := range strings.Split(*only, ",") {
+	for _, k := range strings.Split(opt.only, ",") {
 		if k = strings.TrimSpace(strings.ToLower(k)); k != "" {
 			wanted[k] = true
 		}
 	}
 	want := func(k string) bool { return len(wanted) == 0 || wanted[k] }
+	csvOut := func(write func(string) error) error {
+		if opt.csvDir == "" {
+			return nil
+		}
+		return write(opt.csvDir)
+	}
 
-	type job struct {
+	type figJob struct {
 		key string
-		run func() error
+		run func(w io.Writer) error
 	}
 	var fig1 []experiments.Fig01Row
 	var fig9 []experiments.Fig09Row
 	var fig11 []experiments.Fig11Row
-	jobs := []job{
-		{"table1", func() error {
+	jobs := []figJob{
+		{"table1", func(w io.Writer) error {
 			s, err := experiments.Table1(o)
 			if err != nil {
 				return err
@@ -53,7 +86,7 @@ func main() {
 			report.Table1(w, s)
 			return nil
 		}},
-		{"tables23", func() error {
+		{"tables23", func(w io.Writer) error {
 			rows, err := experiments.Tables23(o)
 			if err != nil {
 				return err
@@ -61,7 +94,7 @@ func main() {
 			report.Tables23(w, rows)
 			return nil
 		}},
-		{"sec32", func() error {
+		{"sec32", func(w io.Writer) error {
 			rows, err := experiments.Sec32(o)
 			if err != nil {
 				return err
@@ -69,24 +102,24 @@ func main() {
 			report.Sec32(w, rows)
 			return nil
 		}},
-		{"fig01", func() error {
+		{"fig01", func(w io.Writer) error {
 			rows, err := experiments.Fig01(o)
 			if err != nil {
 				return err
 			}
 			fig1 = rows
 			report.Fig01(w, rows)
-			return csvOut(*csvDir, func(d string) error { return report.Fig01CSV(d, rows) })
+			return csvOut(func(d string) error { return report.Fig01CSV(d, rows) })
 		}},
-		{"fig02", func() error {
+		{"fig02", func(w io.Writer) error {
 			rows, err := experiments.Fig02(o)
 			if err != nil {
 				return err
 			}
 			report.Fig02(w, rows)
-			return csvOut(*csvDir, func(d string) error { return report.Fig02CSV(d, rows) })
+			return csvOut(func(d string) error { return report.Fig02CSV(d, rows) })
 		}},
-		{"fig03", func() error {
+		{"fig03", func(w io.Writer) error {
 			rows, err := experiments.Fig03(o)
 			if err != nil {
 				return err
@@ -94,7 +127,7 @@ func main() {
 			report.Fig03(w, rows)
 			return nil
 		}},
-		{"fig04", func() error {
+		{"fig04", func(w io.Writer) error {
 			rows, err := experiments.Fig04(o)
 			if err != nil {
 				return err
@@ -102,7 +135,7 @@ func main() {
 			report.Fig04(w, rows)
 			return nil
 		}},
-		{"fig05", func() error {
+		{"fig05", func(w io.Writer) error {
 			rows, err := experiments.Fig05(o)
 			if err != nil {
 				return err
@@ -110,7 +143,7 @@ func main() {
 			report.Fig05(w, rows)
 			return nil
 		}},
-		{"fig06", func() error {
+		{"fig06", func(w io.Writer) error {
 			rows, err := experiments.Fig06(o)
 			if err != nil {
 				return err
@@ -118,7 +151,7 @@ func main() {
 			report.Fig06(w, rows)
 			return nil
 		}},
-		{"fig07", func() error {
+		{"fig07", func(w io.Writer) error {
 			rows, err := experiments.Fig07(o)
 			if err != nil {
 				return err
@@ -126,7 +159,7 @@ func main() {
 			report.Fig07(w, rows)
 			return nil
 		}},
-		{"fig08", func() error {
+		{"fig08", func(w io.Writer) error {
 			rows, err := experiments.Fig08(o)
 			if err != nil {
 				return err
@@ -134,16 +167,16 @@ func main() {
 			report.Fig08(w, rows)
 			return nil
 		}},
-		{"fig09", func() error {
+		{"fig09", func(w io.Writer) error {
 			rows, err := experiments.Fig09(o)
 			if err != nil {
 				return err
 			}
 			fig9 = rows
 			report.Fig09(w, rows)
-			return csvOut(*csvDir, func(d string) error { return report.Fig09CSV(d, rows) })
+			return csvOut(func(d string) error { return report.Fig09CSV(d, rows) })
 		}},
-		{"fig10", func() error {
+		{"fig10", func(w io.Writer) error {
 			rows, err := experiments.Fig10(o)
 			if err != nil {
 				return err
@@ -151,24 +184,24 @@ func main() {
 			report.Fig10(w, rows)
 			return nil
 		}},
-		{"fig11", func() error {
+		{"fig11", func(w io.Writer) error {
 			rows, err := experiments.Fig11(o)
 			if err != nil {
 				return err
 			}
 			fig11 = rows
 			report.Fig11(w, rows)
-			return csvOut(*csvDir, func(d string) error { return report.Fig11CSV(d, rows) })
+			return csvOut(func(d string) error { return report.Fig11CSV(d, rows) })
 		}},
-		{"fig12", func() error {
+		{"fig12", func(w io.Writer) error {
 			rows, err := experiments.Fig12(o)
 			if err != nil {
 				return err
 			}
 			report.Fig12(w, rows)
-			return csvOut(*csvDir, func(d string) error { return report.Fig12CSV(d, rows) })
+			return csvOut(func(d string) error { return report.Fig12CSV(d, rows) })
 		}},
-		{"fig13", func() error {
+		{"fig13", func(w io.Writer) error {
 			r, err := experiments.Fig13(o)
 			if err != nil {
 				return err
@@ -176,7 +209,7 @@ func main() {
 			report.Fig13(w, r)
 			return nil
 		}},
-		{"fig14", func() error {
+		{"fig14", func(w io.Writer) error {
 			rows, err := experiments.Fig14(o)
 			if err != nil {
 				return err
@@ -184,7 +217,7 @@ func main() {
 			report.Fig14(w, rows)
 			return nil
 		}},
-		{"fig15", func() error {
+		{"fig15", func(w io.Writer) error {
 			rows, err := experiments.Fig15(o)
 			if err != nil {
 				return err
@@ -192,7 +225,7 @@ func main() {
 			report.Fig15(w, rows)
 			return nil
 		}},
-		{"fig16", func() error {
+		{"fig16", func(w io.Writer) error {
 			r, err := experiments.Fig16(o)
 			if err != nil {
 				return err
@@ -200,23 +233,23 @@ func main() {
 			report.Fig16(w, r)
 			return nil
 		}},
-		{"fig17", func() error {
+		{"fig17", func(w io.Writer) error {
 			rows, err := experiments.Fig17(o)
 			if err != nil {
 				return err
 			}
 			report.Fig17(w, rows)
-			return csvOut(*csvDir, func(d string) error { return report.Fig17CSV(d, rows) })
+			return csvOut(func(d string) error { return report.Fig17CSV(d, rows) })
 		}},
-		{"fig18", func() error {
+		{"fig18", func(w io.Writer) error {
 			rows, err := experiments.Fig18(o)
 			if err != nil {
 				return err
 			}
 			report.Fig18(w, rows)
-			return csvOut(*csvDir, func(d string) error { return report.Fig18CSV(d, rows) })
+			return csvOut(func(d string) error { return report.Fig18CSV(d, rows) })
 		}},
-		{"fig19", func() error {
+		{"fig19", func(w io.Writer) error {
 			rows, err := experiments.Fig19(o)
 			if err != nil {
 				return err
@@ -224,7 +257,7 @@ func main() {
 			report.Fig19(w, rows)
 			return nil
 		}},
-		{"fig23", func() error {
+		{"fig23", func(w io.Writer) error {
 			rows, err := experiments.Fig23(o)
 			if err != nil {
 				return err
@@ -232,7 +265,7 @@ func main() {
 			report.Fig23(w, rows)
 			return nil
 		}},
-		{"fig24", func() error {
+		{"fig24", func(w io.Writer) error {
 			rows, err := experiments.Fig24(o)
 			if err != nil {
 				return err
@@ -240,15 +273,15 @@ func main() {
 			report.Fig24(w, rows)
 			return nil
 		}},
-		{"sec7", func() error {
+		{"sec7", func(w io.Writer) error {
 			rows, err := experiments.Sec7(o)
 			if err != nil {
 				return err
 			}
 			report.Sec7(w, rows)
-			return csvOut(*csvDir, func(d string) error { return report.Sec7CSV(d, rows) })
+			return csvOut(func(d string) error { return report.Sec7CSV(d, rows) })
 		}},
-		{"exta", func() error {
+		{"exta", func(w io.Writer) error {
 			rows, err := experiments.ExtNSAvsSA(o)
 			if err != nil {
 				return err
@@ -256,7 +289,7 @@ func main() {
 			report.ExtNSAvsSA(w, rows)
 			return nil
 		}},
-		{"extb", func() error {
+		{"extb", func(w io.Writer) error {
 			rows, err := experiments.ExtTDDSweep(o)
 			if err != nil {
 				return err
@@ -264,7 +297,7 @@ func main() {
 			report.ExtTDDSweep(w, rows)
 			return nil
 		}},
-		{"extc", func() error {
+		{"extc", func(w io.Writer) error {
 			rows, err := experiments.ExtABRComparison(o)
 			if err != nil {
 				return err
@@ -272,7 +305,7 @@ func main() {
 			report.ExtABR(w, rows)
 			return nil
 		}},
-		{"extd", func() error {
+		{"extd", func(w io.Writer) error {
 			rows, err := experiments.ExtSchedulers(o)
 			if err != nil {
 				return err
@@ -280,7 +313,7 @@ func main() {
 			report.ExtSchedulers(w, rows)
 			return nil
 		}},
-		{"exte", func() error {
+		{"exte", func(w io.Writer) error {
 			rows, err := experiments.ExtTransport(o)
 			if err != nil {
 				return err
@@ -288,7 +321,7 @@ func main() {
 			report.ExtTransport(w, rows)
 			return nil
 		}},
-		{"extf", func() error {
+		{"extf", func(w io.Writer) error {
 			rows, err := experiments.ExtHandover(o)
 			if err != nil {
 				return err
@@ -297,24 +330,49 @@ func main() {
 			return nil
 		}},
 	}
+
+	var selected []figJob
 	for _, j := range jobs {
-		if !want(j.key) {
-			continue
+		if want(j.key) {
+			selected = append(selected, j)
 		}
-		if err := j.run(); err != nil {
-			log.Fatalf("%s: %v", j.key, err)
+	}
+	// Every figure renders into its own buffer; the ordered results are
+	// streamed afterwards, so -parallel never interleaves the report.
+	fjobs := make([]fleet.Job[*bytes.Buffer], len(selected))
+	for i := range selected {
+		j := selected[i]
+		fjobs[i] = fleet.Job[*bytes.Buffer]{
+			Key: j.key,
+			Run: func(context.Context) (*bytes.Buffer, error) {
+				var buf bytes.Buffer
+				if err := j.run(&buf); err != nil {
+					return nil, err
+				}
+				return &buf, nil
+			},
 		}
+	}
+	t0 := time.Now()
+	results, err := fleet.Run(context.Background(), fjobs, fleet.Options{
+		Workers: opt.parallel,
+		Progress: func(done, total int, key string) {
+			fmt.Fprintf(stderr, "figures: [%d/%d] %s (%.1fs)\n", done, total, key, time.Since(t0).Seconds())
+		},
+	})
+	for _, r := range results {
+		if r.Err == nil && r.Value != nil {
+			if _, werr := io.Copy(stdout, r.Value); werr != nil {
+				return werr
+			}
+		}
+	}
+	if err != nil {
+		return err
 	}
 	if len(wanted) == 0 && fig1 != nil && fig9 != nil && fig11 != nil {
-		report.PaperComparison(w, fig1, fig9, fig11)
+		report.PaperComparison(stdout, fig1, fig9, fig11)
 	}
-	fmt.Fprintln(w)
-}
-
-// csvOut runs the CSV writer when a -csv directory is configured.
-func csvOut(dir string, write func(string) error) error {
-	if dir == "" {
-		return nil
-	}
-	return write(dir)
+	fmt.Fprintln(stdout)
+	return nil
 }

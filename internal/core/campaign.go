@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"time"
 
 	"github.com/midband5g/midband/internal/bands"
+	"github.com/midband5g/midband/internal/fleet"
+	"github.com/midband5g/midband/internal/iperf"
 	"github.com/midband5g/midband/internal/net5g"
 	"github.com/midband5g/midband/internal/operators"
 	"github.com/midband5g/midband/internal/xcal"
@@ -36,8 +39,17 @@ type CampaignConfig struct {
 	LatencyProbes int
 	// TraceDir, when non-empty, receives one .xcal file per session.
 	TraceDir string
-	// Seed drives all sessions.
+	// Seed drives all sessions. Each (operator, session) job derives
+	// its own seed from the base seed and the job indices — never from
+	// worker identity — so results are identical for any Workers value.
 	Seed int64
+	// Workers bounds the parallel session fan-out (<=0: GOMAXPROCS).
+	Workers int
+	// Metrics, when non-nil, receives fleet counters (sessions done,
+	// simulated slots, trace bytes written).
+	Metrics *fleet.Metrics
+	// Progress, when non-nil, is called after each session completes.
+	Progress func(done, total int, key string)
 }
 
 // SessionReport is the outcome of one operator's session.
@@ -68,9 +80,70 @@ type CampaignStats struct {
 	TraceFiles int
 }
 
+// sessionOutcome is what one fleet job (one operator session) produces.
+type sessionOutcome struct {
+	res       *iperf.Result
+	tracePath string
+	// clean/retx are the mean latencies, measured on the primary
+	// (session-index-0) job only, like the serial campaign did.
+	clean, retx time.Duration
+}
+
+// runSession executes one operator session — build the link, optionally
+// open a trace, run the bulk transfer — and guarantees the trace file is
+// flushed and closed on every path. On error the partial .xcal is
+// removed so a failed campaign leaves no half-written captures behind.
+func runSession(op operators.Operator, sc operators.Scenario, d time.Duration, tracePath string, m *fleet.Metrics) (*Session, *iperf.Result, error) {
+	sess, err := NewSession(op, sc)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %s: %w", op.Acronym, err)
+	}
+	var w *xcal.Writer
+	var f *os.File
+	if tracePath != "" {
+		w, f, err = xcal.CreateFile(tracePath, sess.Meta())
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: creating trace: %w", err)
+		}
+	}
+	res, err := sess.RunIperf(d, net5g.Saturate, w)
+	if f != nil {
+		if err == nil {
+			err = w.Flush()
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			os.Remove(tracePath)
+		} else if m != nil {
+			if fi, serr := os.Stat(tracePath); serr == nil {
+				m.TraceBytes.Add(fi.Size())
+			}
+		}
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %s: %w", op.Acronym, err)
+	}
+	if m != nil {
+		m.SlotsSimulated.Add(int64(len(res.DLBitsPerSlot)))
+	}
+	return sess, res, nil
+}
+
 // RunCampaign measures every configured operator once, stationary with
 // full-buffer traffic, and aggregates the dataset statistics.
 func RunCampaign(cfg CampaignConfig) (*CampaignStats, error) {
+	return RunCampaignContext(context.Background(), cfg)
+}
+
+// RunCampaignContext is RunCampaign with cancellation: every
+// (operator, session) pair is an independent fleet job, fanned out over
+// cfg.Workers workers. Aggregation happens afterwards in submission
+// order, so the resulting CampaignStats — including the floating-point
+// accumulation order of Minutes and DataTB — is byte-identical for
+// workers=1 and workers=N.
+func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignStats, error) {
 	ops := cfg.Operators
 	if len(ops) == 0 {
 		ops = operators.MidBand()
@@ -84,51 +157,69 @@ func RunCampaign(cfg CampaignConfig) (*CampaignStats, error) {
 	if cfg.SessionsPerOperator == 0 {
 		cfg.SessionsPerOperator = 3
 	}
+	spo := cfg.SessionsPerOperator
+
+	// One job per (operator, session index). The session seed is split
+	// from the base seed by the job indices alone (the job key in
+	// numeric form), so no seed ever depends on scheduling.
+	jobs := make([]fleet.Job[sessionOutcome], 0, len(ops)*spo)
+	for i, op := range ops {
+		for k := 0; k < spo; k++ {
+			i, k, op := i, k, op
+			jobs = append(jobs, fleet.Job[sessionOutcome]{
+				Key: fmt.Sprintf("%s/%d", op.Acronym, k),
+				Run: func(context.Context) (sessionOutcome, error) {
+					seed := cfg.Seed + int64(i)*1009 + int64(k)*31
+					path := ""
+					if k == 0 && cfg.TraceDir != "" {
+						sc := operators.Stationary(seed)
+						path = filepath.Join(cfg.TraceDir, fmt.Sprintf("%s-%s.xcal", op.Acronym, sc.Name))
+					}
+					sess, res, err := runSession(op, operators.Stationary(seed), cfg.SessionDuration, path, cfg.Metrics)
+					if err != nil {
+						return sessionOutcome{}, err
+					}
+					out := sessionOutcome{res: res, tracePath: path}
+					if k == 0 {
+						// The primary session also probes §4.3 latency.
+						clean, retx, err := sess.RunLatency(cfg.LatencyProbes, 0.08)
+						if err != nil {
+							return sessionOutcome{}, fmt.Errorf("core: %s latency: %w", op.Acronym, err)
+						}
+						out.clean, out.retx = meanDuration(clean), meanDuration(retx)
+					}
+					return out, nil
+				},
+			})
+		}
+	}
+	results, err := fleet.Run(ctx, jobs, fleet.Options{
+		Workers:  cfg.Workers,
+		Metrics:  cfg.Metrics,
+		Progress: cfg.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Deterministic aggregation: walk operators in registry order and
+	// sessions in index order, mirroring the serial loop's arithmetic.
 	stats := &CampaignStats{
 		Countries: map[string]bool{},
 		Cities:    map[string]bool{},
 	}
 	for i, op := range ops {
-		sess, err := NewSession(op, operators.Stationary(cfg.Seed+int64(i)*1009))
-		if err != nil {
-			return nil, fmt.Errorf("core: %s: %w", op.Acronym, err)
-		}
-		var w *xcal.Writer
-		var f *os.File
-		path := ""
-		if cfg.TraceDir != "" {
-			path = filepath.Join(cfg.TraceDir, fmt.Sprintf("%s-%s.xcal", op.Acronym, sess.Scenario.Name))
-			w, f, err = xcal.CreateFile(path, sess.Meta())
-			if err != nil {
-				return nil, fmt.Errorf("core: creating trace: %w", err)
-			}
-		}
-		res, err := sess.RunIperf(cfg.SessionDuration, net5g.Saturate, w)
-		if err != nil {
-			return nil, fmt.Errorf("core: %s: %w", op.Acronym, err)
-		}
-		if w != nil {
-			if err := w.Flush(); err != nil {
-				return nil, err
-			}
-			if err := f.Close(); err != nil {
-				return nil, err
-			}
+		base := i * spo
+		o0 := results[base].Value
+		if o0.tracePath != "" {
 			stats.TraceFiles++
 		}
-		// Average the throughput KPIs over further sessions at fresh
+		// Average the throughput KPIs over the extra sessions at fresh
 		// channel realizations (§2: experiments repeat across time
 		// periods; single windows are congestion-episode lottery).
-		dl, ul, nrUL, lteUL := res.DLMbps, res.ULMbps, res.NRULMbps, res.LTEULMbps
-		for extra := 1; extra < cfg.SessionsPerOperator; extra++ {
-			s2, err := NewSession(op, operators.Stationary(cfg.Seed+int64(i)*1009+int64(extra)*31))
-			if err != nil {
-				return nil, err
-			}
-			r2, err := s2.RunIperf(cfg.SessionDuration, net5g.Saturate, nil)
-			if err != nil {
-				return nil, err
-			}
+		dl, ul, nrUL, lteUL := o0.res.DLMbps, o0.res.ULMbps, o0.res.NRULMbps, o0.res.LTEULMbps
+		for k := 1; k < spo; k++ {
+			r2 := results[base+k].Value.res
 			dl += r2.DLMbps
 			ul += r2.ULMbps
 			nrUL += r2.NRULMbps
@@ -136,24 +227,19 @@ func RunCampaign(cfg CampaignConfig) (*CampaignStats, error) {
 			stats.Minutes += cfg.SessionDuration.Minutes()
 			stats.DataTB += (r2.DLMbps + r2.ULMbps) * 1e6 / 8 * cfg.SessionDuration.Seconds() / 1e12
 		}
-		n := float64(cfg.SessionsPerOperator)
-		res.DLMbps, res.ULMbps, res.NRULMbps, res.LTEULMbps = dl/n, ul/n, nrUL/n, lteUL/n
-		clean, retx, err := sess.RunLatency(cfg.LatencyProbes, 0.08)
-		if err != nil {
-			return nil, fmt.Errorf("core: %s latency: %w", op.Acronym, err)
-		}
+		n := float64(spo)
 		rep := SessionReport{
 			Operator:     op.Acronym,
 			Country:      op.Country,
 			City:         op.City,
-			DLMbps:       res.DLMbps,
-			ULMbps:       res.ULMbps,
-			NRULMbps:     res.NRULMbps,
-			LTEULMbps:    res.LTEULMbps,
-			DataBytes:    (res.DLMbps + res.ULMbps) * 1e6 / 8 * cfg.SessionDuration.Seconds(),
-			TracePath:    path,
-			LatencyClean: meanDuration(clean),
-			LatencyRetx:  meanDuration(retx),
+			DLMbps:       dl / n,
+			ULMbps:       ul / n,
+			NRULMbps:     nrUL / n,
+			LTEULMbps:    lteUL / n,
+			DataBytes:    (dl/n + ul/n) * 1e6 / 8 * cfg.SessionDuration.Seconds(),
+			TracePath:    o0.tracePath,
+			LatencyClean: o0.clean,
+			LatencyRetx:  o0.retx,
 		}
 		stats.Sessions = append(stats.Sessions, rep)
 		stats.Countries[op.Country] = true

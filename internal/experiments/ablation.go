@@ -39,11 +39,6 @@ func ablationLink(o Options, mutate func(*gnb.CarrierConfig)) (*net5g.Link, erro
 	return net5g.NewLink(cfg)
 }
 
-func ablationMeasure(o Options, mutate func(*gnb.CarrierConfig)) (dlMbps, bler float64, err error) {
-	dl, bler, _, err := ablationMeasureFull(o, mutate)
-	return dl, bler, err
-}
-
 func ablationMeasureFull(o Options, mutate func(*gnb.CarrierConfig)) (dlMbps, bler, residualLoss float64, err error) {
 	link, err := ablationLink(o, mutate)
 	if err != nil {
@@ -89,20 +84,32 @@ func ablationMeasureFull(o Options, mutate func(*gnb.CarrierConfig)) (dlMbps, bl
 	return res.DLMbps, nacks / n, residualLoss, nil
 }
 
+// ablationVariants runs one ablationMeasure per (name, mutation) arm
+// through the fleet pool; each arm builds its own link, so the arms are
+// fully independent and the row order follows the variant order.
+func ablationVariants(o Options, names []string, mutations []func(*gnb.CarrierConfig)) ([]measuredVariant, error) {
+	return runArms(o, names, func(i int) (measuredVariant, error) {
+		dl, bler, loss, err := ablationMeasureFull(o, mutations[i])
+		return measuredVariant{dl: dl, bler: bler, loss: loss}, err
+	})
+}
+
+type measuredVariant struct {
+	dl, bler, loss float64
+}
+
 // AblationOLLA compares outer-loop link adaptation on vs off: without it
 // the stale-CQI mismatch goes uncorrected and BLER drifts off target.
 func AblationOLLA(o Options) ([]AblationResult, error) {
-	_, blerOn, err := ablationMeasure(o, nil)
-	if err != nil {
-		return nil, err
-	}
-	_, blerOff, err := ablationMeasure(o, func(c *gnb.CarrierConfig) { c.DisableOLLA = true })
+	vs, err := ablationVariants(o,
+		[]string{"olla-on", "olla-off"},
+		[]func(*gnb.CarrierConfig){nil, func(c *gnb.CarrierConfig) { c.DisableOLLA = true }})
 	if err != nil {
 		return nil, err
 	}
 	return []AblationResult{
-		{"olla-on", blerOn, "BLER"},
-		{"olla-off", blerOff, "BLER"},
+		{"olla-on", vs[0].bler, "BLER"},
+		{"olla-off", vs[1].bler, "BLER"},
 	}, nil
 }
 
@@ -113,54 +120,58 @@ func AblationOLLA(o Options) ([]AblationResult, error) {
 // be recovered end-to-end. HARQ drives it to ≈BLER^4; without HARQ every
 // first-transmission error is application-visible.
 func AblationHARQ(o Options) ([]AblationResult, error) {
-	dlOn, _, lossOn, err := ablationMeasureFull(o, nil)
-	if err != nil {
-		return nil, err
-	}
-	dlOff, _, lossOff, err := ablationMeasureFull(o, func(c *gnb.CarrierConfig) { c.DisableHARQ = true })
+	vs, err := ablationVariants(o,
+		[]string{"harq-on", "harq-off"},
+		[]func(*gnb.CarrierConfig){nil, func(c *gnb.CarrierConfig) { c.DisableHARQ = true }})
 	if err != nil {
 		return nil, err
 	}
 	return []AblationResult{
-		{"harq-on", dlOn, "Mbps"},
-		{"harq-off", dlOff, "Mbps"},
-		{"harq-on", lossOn, "residual-loss"},
-		{"harq-off", lossOff, "residual-loss"},
+		{"harq-on", vs[0].dl, "Mbps"},
+		{"harq-off", vs[1].dl, "Mbps"},
+		{"harq-on", vs[0].loss, "residual-loss"},
+		{"harq-off", vs[1].loss, "residual-loss"},
 	}, nil
 }
 
 // AblationRankAdaptation compares adaptive rank against a fixed rank-1
 // configuration — the 4× MIMO leverage §4.1 identifies.
 func AblationRankAdaptation(o Options) ([]AblationResult, error) {
-	dlAdaptive, _, err := ablationMeasure(o, nil)
-	if err != nil {
-		return nil, err
-	}
-	dlFixed, _, err := ablationMeasure(o, func(c *gnb.CarrierConfig) { c.CSI.MaxRank = 1 })
+	vs, err := ablationVariants(o,
+		[]string{"rank-adaptive", "rank-1-fixed"},
+		[]func(*gnb.CarrierConfig){nil, func(c *gnb.CarrierConfig) { c.CSI.MaxRank = 1 }})
 	if err != nil {
 		return nil, err
 	}
 	return []AblationResult{
-		{"rank-adaptive", dlAdaptive, "Mbps"},
-		{"rank-1-fixed", dlFixed, "Mbps"},
+		{"rank-adaptive", vs[0].dl, "Mbps"},
+		{"rank-1-fixed", vs[1].dl, "Mbps"},
 	}, nil
 }
 
 // AblationCQIMapping compares vendor CQI→MCS aggressiveness by shifting the
 // UE's reported-CQI optimism (3GPP leaves the mapping to vendors, §3.1).
 func AblationCQIMapping(o Options) ([]AblationResult, error) {
-	var out []AblationResult
-	for _, v := range []struct {
+	variants := []struct {
 		name string
 		db   float64
-	}{{"conservative(1dB)", 1}, {"default(3dB)", 3}, {"aggressive(6dB)", 6}} {
-		dl, bler, err := ablationMeasure(o, func(c *gnb.CarrierConfig) { c.CSI.CQIOptimismDB = v.db })
-		if err != nil {
-			return nil, err
-		}
+	}{{"conservative(1dB)", 1}, {"default(3dB)", 3}, {"aggressive(6dB)", 6}}
+	names := make([]string, len(variants))
+	mutations := make([]func(*gnb.CarrierConfig), len(variants))
+	for i, v := range variants {
+		db := v.db
+		names[i] = v.name
+		mutations[i] = func(c *gnb.CarrierConfig) { c.CSI.CQIOptimismDB = db }
+	}
+	vs, err := ablationVariants(o, names, mutations)
+	if err != nil {
+		return nil, err
+	}
+	var out []AblationResult
+	for i, v := range variants {
 		out = append(out,
-			AblationResult{v.name, dl, "Mbps"},
-			AblationResult{v.name, bler, "BLER"})
+			AblationResult{v.name, vs[i].dl, "Mbps"},
+			AblationResult{v.name, vs[i].bler, "BLER"})
 	}
 	return out, nil
 }
@@ -168,25 +179,24 @@ func AblationCQIMapping(o Options) ([]AblationResult, error) {
 // AblationScheduler compares the lone-UE full allocation with an
 // equal-share two-UE split (the Fig. 14 scheduler policy).
 func AblationScheduler(o Options) ([]AblationResult, error) {
-	link, err := ablationLink(o, nil)
-	if err != nil {
-		return nil, err
-	}
-	full, err := iperf.Run(link, iperf.Config{Duration: o.sessionSeconds(8), Demand: net5g.Demand{DL: true, Share: 1}})
-	if err != nil {
-		return nil, err
-	}
-	link2, err := ablationLink(o, nil)
-	if err != nil {
-		return nil, err
-	}
-	half, err := iperf.Run(link2, iperf.Config{Duration: o.sessionSeconds(8), Demand: net5g.Demand{DL: true, Share: 0.5}})
+	shares := []float64{1, 0.5}
+	dl, err := runArms(o, []string{"share-1.0", "share-0.5"}, func(i int) (float64, error) {
+		link, err := ablationLink(o, nil)
+		if err != nil {
+			return 0, err
+		}
+		res, err := iperf.Run(link, iperf.Config{Duration: o.sessionSeconds(8), Demand: net5g.Demand{DL: true, Share: shares[i]}})
+		if err != nil {
+			return 0, err
+		}
+		return res.DLMbps, nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	return []AblationResult{
-		{"share-1.0", full.DLMbps, "Mbps"},
-		{"share-0.5", half.DLMbps, "Mbps"},
+		{"share-1.0", dl[0], "Mbps"},
+		{"share-0.5", dl[1], "Mbps"},
 	}, nil
 }
 
@@ -196,25 +206,36 @@ func AblationScheduler(o Options) ([]AblationResult, error) {
 // top quality is reached at shallower (riskier) buffer levels, so average
 // bitrate grows with gp.
 func AblationBOLAGamma(o Options) ([]AblationResult, error) {
-	var out []AblationResult
-	for _, gp := range []float64{0.5, 1, 2, 5} {
+	gps := []float64{0.5, 1, 2, 5}
+	names := make([]string, len(gps))
+	for i, gp := range gps {
+		names[i] = fmt.Sprintf("gp=%.1f", gp)
+	}
+	type qoe struct{ normrate, stallPct float64 }
+	arms, err := runArms(o, names, func(i int) (qoe, error) {
 		link, err := ablationLink(o, nil)
 		if err != nil {
-			return nil, err
+			return qoe{}, err
 		}
 		res, err := video.Play(link, video.SessionConfig{
 			Ladder:        video.Ladder400,
 			ChunkLength:   4_000_000_000,
 			VideoDuration: o.videoDuration(120),
-			ABR:           &video.BOLA{MinBufferSec: 10, GammaP: gp},
+			ABR:           &video.BOLA{MinBufferSec: 10, GammaP: gps[i]},
 		})
 		if err != nil {
-			return nil, err
+			return qoe{}, err
 		}
-		name := fmt.Sprintf("gp=%.1f", gp)
+		return qoe{res.AvgNormBitrate, res.StallPct()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []AblationResult
+	for i := range gps {
 		out = append(out,
-			AblationResult{name, res.AvgNormBitrate, "normrate"},
-			AblationResult{name, res.StallPct(), "stall%"})
+			AblationResult{names[i], arms[i].normrate, "normrate"},
+			AblationResult{names[i], arms[i].stallPct, "stall%"})
 	}
 	return out, nil
 }

@@ -81,14 +81,17 @@ func ExtTDDSweep(o Options) ([]ExtTDDSweepRow, error) {
 		return nil, err
 	}
 	patterns := []string{"DDDSU", "DDSUU", "DDDDDDDSUU", "DDDDDDDDSU"}
-	var rows []ExtTDDSweepRow
-	for i, pat := range patterns {
+	// Each frame structure is an independent arm: its own sub-operator,
+	// link and latency models, seeded by the arm index — so the sweep
+	// fans out across the fleet pool without changing a single row.
+	return runArms(o, patterns, func(i int) (ExtTDDSweepRow, error) {
+		pat := patterns[i]
 		sub := op
 		sub.Carriers = append([]operators.Carrier(nil), op.Carriers...)
 		sub.Carriers[0].TDDPattern = pat
 		res, err := measureOp(sub, operators.Stationary(o.seed()+int64(i)*157), o.sessionSeconds(12), net5g.Saturate)
 		if err != nil {
-			return nil, err
+			return ExtTDDSweepRow{}, err
 		}
 		p := tdd.MustParse(pat)
 		mkLat := func(sr bool) (float64, error) {
@@ -108,19 +111,18 @@ func ExtTDDSweep(o Options) ([]ExtTDDSweepRow, error) {
 		}
 		lat, err := mkLat(false)
 		if err != nil {
-			return nil, err
+			return ExtTDDSweepRow{}, err
 		}
 		latSR, err := mkLat(true)
 		if err != nil {
-			return nil, err
+			return ExtTDDSweepRow{}, err
 		}
-		rows = append(rows, ExtTDDSweepRow{
+		return ExtTDDSweepRow{
 			Pattern: pat, DLDuty: p.DLDutyCycle(),
 			DLMbps: res.DLMbps, ULMbps: res.NRULMbps,
 			LatencyMs: lat, LatencySRMs: latSR,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // ExtABRRow is one algorithm's QoE under the busy-hour profile.
@@ -138,15 +140,24 @@ func ExtABRComparison(o Options) ([]ExtABRRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	algs := []video.ABR{
-		video.NewBOLA(), &video.ThroughputABR{}, video.NewDynamic(),
-		video.NewL2A(), video.NewLoLP(),
+	// Fresh ABR state per arm: the constructors run inside the job so no
+	// algorithm object is shared across workers.
+	algs := []func() video.ABR{
+		func() video.ABR { return video.NewBOLA() },
+		func() video.ABR { return &video.ThroughputABR{} },
+		func() video.ABR { return video.NewDynamic() },
+		func() video.ABR { return video.NewL2A() },
+		func() video.ABR { return video.NewLoLP() },
 	}
-	var rows []ExtABRRow
-	for _, abr := range algs {
+	keys := make([]string, len(algs))
+	for i, mk := range algs {
+		keys[i] = mk().Name()
+	}
+	return runArms(o, keys, func(i int) (ExtABRRow, error) {
+		abr := algs[i]()
 		link, err := videoLinkOp(op, operators.Stationary(o.seed()+401))
 		if err != nil {
-			return nil, err
+			return ExtABRRow{}, err
 		}
 		res, err := video.Play(link, video.SessionConfig{
 			Ladder:        video.Ladder400,
@@ -155,16 +166,15 @@ func ExtABRComparison(o Options) ([]ExtABRRow, error) {
 			ABR:           abr,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: ext abr %s: %w", abr.Name(), err)
+			return ExtABRRow{}, fmt.Errorf("experiments: ext abr %s: %w", abr.Name(), err)
 		}
-		rows = append(rows, ExtABRRow{
+		return ExtABRRow{
 			ABR:         abr.Name(),
 			NormBitrate: res.AvgNormBitrate,
 			StallPct:    res.StallPct(),
 			Switches:    res.Switches,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // ExtSchedulerRow is one scheduler policy's two-UE outcome.
@@ -183,24 +193,30 @@ func ExtSchedulers(o Options) ([]ExtSchedulerRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	cc, err := op.CarrierConfig(0, operators.Stationary(o.seed()+509))
-	if err != nil {
-		return nil, err
-	}
-	cc.Channel.SINRBiasDB = -4 // the weaker Fig. 14 cell
-	slots := int(o.sessionSeconds(12) / cc.Numerology.SlotDuration())
-	var rows []ExtSchedulerRow
-	for _, pol := range []gnb.SchedulerPolicy{
+	pols := []gnb.SchedulerPolicy{
 		gnb.SchedulerEqualShare, gnb.SchedulerProportionalFair, gnb.SchedulerMaxRate,
-	} {
+	}
+	keys := make([]string, len(pols))
+	for i, pol := range pols {
+		keys[i] = pol.String()
+	}
+	// Each policy arm rebuilds its carrier config from the registry so
+	// no simulator state is shared between workers.
+	return runArms(o, keys, func(idx int) (ExtSchedulerRow, error) {
+		cc, err := op.CarrierConfig(0, operators.Stationary(o.seed()+509))
+		if err != nil {
+			return ExtSchedulerRow{}, err
+		}
+		cc.Channel.SINRBiasDB = -4 // the weaker Fig. 14 cell
+		slots := int(o.sessionSeconds(12) / cc.Numerology.SlotDuration())
 		cell, err := gnb.NewCell(gnb.CellConfig{
 			Carrier: cc,
 			UEs:     []channel.Point{{X: 0, Y: 45}, {X: 0, Y: 117}},
-			Policy:  pol,
+			Policy:  pols[idx],
 			Seed:    o.seed() + 509,
 		})
 		if err != nil {
-			return nil, err
+			return ExtSchedulerRow{}, err
 		}
 		var near, far float64
 		for i := 0; i < slots; i++ {
@@ -220,11 +236,10 @@ func ExtSchedulers(o Options) ([]ExtSchedulerRow, error) {
 			jain = (nearMbps + farMbps) * (nearMbps + farMbps) /
 				(2 * (nearMbps*nearMbps + farMbps*farMbps))
 		}
-		rows = append(rows, ExtSchedulerRow{
-			Policy: pol.String(), NearMbps: nearMbps, FarMbps: farMbps, JainFairness: jain,
-		})
-	}
-	return rows, nil
+		return ExtSchedulerRow{
+			Policy: pols[idx].String(), NearMbps: nearMbps, FarMbps: farMbps, JainFairness: jain,
+		}, nil
+	})
 }
 
 // ULRoutingShare measures the fraction of uplink bits carried by each RAT

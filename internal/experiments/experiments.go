@@ -7,10 +7,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"github.com/midband5g/midband/internal/core"
+	"github.com/midband5g/midband/internal/fleet"
 	"github.com/midband5g/midband/internal/iperf"
 	"github.com/midband5g/midband/internal/lte"
 	"github.com/midband5g/midband/internal/net5g"
@@ -24,6 +26,35 @@ type Options struct {
 	// Quick shortens sessions for benchmarks and CI; full runs use the
 	// durations the figures need for stable statistics.
 	Quick bool
+	// Workers bounds the parallel fan-out of multi-arm sweeps
+	// (<=0: GOMAXPROCS; 1 forces serial execution). Every arm derives
+	// its randomness from Seed and its arm index, so any worker count
+	// produces identical rows.
+	Workers int
+}
+
+// runArms fans the arms of a sweep through the fleet worker pool and
+// returns their results in arm order regardless of completion order.
+// Arms must be independent: each builds its own link/session from the
+// Options seed, never sharing mutable simulator state.
+func runArms[T any](o Options, keys []string, run func(i int) (T, error)) ([]T, error) {
+	jobs := make([]fleet.Job[T], len(keys))
+	for i := range jobs {
+		i := i
+		jobs[i] = fleet.Job[T]{
+			Key: keys[i],
+			Run: func(context.Context) (T, error) { return run(i) },
+		}
+	}
+	results, err := fleet.Run(context.Background(), jobs, fleet.Options{Workers: o.Workers})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, len(results))
+	for i := range results {
+		out[i] = results[i].Value
+	}
+	return out, nil
 }
 
 func (o Options) seed() int64 {

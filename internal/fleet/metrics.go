@@ -1,0 +1,17 @@
+package fleet
+
+import "sync/atomic"
+
+// Metrics aggregates fleet-wide progress counters. The pool maintains
+// JobsDone; jobs add their own simulation volume (slots stepped, trace
+// bytes written) as they complete. All fields are safe for concurrent
+// use; CLIs read them after (or while) a run to report throughput on
+// stderr.
+type Metrics struct {
+	// JobsDone counts completed jobs (successful or failed).
+	JobsDone atomic.Int64
+	// SlotsSimulated counts simulated PHY slots stepped by the jobs.
+	SlotsSimulated atomic.Int64
+	// TraceBytes counts bytes of xcal traces written to disk.
+	TraceBytes atomic.Int64
+}

@@ -1,0 +1,32 @@
+package fleet
+
+// SeedFor derives a job-specific RNG seed by splitting the campaign base
+// seed with a stable hash of the job key. The split is determinism by
+// construction: the seed depends only on (base, key) — never on worker
+// identity, pool size or completion order — so a job produces the same
+// random sequence whether the fleet runs with one worker or many, on any
+// platform.
+//
+// The key is hashed with FNV-1a (64-bit), mixed with the base seed via a
+// golden-ratio multiply, and finalized with the splitmix64 mixer so that
+// adjacent bases and near-identical keys still land on well-separated
+// seeds.
+func SeedFor(base int64, key string) int64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	x := h ^ (uint64(base) * 0x9E3779B97F4A7C15)
+	// splitmix64 finalizer.
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x)
+}
