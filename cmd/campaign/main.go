@@ -4,9 +4,19 @@
 // pool; -parallel bounds the workers and the results are identical for
 // any value because every session seed derives from the job key alone.
 //
+// Observability: -obs-listen serves live /metrics (Prometheus text),
+// /debug/pprof and /debug/vars while the campaign runs; -progress prints
+// periodic slots/sec + ETA snapshots to stderr. Every run writes a
+// RunManifest (manifest.json) next to the traces recording the config
+// digest, seed, toolchain and run accounting, so any trace can be traced
+// back to the exact run that produced it. None of this feeds back into
+// the simulation: aggregates and traces are byte-identical with
+// observability on or off.
+//
 // Usage:
 //
-//	campaign [-out DIR] [-duration 10s] [-seed N] [-ops V_Sp,Tmb_US] [-parallel N]
+//	campaign [-out DIR] [-duration 10s] [-seed N] [-ops V_Sp,Tmb_US]
+//	         [-parallel N] [-obs-listen :9090] [-progress 2s]
 package main
 
 import (
@@ -14,23 +24,37 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"github.com/midband5g/midband/internal/core"
 	"github.com/midband5g/midband/internal/fleet"
+	"github.com/midband5g/midband/internal/obs"
 	"github.com/midband5g/midband/internal/operators"
 	"github.com/midband5g/midband/internal/report"
 )
 
+// manifestConfig is the digested run configuration: exactly the inputs
+// that determine campaign outputs. Workers is deliberately excluded —
+// outputs are byte-identical for any worker count — and recorded on the
+// manifest's top level instead.
+type manifestConfig struct {
+	Operators       []string `json:"operators"`
+	DurationSeconds float64  `json:"duration_seconds"`
+	Seed            int64    `json:"seed"`
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("campaign: ")
-	out := flag.String("out", "traces", "directory for .xcal traces")
+	out := flag.String("out", "traces", "directory for .xcal traces and manifest.json")
 	duration := flag.Duration("duration", 10*time.Second, "bulk-transfer duration per operator")
 	seed := flag.Int64("seed", 2024, "simulation seed")
 	ops := flag.String("ops", "", "comma-separated operator acronyms (default: all mid-band)")
 	parallel := flag.Int("parallel", 0, "concurrent sessions (default: GOMAXPROCS; 1 = serial)")
+	obsListen := flag.String("obs-listen", "", "serve /metrics, /debug/pprof and /debug/vars on this address during the run (\":0\" picks a port)")
+	progress := flag.Duration("progress", 0, "interval between stderr progress snapshots (0 disables)")
 	flag.Parse()
 
 	var selected []operators.Operator
@@ -46,8 +70,58 @@ func main() {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
 	}
+
 	var m fleet.Metrics
 	t0 := time.Now()
+	if *obsListen != "" || *progress > 0 {
+		obs.SetEnabled(true)
+	}
+	if *obsListen != "" {
+		reg := obs.Default()
+		reg.GaugeFunc("fleet_jobs_done", func() float64 { return float64(m.JobsDone.Load()) })
+		reg.GaugeFunc("fleet_jobs_total", func() float64 { return float64(m.JobsTotal.Load()) })
+		reg.GaugeFunc("fleet_slots_simulated", func() float64 { return float64(m.SlotsSimulated.Load()) })
+		reg.GaugeFunc("fleet_trace_bytes", func() float64 { return float64(m.TraceBytes.Load()) })
+		reg.GaugeFunc("run_elapsed_seconds", func() float64 { return time.Since(t0).Seconds() })
+		srv, err := obs.Serve(*obsListen, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "campaign: obs endpoint on http://%s (/metrics /debug/pprof /debug/vars)\n", srv.Addr())
+	}
+	if *progress > 0 {
+		stop := obs.StartProgress(obs.ProgressConfig{
+			W:        os.Stderr,
+			Interval: *progress,
+			Prefix:   "campaign",
+			Done:     m.JobsDone.Load,
+			Total:    m.JobsTotal.Load,
+			Slots:    m.SlotsSimulated.Load,
+		})
+		defer stop()
+	}
+
+	opNames := make([]string, 0, len(selected))
+	for _, op := range selected {
+		opNames = append(opNames, op.Acronym)
+	}
+	if len(opNames) == 0 {
+		for _, op := range operators.MidBand() {
+			opNames = append(opNames, op.Acronym)
+		}
+	}
+	manifest, err := obs.NewManifest("campaign", manifestConfig{
+		Operators:       opNames,
+		DurationSeconds: duration.Seconds(),
+		Seed:            *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	manifest.Seed = *seed
+	manifest.Workers = fleet.EffectiveWorkers(*parallel)
+
 	stats, err := core.RunCampaign(core.CampaignConfig{
 		Operators:       selected,
 		SessionDuration: *duration,
@@ -63,9 +137,24 @@ func main() {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(t0).Seconds()
+
+	manifest.WallSeconds = elapsed
+	manifest.JobsDone = m.JobsDone.Load()
+	manifest.SlotsSimulated = m.SlotsSimulated.Load()
+	manifest.TraceBytes = m.TraceBytes.Load()
+	for _, s := range stats.Sessions {
+		if s.TracePath != "" {
+			manifest.Outputs = append(manifest.Outputs, filepath.Base(s.TracePath))
+		}
+	}
+	manifestPath := filepath.Join(*out, "manifest.json")
+	if err := obs.WriteManifest(manifestPath, manifest); err != nil {
+		log.Fatal(err)
+	}
+
 	slots := float64(m.SlotsSimulated.Load())
 	fmt.Fprintf(os.Stderr, "campaign: %d sessions, %.2fM slots (%.2fM slots/s), %.1f KB traces, %.1fs wall\n",
 		m.JobsDone.Load(), slots/1e6, slots/1e6/elapsed, float64(m.TraceBytes.Load())/1e3, elapsed)
 	report.Table1(os.Stdout, stats)
-	fmt.Printf("\n%d traces written to %s\n", stats.TraceFiles, *out)
+	fmt.Printf("\n%d traces written to %s (manifest: %s)\n", stats.TraceFiles, *out, manifestPath)
 }

@@ -6,9 +6,16 @@
 // the buffers are emitted in figure order, making the output
 // byte-identical for any -parallel value.
 //
+// Observability: -obs-listen serves live /metrics, /debug/pprof and
+// /debug/vars during the run; -progress prints periodic jobs-done + ETA
+// snapshots to stderr; with -csv, a RunManifest (manifest.json) is
+// written next to the CSVs recording the config digest, seed and
+// toolchain of the run. None of it alters the rendered output.
+//
 // Usage:
 //
 //	figures [-quick] [-seed N] [-only fig11,fig12,...] [-parallel N]
+//	        [-csv DIR] [-obs-listen :9090] [-progress 2s]
 package main
 
 import (
@@ -19,21 +26,25 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"github.com/midband5g/midband/internal/experiments"
 	"github.com/midband5g/midband/internal/fleet"
+	"github.com/midband5g/midband/internal/obs"
 	"github.com/midband5g/midband/internal/report"
 )
 
 // options carry the CLI flags into run, keeping it testable.
 type options struct {
-	quick    bool
-	seed     int64
-	only     string
-	csvDir   string
-	parallel int
+	quick     bool
+	seed      int64
+	only      string
+	csvDir    string
+	parallel  int
+	obsListen string
+	progress  time.Duration
 }
 
 func main() {
@@ -45,16 +56,55 @@ func main() {
 	flag.StringVar(&opt.only, "only", "", "comma-separated subset, e.g. fig01,fig11,table1")
 	flag.StringVar(&opt.csvDir, "csv", "", "also write machine-readable CSV files to this directory")
 	flag.IntVar(&opt.parallel, "parallel", 0, "concurrent figure jobs (default: GOMAXPROCS; 1 = serial)")
+	flag.StringVar(&opt.obsListen, "obs-listen", "", "serve /metrics, /debug/pprof and /debug/vars on this address during the run (\":0\" picks a port)")
+	flag.DurationVar(&opt.progress, "progress", 0, "interval between stderr progress snapshots (0 disables)")
 	flag.Parse()
 	if err := run(opt, os.Stdout, os.Stderr); err != nil {
 		log.Fatal(err)
 	}
 }
 
+// manifestConfig is the digested run configuration for the RunManifest:
+// exactly the inputs that determine figure output. Worker count is
+// excluded (output is byte-identical for any -parallel value).
+type manifestConfig struct {
+	Only  string `json:"only,omitempty"`
+	Quick bool   `json:"quick"`
+	Seed  int64  `json:"seed"`
+}
+
 // run regenerates the selected figures, streaming progress to stderr and
 // the rendered tables — in deterministic figure order — to stdout.
 func run(opt options, stdout, stderr io.Writer) error {
 	o := experiments.Options{Quick: opt.quick, Seed: opt.seed, Workers: opt.parallel}
+
+	var m fleet.Metrics
+	t0 := time.Now()
+	if opt.obsListen != "" || opt.progress > 0 {
+		obs.SetEnabled(true)
+	}
+	if opt.obsListen != "" {
+		reg := obs.Default()
+		reg.GaugeFunc("fleet_jobs_done", func() float64 { return float64(m.JobsDone.Load()) })
+		reg.GaugeFunc("fleet_jobs_total", func() float64 { return float64(m.JobsTotal.Load()) })
+		reg.GaugeFunc("run_elapsed_seconds", func() float64 { return time.Since(t0).Seconds() })
+		srv, err := obs.Serve(opt.obsListen, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "figures: obs endpoint on http://%s (/metrics /debug/pprof /debug/vars)\n", srv.Addr())
+	}
+	if opt.progress > 0 {
+		stop := obs.StartProgress(obs.ProgressConfig{
+			W:        stderr,
+			Interval: opt.progress,
+			Prefix:   "figures",
+			Done:     m.JobsDone.Load,
+			Total:    m.JobsTotal.Load,
+		})
+		defer stop()
+	}
 
 	wanted := map[string]bool{}
 	for _, k := range strings.Split(opt.only, ",") {
@@ -353,9 +403,9 @@ func run(opt options, stdout, stderr io.Writer) error {
 			},
 		}
 	}
-	t0 := time.Now()
 	results, err := fleet.Run(context.Background(), fjobs, fleet.Options{
 		Workers: opt.parallel,
+		Metrics: &m,
 		Progress: func(done, total int, key string) {
 			fmt.Fprintf(stderr, "figures: [%d/%d] %s (%.1fs)\n", done, total, key, time.Since(t0).Seconds())
 		},
@@ -374,5 +424,33 @@ func run(opt options, stdout, stderr io.Writer) error {
 		report.PaperComparison(stdout, fig1, fig9, fig11)
 	}
 	fmt.Fprintln(stdout)
+	if opt.csvDir != "" {
+		if err := writeManifest(opt, t0, &m); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeManifest records the run next to its CSV outputs so every figure
+// is reproducible from the manifest's config digest and seed.
+func writeManifest(opt options, t0 time.Time, m *fleet.Metrics) error {
+	man, err := obs.NewManifest("figures", manifestConfig{Only: opt.only, Quick: opt.quick, Seed: opt.seed})
+	if err != nil {
+		return err
+	}
+	man.Seed = opt.seed
+	man.Workers = fleet.EffectiveWorkers(opt.parallel)
+	man.WallSeconds = time.Since(t0).Seconds()
+	man.JobsDone = m.JobsDone.Load()
+	entries, err := os.ReadDir(opt.csvDir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".csv") {
+			man.Outputs = append(man.Outputs, e.Name())
+		}
+	}
+	return obs.WriteManifest(filepath.Join(opt.csvDir, "manifest.json"), man)
 }

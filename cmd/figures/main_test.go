@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/midband5g/midband/internal/obs"
 )
 
 // The figures runner must emit byte-identical stdout and CSV files for
@@ -32,6 +34,16 @@ func TestRunParallelDeterminism(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, e := range entries {
+			if e.Name() == "manifest.json" {
+				// The manifest records wall-clock metadata, so it is
+				// compared by config digest below, not byte-for-byte.
+				man, err := obs.ReadManifest(filepath.Join(csvDir, e.Name()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				files[e.Name()] = man.ConfigDigest
+				continue
+			}
 			b, err := os.ReadFile(filepath.Join(csvDir, e.Name()))
 			if err != nil {
 				t.Fatal(err)

@@ -1,0 +1,133 @@
+package midband_test
+
+// Documentation gates, run in CI's docs job:
+//
+//   - every package in this module (root, internal/*, cmd/*, examples/*)
+//     must carry a godoc package comment, so `go doc ./...` stays useful;
+//   - every relative link in the markdown docs must resolve to a file
+//     that exists, so README/DESIGN/EXPERIMENTS/docs/ never drift into
+//     dead references.
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// goPackageDirs lists every directory in the module that contains
+// non-test Go files.
+func goPackageDirs(t *testing.T) []string {
+	t.Helper()
+	var dirs []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != "." && (strings.HasPrefix(name, ".") || name == "results" || name == "traces") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dirs
+}
+
+// Every package must have a godoc package comment on at least one
+// file. Library packages must use the canonical `// Package xyz ...`
+// form; main packages (cmd/*, examples/*) may open with any prose that
+// says what the program does.
+func TestEveryPackageHasDocComment(t *testing.T) {
+	fset := token.NewFileSet()
+	for _, dir := range goPackageDirs(t) {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pkgName string
+		documented := false
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", dir, e.Name(), err)
+			}
+			pkgName = f.Name.Name
+			if f.Doc == nil {
+				continue
+			}
+			text := f.Doc.Text()
+			if pkgName == "main" && strings.TrimSpace(text) != "" {
+				documented = true
+			}
+			if strings.HasPrefix(text, "Package ") || strings.HasPrefix(text, "Command ") {
+				documented = true
+			}
+		}
+		if pkgName != "" && !documented {
+			t.Errorf("package %s (in %s) has no godoc package comment (`// Package %s ...`)", pkgName, dir, pkgName)
+		}
+	}
+}
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// Every relative markdown link must point at an existing file.
+func TestMarkdownLinksResolve(t *testing.T) {
+	var mdFiles []string
+	for _, pattern := range []string{"*.md", "docs/*.md"} {
+		matches, err := filepath.Glob(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mdFiles = append(mdFiles, matches...)
+	}
+	if len(mdFiles) < 5 {
+		t.Fatalf("markdown sweep found only %v — glob broken?", mdFiles)
+	}
+	for _, md := range mdFiles {
+		// SNIPPETS.md and PAPERS.md quote external repos and papers
+		// verbatim; their links point outside this tree by design.
+		if md == "SNIPPETS.md" || md == "PAPERS.md" {
+			continue
+		}
+		b, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(b), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(md), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s)", md, m[1], resolved)
+			}
+		}
+	}
+}

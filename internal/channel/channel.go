@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/rand"
 	"time"
+
+	"github.com/midband5g/midband/internal/obs"
 )
 
 // Config parameterizes a per-carrier radio channel process.
@@ -241,6 +243,16 @@ func (c *Channel) Step() Sample {
 	}
 
 	c.slot++
+	// Observability only — nothing below feeds back into channel state,
+	// so instrumented runs stay byte-identical to uninstrumented ones.
+	if obs.Enabled() {
+		obs.Sim.SlotsStepped.Inc()
+		if outage {
+			obs.Sim.Outages.Inc()
+		} else {
+			obs.Sim.SINRdB.Observe(sinrDB)
+		}
+	}
 	return Sample{
 		Pos:         pos,
 		ServingCell: cell,

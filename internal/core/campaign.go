@@ -11,6 +11,7 @@ import (
 	"github.com/midband5g/midband/internal/fleet"
 	"github.com/midband5g/midband/internal/iperf"
 	"github.com/midband5g/midband/internal/net5g"
+	"github.com/midband5g/midband/internal/obs"
 	"github.com/midband5g/midband/internal/operators"
 	"github.com/midband5g/midband/internal/xcal"
 )
@@ -175,9 +176,24 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignStats
 						sc := operators.Stationary(seed)
 						path = filepath.Join(cfg.TraceDir, fmt.Sprintf("%s-%s.xcal", op.Acronym, sc.Name))
 					}
+					var t0 time.Time
+					if obs.Enabled() {
+						t0 = time.Now()
+					}
 					sess, res, err := runSession(op, operators.Stationary(seed), cfg.SessionDuration, path, cfg.Metrics)
 					if err != nil {
 						return sessionOutcome{}, err
+					}
+					// Observability only: record the session's wall cost
+					// per simulated slot and its goodput. Metrics are
+					// write-only here, so obs-on and obs-off campaigns
+					// aggregate byte-identically.
+					if obs.Enabled() {
+						if n := len(res.DLBitsPerSlot); n > 0 {
+							obs.Sim.SlotLatencyNs.Observe(float64(time.Since(t0).Nanoseconds()) / float64(n))
+						}
+						obs.Sim.SessionGoodputMbps.Observe(res.DLMbps)
+						obs.GoodputMbps(op.Acronym).Observe(res.DLMbps)
 					}
 					out := sessionOutcome{res: res, tracePath: path}
 					if k == 0 {

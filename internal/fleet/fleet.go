@@ -20,6 +20,9 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"github.com/midband5g/midband/internal/obs"
 )
 
 // Job is one unit of simulation work.
@@ -74,17 +77,28 @@ type Result[T any] struct {
 // submission order. The returned error is nil only if every job
 // succeeded; per-job errors are also available on the results, so
 // collect-all callers can salvage partial output.
+// EffectiveWorkers resolves an Options.Workers value to the pool size
+// Run would actually use: n itself, or GOMAXPROCS when n <= 0. Callers
+// recording a worker count (e.g. in a RunManifest) should store this,
+// not the raw flag value.
+func EffectiveWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
 func Run[T any](ctx context.Context, jobs []Job[T], opts Options) ([]Result[T], error) {
 	results := make([]Result[T], len(jobs))
 	if len(jobs) == 0 {
 		return results, nil
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := EffectiveWorkers(opts.Workers)
 	if workers > len(jobs) {
 		workers = len(jobs)
+	}
+	if opts.Metrics != nil {
+		opts.Metrics.JobsTotal.Add(int64(len(jobs)))
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -112,8 +126,19 @@ func Run[T any](ctx context.Context, jobs []Job[T], opts Options) ([]Result[T], 
 					results[i].Err = err
 					continue
 				}
+				var t0 time.Time
+				if obs.Enabled() {
+					t0 = time.Now()
+				}
 				v, err := runOne(ctx, j)
 				results[i].Value, results[i].Err = v, err
+				if obs.Enabled() {
+					// Wall time only — recording never touches job state.
+					obs.Sim.FleetJobSeconds.Observe(time.Since(t0).Seconds())
+					if err != nil {
+						obs.Sim.FleetJobFailures.Inc()
+					}
+				}
 				if err != nil && opts.OnError == FailFast {
 					failOnce.Do(func() {
 						failErr = fmt.Errorf("fleet: %s: %w", j.Key, err)

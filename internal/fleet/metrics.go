@@ -10,6 +10,10 @@ import "sync/atomic"
 type Metrics struct {
 	// JobsDone counts completed jobs (successful or failed).
 	JobsDone atomic.Int64
+	// JobsTotal is the size of the job list, stored by Run at submission
+	// so progress reporters can compute done/total and an ETA while the
+	// pool is still draining.
+	JobsTotal atomic.Int64
 	// SlotsSimulated counts simulated PHY slots stepped by the jobs.
 	SlotsSimulated atomic.Int64
 	// TraceBytes counts bytes of xcal traces written to disk.

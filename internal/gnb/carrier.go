@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/midband5g/midband/internal/channel"
+	"github.com/midband5g/midband/internal/obs"
 	"github.com/midband5g/midband/internal/phy"
 	"github.com/midband5g/midband/internal/tdd"
 	"github.com/midband5g/midband/internal/ue"
@@ -328,6 +329,9 @@ func (c *Carrier) Step(dl, ul Demand) SlotResult {
 	// executes the switch (random access on the target cell).
 	if c.serving >= 0 && sample.ServingCell != c.serving && c.cfg.HandoverInterruptionSlots > 0 {
 		c.hoUntil = slot + int64(c.cfg.HandoverInterruptionSlots)
+		if obs.Enabled() {
+			obs.Sim.Handovers.Inc()
+		}
 	}
 	c.serving = sample.ServingCell
 	if !haveCSI || slot < c.hoUntil {
@@ -406,6 +410,18 @@ func (c *Carrier) transmit(store *Alloc, queue *[]harqJob, slot int64, symbols i
 		RBs: job.rbs, REs: job.res, Table: job.table, MCS: job.mcs,
 		Rank: job.rank, TBSBits: job.tbs, HARQRetx: job.retx, ACK: ack,
 		DeliveredBits: delivered,
+	}
+	// Observability only — recorded after every scheduling decision is
+	// final, never read back, so metrics cannot perturb the simulation.
+	if obs.Enabled() {
+		obs.Sim.MCS.Observe(float64(job.mcs))
+		obs.Sim.Rank.Observe(float64(job.rank))
+		obs.Sim.HARQRetx.Observe(float64(job.retx))
+		if ack {
+			obs.Sim.TBAcks.Inc()
+		} else {
+			obs.Sim.TBNacks.Inc()
+		}
 	}
 	return store
 }

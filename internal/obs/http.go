@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the optional observability endpoint: a plain HTTP listener
+// serving the registry's /metrics exposition, Go's pprof profiling
+// handlers and expvar. CLIs start one when -obs-listen is set, so a
+// running campaign can be scraped and profiled live without touching
+// the simulation loop.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Handler returns the observability mux for reg:
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/debug/pprof  CPU/heap/goroutine/... profiles (net/http/pprof)
+//	/debug/vars   expvar JSON (includes memstats)
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteMetrics(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "midband obs endpoint: /metrics /debug/pprof /debug/vars")
+	})
+	return mux
+}
+
+// Serve starts the observability endpoint on addr (":0" picks a free
+// port) and returns immediately; requests are handled on a background
+// goroutine until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and any in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

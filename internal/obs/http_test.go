@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Golden /metrics output through the HTTP handler: a fixed registry
+// must render the exact exposition text with the Prometheus content
+// type.
+func TestMetricsHandlerGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim_tb_ack_total").Add(90)
+	r.Counter("sim_tb_nack_total").Add(10)
+	h := r.Histogram("sim_cqi", LinearEdges(0, 1, 4))
+	h.Observe(0)
+	h.Observe(2)
+	h.Observe(2)
+
+	ts := httptest.NewServer(Handler(r))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE sim_cqi histogram
+sim_cqi_bucket{le="0"} 1
+sim_cqi_bucket{le="1"} 1
+sim_cqi_bucket{le="2"} 3
+sim_cqi_bucket{le="3"} 3
+sim_cqi_bucket{le="+Inf"} 3
+sim_cqi_sum 4
+sim_cqi_count 3
+# TYPE sim_tb_ack_total counter
+sim_tb_ack_total 90
+# TYPE sim_tb_nack_total counter
+sim_tb_nack_total 10
+`
+	if string(body) != want {
+		t.Errorf("/metrics mismatch:\n--- got ---\n%s--- want ---\n%s", body, want)
+	}
+}
+
+// The endpoint must expose pprof and expvar alongside /metrics.
+func TestObservabilityEndpoints(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for _, path := range []string{"/", "/metrics", "/debug/pprof/", "/debug/vars"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /nope = %d, want 404", resp.StatusCode)
+	}
+}
+
+// Progress snapshots: a stopped reporter prints one final line with
+// done/total, slots and rate.
+func TestProgressSnapshot(t *testing.T) {
+	var b syncBuffer
+	stop := StartProgress(ProgressConfig{
+		W:        &b,
+		Interval: time.Hour, // only the final snapshot fires
+		Prefix:   "test",
+		Done:     func() int64 { return 3 },
+		Total:    func() int64 { return 10 },
+		Slots:    func() int64 { return 2_000_000 },
+	})
+	stop()
+	out := b.String()
+	if !strings.Contains(out, "test: progress 3/10 jobs") {
+		t.Errorf("snapshot missing jobs: %q", out)
+	}
+	if !strings.Contains(out, "2.00M slots") {
+		t.Errorf("snapshot missing slots: %q", out)
+	}
+	if !strings.Contains(out, "ETA") {
+		t.Errorf("snapshot missing ETA: %q", out)
+	}
+}
+
+// syncBuffer is a minimal concurrency-safe strings.Builder for the
+// progress goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+type testConfig struct {
+	Operators []string `json:"operators"`
+	Seed      int64    `json:"seed"`
+}
+
+// The manifest contract: write → parse → digest match, with provenance
+// stamped from the running toolchain.
+func TestManifestRoundTrip(t *testing.T) {
+	cfg := testConfig{Operators: []string{"V_Sp", "Tmb_US"}, Seed: 2024}
+	m, err := NewManifest("campaign", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Seed = cfg.Seed
+	m.Workers = 8
+	m.WallSeconds = 1.25
+	m.JobsDone = 6
+	m.SlotsSimulated = 120000
+	m.Outputs = []string{"V_Sp-stationary.xcal"}
+
+	if m.GoVersion != runtime.Version() {
+		t.Errorf("GoVersion = %q, want %q", m.GoVersion, runtime.Version())
+	}
+	if m.Schema != ManifestSchema {
+		t.Errorf("Schema = %d, want %d", m.Schema, ManifestSchema)
+	}
+
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := WriteManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ConfigDigest != m.ConfigDigest {
+		t.Errorf("digest changed across round trip: %s vs %s", got.ConfigDigest, m.ConfigDigest)
+	}
+	if got.Seed != 2024 || got.Workers != 8 || got.JobsDone != 6 {
+		t.Errorf("accounting fields lost: %+v", got)
+	}
+	var cfg2 testConfig
+	if err := json.Unmarshal(got.Config, &cfg2); err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg2.Operators) != 2 || cfg2.Operators[0] != "V_Sp" || cfg2.Seed != 2024 {
+		t.Errorf("config lost across round trip: %+v", cfg2)
+	}
+
+	// The digest is over the canonical config: identical configs digest
+	// identically, different configs differently.
+	same, _, err := DigestJSON(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != got.ConfigDigest {
+		t.Errorf("recomputed digest %s != recorded %s", same, got.ConfigDigest)
+	}
+	other, _, err := DigestJSON(testConfig{Operators: []string{"V_Sp"}, Seed: 2024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == got.ConfigDigest {
+		t.Error("different configs produced the same digest")
+	}
+}
+
+// A tampered config must fail verification on read.
+func TestManifestTamperDetected(t *testing.T) {
+	m, err := NewManifest("campaign", testConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := WriteManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(b), `"seed": 1`, `"seed": 2`, 1)
+	if tampered == string(b) {
+		t.Fatal("tamper substitution did not apply")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(path); err == nil || !strings.Contains(err.Error(), "digest mismatch") {
+		t.Errorf("tampered manifest accepted: %v", err)
+	}
+}
+
+// No partial manifest may be left behind: the write is tmp+rename.
+func TestWriteManifestAtomic(t *testing.T) {
+	m, err := NewManifest("figures", testConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "manifest.json")
+	if err := WriteManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "manifest.json" {
+		t.Errorf("unexpected directory contents: %v", entries)
+	}
+}

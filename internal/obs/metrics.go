@@ -1,0 +1,328 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe for
+// concurrent use; Add is a single atomic add, fit for per-slot paths.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a settable float64 metric (last-write-wins).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// atomicFloat accumulates float64 values lock-free (CAS loop).
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat) Add(v float64) {
+	for {
+		old := a.bits.Load()
+		if a.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (a *atomicFloat) Load() float64 { return math.Float64frombits(a.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. The bucket layout is
+// immutable after construction, so Observe is lock-free: a bucket search
+// over a small sorted edge slice plus two atomic adds. Edges are upper
+// bounds (v ≤ edge falls in that bucket); one implicit +Inf bucket
+// catches the rest, Prometheus-style cumulative on exposition.
+type Histogram struct {
+	edges   []float64
+	buckets []atomic.Int64 // len(edges)+1; last is +Inf
+	count   atomic.Int64
+	sum     atomicFloat
+}
+
+// NewHistogram builds a histogram from strictly increasing upper-bound
+// edges. It panics on an invalid layout — bucket edges are compile-time
+// decisions, not runtime inputs.
+func NewHistogram(edges []float64) *Histogram {
+	if len(edges) == 0 {
+		panic("obs: histogram needs at least one bucket edge")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			panic(fmt.Sprintf("obs: histogram edges not increasing at %d: %g after %g", i, edges[i], edges[i-1]))
+		}
+	}
+	cp := make([]float64, len(edges))
+	copy(cp, edges)
+	return &Histogram{edges: cp, buckets: make([]atomic.Int64, len(cp)+1)}
+}
+
+// LinearEdges returns n upper bounds start, start+width, ... — the layout
+// used for index-valued KPIs (CQI 0–15, MCS 0–28).
+func LinearEdges(start, width float64, n int) []float64 {
+	if n < 1 || width <= 0 {
+		panic("obs: invalid linear edge layout")
+	}
+	edges := make([]float64, n)
+	for i := range edges {
+		edges[i] = start + float64(i)*width
+	}
+	return edges
+}
+
+// ExponentialEdges returns n upper bounds start, start*factor, ... — the
+// layout used for scale-free quantities (latency, goodput).
+func ExponentialEdges(start, factor float64, n int) []float64 {
+	if n < 1 || start <= 0 || factor <= 1 {
+		panic("obs: invalid exponential edge layout")
+	}
+	edges := make([]float64, n)
+	v := start
+	for i := range edges {
+		edges[i] = v
+		v *= factor
+	}
+	return edges
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: edge slices are small (≤ ~32) and usually hit early;
+	// this beats binary search on branch prediction for KPI-shaped data.
+	i := 0
+	for i < len(h.edges) && v > h.edges[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// Edges returns the bucket upper bounds (excluding the implicit +Inf).
+func (h *Histogram) Edges() []float64 {
+	cp := make([]float64, len(h.edges))
+	copy(cp, h.edges)
+	return cp
+}
+
+// BucketCounts returns the per-bucket (non-cumulative) counts; the last
+// entry is the +Inf bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Registry holds named metrics and renders them in Prometheus text
+// exposition format. Get-or-create takes a lock; recorded hot paths hold
+// the returned pointers, so steady-state observation is lock-free.
+//
+// A name may carry a fixed label set in curly braces —
+// `campaign_goodput_mbps{operator="V_Sp"}` — which exposition merges
+// with histogram `le` labels the way Prometheus expects.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() float64
+	hists      map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		gaugeFuncs: map[string]func() float64{},
+		hists:      map[string]*Histogram{},
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that the Sim metric set and
+// the CLIs register into.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a read-on-scrape gauge — the bridge for values
+// that already live elsewhere (fleet counters, wall clocks).
+func (r *Registry) GaugeFunc(name string, f func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = f
+}
+
+// Histogram returns the named histogram, creating it with the given
+// edges on first use. Later calls ignore edges and return the existing
+// histogram.
+func (r *Registry) Histogram(name string, edges []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(edges)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// splitName separates a metric name from its optional fixed label block:
+// `x{a="b"}` → (`x`, `a="b"`).
+func splitName(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteMetrics renders every registered metric in Prometheus text
+// exposition format, families sorted by name so output is deterministic.
+func (r *Registry) WriteMetrics(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+
+	type entry struct {
+		name string // full name including labels
+		kind string // counter | gauge | histogram
+	}
+	var entries []entry
+	for n := range r.counters {
+		entries = append(entries, entry{n, "counter"})
+	}
+	for n := range r.gauges {
+		entries = append(entries, entry{n, "gauge"})
+	}
+	for n := range r.gaugeFuncs {
+		entries = append(entries, entry{n, "gauge"})
+	}
+	for n := range r.hists {
+		entries = append(entries, entry{n, "histogram"})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+
+	typed := map[string]bool{} // families whose # TYPE line is out
+	for _, e := range entries {
+		family, labels := splitName(e.name)
+		if !typed[family] {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, e.kind); err != nil {
+				return err
+			}
+			typed[family] = true
+		}
+		var err error
+		switch e.kind {
+		case "counter":
+			err = writeSample(w, family, labels, float64(r.counters[e.name].Load()))
+		case "gauge":
+			if g, ok := r.gauges[e.name]; ok {
+				err = writeSample(w, family, labels, g.Load())
+			} else {
+				err = writeSample(w, family, labels, r.gaugeFuncs[e.name]())
+			}
+		case "histogram":
+			err = writeHistogram(w, family, labels, r.hists[e.name])
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, family, labels string, v float64) error {
+	if labels != "" {
+		_, err := fmt.Fprintf(w, "%s{%s} %s\n", family, labels, formatFloat(v))
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %s\n", family, formatFloat(v))
+	return err
+}
+
+func writeHistogram(w io.Writer, family, labels string, h *Histogram) error {
+	sep := ""
+	if labels != "" {
+		sep = labels + ","
+	}
+	cum := int64(0)
+	counts := h.BucketCounts()
+	for i, edge := range h.edges {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", family, sep, formatFloat(edge), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(counts)-1]
+	if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", family, sep, cum); err != nil {
+		return err
+	}
+	if labels != "" {
+		if _, err := fmt.Fprintf(w, "%s_sum{%s} %s\n", family, labels, formatFloat(h.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count{%s} %d\n", family, labels, h.Count())
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", family, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", family, h.Count())
+	return err
+}

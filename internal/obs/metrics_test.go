@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(3.5)
+	if got := g.Load(); got != 3.5 {
+		t.Errorf("gauge = %g, want 3.5", got)
+	}
+	g.Set(-1)
+	if got := g.Load(); got != -1 {
+		t.Errorf("gauge = %g, want -1", got)
+	}
+}
+
+// The bucket contract: v lands in the first bucket whose upper edge is
+// ≥ v; values above every edge land in +Inf. Edge values belong to the
+// bucket they bound (v ≤ edge).
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{-5, 0.5, 1} { // ≤ 1
+		h.Observe(v)
+	}
+	h.Observe(1.5) // ≤ 2
+	h.Observe(2)   // ≤ 2: edge value stays in its own bucket
+	h.Observe(3)   // ≤ 4
+	h.Observe(4)   // ≤ 4
+	h.Observe(4.1) // +Inf
+	h.Observe(999) // +Inf
+
+	want := []int64{3, 2, 2, 2}
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 9 {
+		t.Errorf("count = %d, want 9", h.Count())
+	}
+	if sum := h.Sum(); sum != -5+0.5+1+1.5+2+3+4+4.1+999 {
+		t.Errorf("sum = %g", sum)
+	}
+}
+
+func TestEdgeLayouts(t *testing.T) {
+	lin := LinearEdges(0, 1, 16)
+	if len(lin) != 16 || lin[0] != 0 || lin[15] != 15 {
+		t.Errorf("LinearEdges(0,1,16) = %v", lin)
+	}
+	exp := ExponentialEdges(16, 2, 4)
+	want := []float64{16, 32, 64, 128}
+	for i := range want {
+		if exp[i] != want[i] {
+			t.Errorf("ExponentialEdges[%d] = %g, want %g", i, exp[i], want[i])
+		}
+	}
+	for _, bad := range [](func()){
+		func() { NewHistogram(nil) },
+		func() { NewHistogram([]float64{1, 1}) },
+		func() { NewHistogram([]float64{2, 1}) },
+		func() { LinearEdges(0, 0, 3) },
+		func() { ExponentialEdges(0, 2, 3) },
+		func() { ExponentialEdges(1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid layout did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+// Histograms are recorded from many workers at once; the atomic
+// counters must not lose observations (run under -race in CI).
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(LinearEdges(0, 1, 8))
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i % 10))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Errorf("count = %d, want %d", h.Count(), workers*per)
+	}
+	total := int64(0)
+	for _, c := range h.BucketCounts() {
+		total += c
+	}
+	if total != workers*per {
+		t.Errorf("bucket total = %d, want %d", total, workers*per)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x")
+	c2 := r.Counter("x")
+	if c1 != c2 {
+		t.Error("Counter(x) returned distinct instances")
+	}
+	h1 := r.Histogram("h", []float64{1, 2})
+	h2 := r.Histogram("h", []float64{99}) // edges ignored on re-get
+	if h1 != h2 {
+		t.Error("Histogram(h) returned distinct instances")
+	}
+	if got := h2.Edges(); len(got) != 2 {
+		t.Errorf("re-get replaced edges: %v", got)
+	}
+}
+
+// Golden Prometheus text exposition: families sorted, TYPE lines once
+// per family, labeled histograms merge le with the fixed labels.
+func TestWriteMetricsGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total").Add(7)
+	r.Gauge("temp").Set(1.5)
+	r.GaugeFunc("live", func() float64 { return 3 })
+	r.Histogram("lat", []float64{1, 2}).Observe(1.5)
+	r.Histogram(`lat{op="a"}`, []float64{1, 2}).Observe(5)
+
+	var b strings.Builder
+	if err := r.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE jobs_total counter
+jobs_total 7
+# TYPE lat histogram
+lat_bucket{le="1"} 0
+lat_bucket{le="2"} 1
+lat_bucket{le="+Inf"} 1
+lat_sum 1.5
+lat_count 1
+lat_bucket{op="a",le="1"} 0
+lat_bucket{op="a",le="2"} 0
+lat_bucket{op="a",le="+Inf"} 1
+lat_sum{op="a"} 5
+lat_count{op="a"} 1
+# TYPE live gauge
+live 3
+# TYPE temp gauge
+temp 1.5
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestEnabledToggle(t *testing.T) {
+	prev := Enabled()
+	defer SetEnabled(prev)
+	SetEnabled(true)
+	if !Enabled() {
+		t.Error("Enabled() = false after SetEnabled(true)")
+	}
+	SetEnabled(false)
+	if Enabled() {
+		t.Error("Enabled() = true after SetEnabled(false)")
+	}
+}

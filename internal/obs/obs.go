@@ -1,0 +1,40 @@
+// Package obs is the simulator's observability layer: low-overhead typed
+// metrics (counters, gauges, fixed-bucket histograms), run manifests that
+// make every campaign output reproducible, an optional HTTP endpoint
+// exposing live metrics plus pprof/expvar, and periodic stderr progress
+// snapshots.
+//
+// The paper this repository reproduces is a *measurement* study — its
+// whole contribution is slot-level KPI visibility into live networks —
+// so the simulator gets the same treatment: while a campaign runs, the
+// per-slot processes (CQI, MCS, BLER, HARQ, SINR, goodput) are visible
+// as live histograms instead of only materializing in the final tables.
+//
+// Two rules keep obs safe to leave in the hot path:
+//
+//   - Metrics never feed back into simulation state. Nothing in the
+//     simulator reads a metric, so instrumented and uninstrumented runs
+//     produce byte-identical aggregates and traces for any worker count.
+//   - The disabled path is a single atomic load. All hot-path call sites
+//     gate on [Enabled], which defaults to off; CLIs flip it on only when
+//     the user asks for -obs-listen or -progress.
+package obs
+
+import "sync/atomic"
+
+// enabled gates hot-path instrumentation. Off by default so the
+// simulation loop pays one predictable atomic load per gated site.
+var enabled atomic.Bool
+
+// SetEnabled switches hot-path instrumentation on or off. CLIs enable it
+// when an observability flag (-obs-listen, -progress) is set; tests may
+// toggle it, restoring the previous value when done.
+func SetEnabled(v bool) { enabled.Store(v) }
+
+// Enabled reports whether hot-path instrumentation is on. Call sites in
+// the simulation loop must check it before recording:
+//
+//	if obs.Enabled() {
+//		obs.Sim.MCS.Observe(float64(mcs))
+//	}
+func Enabled() bool { return enabled.Load() }

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// ProgressConfig drives periodic progress snapshots. The snapshot reads
+// fleet-style counters through plain funcs so obs stays import-free of
+// the orchestrator: callers bridge fleet.Metrics with closures.
+type ProgressConfig struct {
+	// W receives one snapshot line per interval (normally stderr).
+	W io.Writer
+	// Interval between snapshots (default 2s).
+	Interval time.Duration
+	// Prefix labels the lines (default "obs").
+	Prefix string
+	// Done returns completed jobs; Total returns the job count (0 if
+	// not yet known). Slots returns simulated slots so far (optional).
+	Done  func() int64
+	Total func() int64
+	Slots func() int64
+}
+
+// StartProgress launches the snapshot loop and returns a stop func that
+// prints one final snapshot and terminates the loop. Snapshots report
+// jobs done/total, simulated slots and slots/sec since start, and an
+// ETA extrapolated from the completion rate:
+//
+//	campaign: progress 9/33 jobs, 12.40M slots (4.31M slots/s), ETA 11s
+func StartProgress(cfg ProgressConfig) (stop func()) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	if cfg.Prefix == "" {
+		cfg.Prefix = "obs"
+	}
+	t0 := time.Now()
+	snapshot := func() {
+		elapsed := time.Since(t0).Seconds()
+		if elapsed <= 0 {
+			elapsed = 1e-9
+		}
+		done, total := cfg.Done(), int64(0)
+		if cfg.Total != nil {
+			total = cfg.Total()
+		}
+		line := fmt.Sprintf("%s: progress %d", cfg.Prefix, done)
+		if total > 0 {
+			line += fmt.Sprintf("/%d", total)
+		}
+		line += " jobs"
+		if cfg.Slots != nil {
+			slots := float64(cfg.Slots())
+			line += fmt.Sprintf(", %.2fM slots (%.2fM slots/s)", slots/1e6, slots/1e6/elapsed)
+		}
+		if total > 0 && done > 0 && done < total {
+			eta := time.Duration(elapsed / float64(done) * float64(total-done) * float64(time.Second))
+			line += fmt.Sprintf(", ETA %s", eta.Round(time.Second))
+		}
+		fmt.Fprintln(cfg.W, line)
+	}
+
+	ticker := time.NewTicker(cfg.Interval)
+	quit := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		for {
+			select {
+			case <-ticker.C:
+				snapshot()
+			case <-quit:
+				return
+			}
+		}
+	}()
+	return func() {
+		ticker.Stop()
+		close(quit)
+		<-finished
+		snapshot()
+	}
+}

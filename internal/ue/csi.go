@@ -9,6 +9,7 @@ import (
 	"math"
 	"math/rand"
 
+	"github.com/midband5g/midband/internal/obs"
 	"github.com/midband5g/midband/internal/phy"
 )
 
@@ -162,6 +163,10 @@ func (c *CSI) Observe(slot int64, sinrDB float64) {
 	}
 	if math.IsInf(sinrDB, -1) { // outage: out-of-range report
 		c.pending = append(c.pending, Report{Slot: slot, RI: 1, CQI: 0})
+		if obs.Enabled() {
+			obs.Sim.CQIReports.Inc()
+			obs.Sim.CQI.Observe(0)
+		}
 		return
 	}
 	rank := c.rankFor(sinrDB)
@@ -171,6 +176,11 @@ func (c *CSI) Observe(slot int64, sinrDB float64) {
 	se := math.Log2(1 + perLayer)
 	cqi := c.cfg.Table.CQIFromEfficiency(se)
 	c.pending = append(c.pending, Report{Slot: slot, RI: rank, CQI: cqi})
+	// Observability only; never read back into the feedback loop.
+	if obs.Enabled() {
+		obs.Sim.CQIReports.Inc()
+		obs.Sim.CQI.Observe(float64(cqi))
+	}
 }
 
 // Current returns the report in effect at the gNB, and false if no report
