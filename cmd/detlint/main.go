@@ -1,0 +1,190 @@
+// Command detlint runs the determinism analyzer suite
+// (internal/detlint) as a go vet tool:
+//
+//	go build -o bin/detlint ./cmd/detlint
+//	go vet -vettool=$PWD/bin/detlint ./...
+//
+// It speaks the vet unit-checker protocol directly on go/ast and
+// go/types — the repository vendors no third-party modules, so this is
+// a minimal stand-in for golang.org/x/tools' unitchecker: the go
+// command invokes the tool once per package with a JSON config naming
+// the package's files and the export data of its dependencies, and the
+// tool type-checks the package, runs the analyzers, and prints
+// diagnostics to stderr (exit status 2 when any fire).
+//
+// The analyzers and the //detlint:allow exception directive are
+// documented in internal/detlint and docs/ARCHITECTURE.md.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"github.com/midband5g/midband/internal/detlint"
+)
+
+func main() {
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+
+	// The go command probes the tool before using it: -V=full must
+	// print a "name version ..." line that seeds the build cache key,
+	// and -flags must dump the tool's flag set as JSON so go vet can
+	// split command-line flags between itself and the tool.
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			fmt.Printf("%s version devel buildID=%s\n", progname, selfDigest())
+			return
+		case arg == "-flags" || arg == "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintf(os.Stderr,
+			"usage: go vet -vettool=%s ./...\n(%s is a vet tool; it expects a single vet config file argument)\n",
+			progname, progname)
+		os.Exit(1)
+	}
+	diags, err := checkUnit(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		os.Exit(2)
+	}
+}
+
+// selfDigest hashes the tool binary so the go command's cache key
+// changes whenever the analyzers do.
+func selfDigest() string {
+	f, err := os.Open(os.Args[0])
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// goarch is the architecture the unit is being vetted for.
+func goarch() string {
+	if a := os.Getenv("GOARCH"); a != "" {
+		return a
+	}
+	return runtime.GOARCH
+}
+
+// vetConfig is the JSON the go command hands a vet tool for one
+// package (cmd/go's internal vetConfig struct).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	SucceedOnTypecheckFailure bool
+	VetxOnly                  bool
+	VetxOutput                string
+}
+
+// checkUnit analyzes one vet unit and returns rendered diagnostics.
+func checkUnit(cfgPath string) ([]string, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+
+	// The go command expects a facts file for every unit. The suite
+	// exports no facts, so dependencies (VetxOnly units) need no
+	// analysis at all — just the (empty) facts file.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	// Dependencies are imported from the export data the go command
+	// already built, resolved through the unit's import map.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tconf := types.Config{
+		Importer:  importer.ForCompiler(fset, cfg.Compiler, lookup),
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor("gc", goarch()),
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
+	}
+
+	var out []string
+	for _, d := range detlint.RunAnalyzers(fset, files, pkg, info, detlint.Suite()) {
+		out = append(out, fmt.Sprintf("%s: %s", fset.Position(d.Pos), d.Message))
+	}
+	return out, nil
+}

@@ -79,7 +79,7 @@ func run(opt options, stdout, stderr io.Writer) error {
 	o := experiments.Options{Quick: opt.quick, Seed: opt.seed, Workers: opt.parallel}
 
 	var m fleet.Metrics
-	t0 := time.Now()
+	t0 := time.Now() //detlint:allow walltime CLI wall-cost accounting for the manifest, never simulation input
 	if opt.obsListen != "" || opt.progress > 0 {
 		obs.SetEnabled(true)
 	}
@@ -87,7 +87,7 @@ func run(opt options, stdout, stderr io.Writer) error {
 		reg := obs.Default()
 		reg.GaugeFunc("fleet_jobs_done", func() float64 { return float64(m.JobsDone.Load()) })
 		reg.GaugeFunc("fleet_jobs_total", func() float64 { return float64(m.JobsTotal.Load()) })
-		reg.GaugeFunc("run_elapsed_seconds", func() float64 { return time.Since(t0).Seconds() })
+		reg.GaugeFunc("run_elapsed_seconds", func() float64 { return time.Since(t0).Seconds() }) //detlint:allow walltime live /metrics gauge, observability only
 		srv, err := obs.Serve(opt.obsListen, reg)
 		if err != nil {
 			return err
@@ -407,7 +407,7 @@ func run(opt options, stdout, stderr io.Writer) error {
 		Workers: opt.parallel,
 		Metrics: &m,
 		Progress: func(done, total int, key string) {
-			fmt.Fprintf(stderr, "figures: [%d/%d] %s (%.1fs)\n", done, total, key, time.Since(t0).Seconds())
+			fmt.Fprintf(stderr, "figures: [%d/%d] %s (%.1fs)\n", done, total, key, time.Since(t0).Seconds()) //detlint:allow walltime stderr progress line, not part of figure output
 		},
 	})
 	for _, r := range results {
@@ -441,7 +441,7 @@ func writeManifest(opt options, t0 time.Time, m *fleet.Metrics) error {
 	}
 	man.Seed = opt.seed
 	man.Workers = fleet.EffectiveWorkers(opt.parallel)
-	man.WallSeconds = time.Since(t0).Seconds()
+	man.WallSeconds = time.Since(t0).Seconds() //detlint:allow walltime manifest wall-cost field, excluded from the config digest
 	man.JobsDone = m.JobsDone.Load()
 	entries, err := os.ReadDir(opt.csvDir)
 	if err != nil {

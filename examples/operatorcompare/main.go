@@ -39,7 +39,9 @@ func main() {
 			}
 			n++
 			re += res.REs[j]
-			if res.Rank[j] == 4 {
+			// Rank is an integral layer count carried in a float64
+			// series; compare in integer space, not float.
+			if int(res.Rank[j]) == 4 {
 				rank4++
 			}
 			m256 += res.Mod256[j]

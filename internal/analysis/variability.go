@@ -53,11 +53,18 @@ type ScalePoint struct {
 
 // Curve computes V(t) across dyadic time scales t = 2^k·τ for k = 0..maxK,
 // the x-axis of Figure 12 (0.5 ms up to 2 s for τ = 0.5 ms, maxK = 12).
-// Scales with fewer than two complete blocks are omitted.
+// Scales with fewer than five complete blocks are omitted: V(t) averages
+// the m−1 jumps between consecutive block means, and with only two or
+// three blocks that average is a single noisy draw, not a variability
+// estimate — short sessions would let it decide the tail of the curve.
 func Curve(xs []float64, tau time.Duration, maxK int) []ScalePoint {
+	const minBlocks = 5
 	var out []ScalePoint
 	for k := 0; k <= maxK; k++ {
 		scale := 1 << k
+		if len(xs)/scale < minBlocks {
+			break
+		}
 		v, err := Variability(xs, scale)
 		if err != nil {
 			break

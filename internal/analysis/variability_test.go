@@ -131,9 +131,10 @@ func TestCurveWhiteNoiseDecreases(t *testing.T) {
 func TestCurveStopsWhenTooShort(t *testing.T) {
 	xs := make([]float64, 16)
 	curve := Curve(xs, time.Millisecond, 10)
-	// 16 samples support scales 1,2,4,8 (≥2 blocks each).
-	if len(curve) != 4 {
-		t.Errorf("curve has %d points, want 4", len(curve))
+	// 16 samples support scales 1,2 (≥5 blocks each); scale 4 leaves
+	// only 4 blocks — too few jumps for a meaningful V — and is dropped.
+	if len(curve) != 2 {
+		t.Errorf("curve has %d points, want 2", len(curve))
 	}
 }
 

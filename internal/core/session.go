@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/midband5g/midband/internal/fleet"
 	"github.com/midband5g/midband/internal/iperf"
 	"github.com/midband5g/midband/internal/net5g"
 	"github.com/midband5g/midband/internal/operators"
@@ -191,7 +192,7 @@ func writeDCISamples(w *xcal.Writer, recs []xcal.SlotKPI) error {
 // profile, with per-leg BLER taken from the given first-transmission error
 // rate.
 func (s *Session) RunLatency(n int, bler float64) (clean, retx []time.Duration, err error) {
-	cfg, err := s.Operator.LatencyConfig(bler, bler, s.Scenario.Seed+13)
+	cfg, err := s.Operator.LatencyConfig(bler, bler, fleet.SplitSeed(s.Scenario.Seed, "latency", 0))
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,99 @@
+package detlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// allowPrefix is the directive marker. Like all Go directives it must
+// be a // comment with no space before the keyword:
+//
+//	//detlint:allow walltime progress snapshots are observability-only
+const allowPrefix = "detlint:allow"
+
+// Allow is one parsed //detlint:allow directive. A directive suppresses
+// diagnostics of the named analyzer on its own line and on the line
+// immediately below, so it can trail the offending statement or sit on
+// its own line above it.
+type Allow struct {
+	// Analyzer is the rule being excepted.
+	Analyzer string
+	// Reason is the mandatory free-text justification.
+	Reason string
+	// Line is the directive's own source line.
+	Line int
+	// Pos is the directive's position.
+	Pos token.Pos
+	// used records whether the directive suppressed any diagnostic.
+	used bool
+}
+
+// parseAllows extracts //detlint:allow directives from a file.
+// Malformed directives — unknown analyzer name, missing reason — are
+// returned as diagnostics; a malformed directive never suppresses
+// anything.
+func parseAllows(fset *token.FileSet, file *ast.File, known map[string]bool) ([]*Allow, []Diagnostic) {
+	var allows []*Allow
+	var diags []Diagnostic
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//"+allowPrefix)
+			if !ok || (text != "" && text[0] != ' ' && text[0] != '\t') {
+				continue
+			}
+			fields := strings.Fields(text)
+			if len(fields) == 0 {
+				diags = append(diags, Diagnostic{
+					Pos:      c.Pos(),
+					Analyzer: "allow",
+					Message:  "malformed //detlint:allow: missing analyzer name",
+				})
+				continue
+			}
+			name := fields[0]
+			if !known[name] {
+				diags = append(diags, Diagnostic{
+					Pos:      c.Pos(),
+					Analyzer: "allow",
+					Message: fmt.Sprintf("unknown analyzer %q in //detlint:allow (known: %s)",
+						name, strings.Join(knownNames(known), ", ")),
+				})
+				continue
+			}
+			if len(fields) < 2 {
+				diags = append(diags, Diagnostic{
+					Pos:      c.Pos(),
+					Analyzer: "allow",
+					Message:  fmt.Sprintf("//detlint:allow %s: missing reason — say why this site is exempt", name),
+				})
+				continue
+			}
+			allows = append(allows, &Allow{
+				Analyzer: name,
+				Reason:   strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), name)),
+				Line:     fset.Position(c.Pos()).Line,
+				Pos:      c.Pos(),
+			})
+		}
+	}
+	return allows, diags
+}
+
+// knownNames returns the sorted analyzer names for error messages.
+func knownNames(known map[string]bool) []string {
+	names := make([]string, 0, len(known))
+	for n := range known {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// covers reports whether the directive suppresses a diagnostic of
+// analyzer at the given line.
+func (a *Allow) covers(analyzer string, line int) bool {
+	return a.Analyzer == analyzer && (a.Line == line || a.Line == line-1)
+}

@@ -1,0 +1,72 @@
+package detlint_test
+
+import (
+	"testing"
+
+	"github.com/midband5g/midband/internal/detlint"
+	"github.com/midband5g/midband/internal/detlint/dettest"
+)
+
+func TestGlobalRand(t *testing.T) {
+	dettest.Run(t, "testdata", "sim/internal/channel", detlint.GlobalRand)
+}
+
+func TestWallTime(t *testing.T) {
+	dettest.Run(t, "testdata", "sim/internal/gnb", detlint.WallTime)
+}
+
+func TestMapRange(t *testing.T) {
+	dettest.Run(t, "testdata", "maprange", detlint.MapRange)
+}
+
+func TestObsWriteOnly(t *testing.T) {
+	dettest.Run(t, "testdata", "sim/internal/ue", detlint.ObsWriteOnly)
+}
+
+// TestObsWriteOnlyOutsideSim checks the scoping: a non-sim package may
+// read metric values (that is what reporting does).
+func TestObsWriteOnlyOutsideSim(t *testing.T) {
+	dettest.Run(t, "testdata", "tools/report", detlint.ObsWriteOnly)
+}
+
+func TestFloatCmp(t *testing.T) {
+	dettest.Run(t, "testdata", "floatcmp", detlint.FloatCmp)
+}
+
+// TestAllowDirectives drives the directive parser end to end: a used
+// directive suppresses, unknown names and missing reasons are reported,
+// and a directive covering no diagnostic is stale.
+func TestAllowDirectives(t *testing.T) {
+	dettest.Run(t, "testdata", "allowfix", detlint.WallTime)
+}
+
+// TestGlobalRandScopedToSimPackages checks that the same global-rand
+// pattern outside the simulation core is not flagged (CLI tooling may
+// shuffle without a determinism contract).
+func TestGlobalRandScopedToSimPackages(t *testing.T) {
+	dettest.Run(t, "testdata", "tools/shuffle", detlint.GlobalRand)
+}
+
+func TestPolicy(t *testing.T) {
+	for path, want := range map[string]bool{
+		"github.com/midband5g/midband/internal/channel":                                                      true,
+		"github.com/midband5g/midband/internal/gnb":                                                          true,
+		"github.com/midband5g/midband/internal/core":                                                         true,
+		"github.com/midband5g/midband/internal/obs":                                                          false,
+		"github.com/midband5g/midband/internal/fleet":                                                        false,
+		"github.com/midband5g/midband/internal/detlint":                                                      false,
+		"github.com/midband5g/midband/cmd/campaign":                                                          false,
+		"github.com/midband5g/midband/internal/channel [github.com/midband5g/midband/internal/channel.test]": true,
+		"sim/internal/ue": true,
+	} {
+		if got := detlint.IsSimPackage(path); got != want {
+			t.Errorf("IsSimPackage(%q) = %v, want %v", path, got, want)
+		}
+	}
+	if !detlint.IsObsPackage("github.com/midband5g/midband/internal/obs") {
+		t.Error("internal/obs not recognized as obs package")
+	}
+	if detlint.IsObsPackage("github.com/midband5g/midband/internal/core") {
+		t.Error("internal/core wrongly recognized as obs package")
+	}
+}

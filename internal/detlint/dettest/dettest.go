@@ -1,0 +1,201 @@
+// Package dettest is a small analysistest-style harness for the detlint
+// suite. Fixture packages live under testdata/src/<import-path>/ and
+// annotate the lines where diagnostics are expected:
+//
+//	rand.Intn(6) // want "globalrand"
+//
+// The quoted string is a regular expression matched against the
+// diagnostic message. A want comment alone on its line applies to the
+// next line, so expectations can precede //detlint:allow directives
+// (which would otherwise swallow a trailing comment as their reason).
+//
+// Fixtures are parsed and type-checked offline: imports resolve first
+// against the fixture tree, then against the standard library compiled
+// from GOROOT source, so no network or pre-built export data is needed.
+package dettest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/midband5g/midband/internal/detlint"
+)
+
+// Run type-checks the fixture package at testdata/src/<pkgPath> under
+// dir, applies the analyzers through the full directive machinery, and
+// compares the diagnostics against the // want annotations.
+func Run(t *testing.T, dir, pkgPath string, analyzers ...*detlint.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset: fset,
+		root: filepath.Join(dir, "src"),
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: map[string]*loaded{},
+	}
+	lp, err := ld.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+
+	diags := detlint.RunAnalyzers(fset, lp.files, lp.pkg, lp.info, analyzers)
+	checkExpectations(t, fset, lp.files, diags)
+}
+
+// loaded is one type-checked fixture package.
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader resolves fixture imports from the testdata tree first and the
+// standard library (type-checked from GOROOT source) otherwise.
+type loader struct {
+	fset *token.FileSet
+	root string
+	std  types.Importer
+	pkgs map[string]*loaded
+}
+
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.root, filepath.FromSlash(path)); isDir(dir) {
+		lp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(pkgPath string) (*loaded, error) {
+	if lp, ok := l.pkgs[pkgPath]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(pkgPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", pkgPath, err)
+	}
+	lp := &loaded{pkg: pkg, files: files, info: info}
+	l.pkgs[pkgPath] = lp
+	return lp, nil
+}
+
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}
+
+// expectation is one parsed want annotation.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// wantRE matches `want "regexp"` occurrences inside a comment; the
+// pattern may contain escaped quotes.
+var wantRE = regexp.MustCompile(`want "((?:[^"\\]|\\.)*)"`)
+
+// checkExpectations diffs diagnostics against the fixtures' want
+// comments, failing the test on unmatched sides.
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []detlint.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, lineText := range strings.Split(string(src), "\n") {
+			ci := strings.Index(lineText, "//")
+			if ci < 0 {
+				continue
+			}
+			ms := wantRE.FindAllStringSubmatch(lineText[ci:], -1)
+			if ms == nil {
+				continue
+			}
+			// A want comment alone on its line annotates the next line.
+			target := i + 1
+			if strings.TrimSpace(lineText[:ci]) == "" {
+				target = i + 2
+			}
+			for _, m := range ms {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", name, i+1, m[1], err)
+				}
+				wants = append(wants, &expectation{file: name, line: target, re: re})
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

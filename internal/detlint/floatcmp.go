@@ -1,0 +1,81 @@
+package detlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between floating-point operands outside
+// _test.go files. Exact float equality depends on evaluation order,
+// compiler fusion and accumulated rounding — the kind of
+// representation detail that breaks byte-identical aggregates across
+// refactors. Compare against a tolerance, restructure the sentinel as
+// an integer/bool, or — when exact bit equality is genuinely meant —
+// annotate with //detlint:allow floatcmp <reason>.
+//
+// Two comparison classes are deliberately exempt:
+//
+//   - both operands compile-time constants (folded exactly), and
+//   - comparison against the constant zero — the zero-value sentinel
+//     ("field unset, apply default") and the division guard (x == 0)
+//     are exact by construction and deterministic, and they are the
+//     dominant idiom throughout the config structs.
+//
+// Comparing against any other constant (rank == 4) or between two
+// computed values stays flagged: those change truth value when an
+// upstream refactor perturbs rounding.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag ==/!= between floating-point operands outside tests",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, ty := pass.Info.Types[be.X], pass.Info.Types[be.Y]
+			if !isFloat(tx.Type) && !isFloat(ty.Type) {
+				return true
+			}
+			if tx.Value != nil && ty.Value != nil {
+				return true // constant-folded exactly at compile time
+			}
+			if isConstZero(tx) || isConstZero(ty) {
+				return true // zero-sentinel / division guard: exact
+			}
+			pass.Report(be.OpPos, fmt.Sprintf(
+				"floatcmp: %s between floating-point operands is representation-dependent; compare with a tolerance or restructure the sentinel (//detlint:allow floatcmp <reason> if bit equality is meant)",
+				be.Op))
+			return true
+		})
+	}
+}
+
+// isConstZero reports whether the operand is the compile-time constant
+// zero (the exempt sentinel/guard idiom).
+func isConstZero(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+// isFloat reports whether t is (or is based on) a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,66 @@
+package detlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand forbids math/rand's package-level convenience functions
+// (and rand.Seed) inside the simulation core. The package-level
+// functions draw from a process-global source that is shared across
+// goroutines, so concurrent fleet jobs would interleave draws and the
+// sequence would depend on worker count and scheduling — exactly the
+// nondeterminism the contract rules out. Randomness must flow through a
+// seeded *rand.Rand owned by the component, as internal/channel does:
+//
+//	rng: rand.New(rand.NewSource(cfg.Seed))
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid math/rand package-level functions in simulation packages; use a seeded *rand.Rand",
+	Run:  runGlobalRand,
+}
+
+// randConstructors are the math/rand and math/rand/v2 functions that
+// build an owned generator or source rather than drawing from the
+// global one. Everything else at package level is a global draw.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runGlobalRand(pass *Pass) {
+	if !IsSimPackage(pass.Pkg.Path()) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path := pkgPathOf(pass.Info, sel.X)
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if _, isFunc := pass.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+				return true // type names like rand.Rand, rand.Source
+			}
+			name := sel.Sel.Name
+			if randConstructors[name] {
+				return true
+			}
+			verb := "draws from the process-global source"
+			if name == "Seed" {
+				verb = "reseeds the process-global source"
+			}
+			pass.Report(sel.Pos(), fmt.Sprintf(
+				"globalrand: rand.%s %s, which is shared across fleet workers; use a seeded *rand.Rand (rand.New(rand.NewSource(seed)))",
+				name, verb))
+			return true
+		})
+	}
+}

@@ -1,0 +1,226 @@
+package detlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// MapRange flags ranging over a map when the loop body emits output
+// (fmt.Fprint*/fmt.Print*, io.WriteString, or a Write*/Encode method
+// call) or appends into a slice that is never sorted afterwards in the
+// same function. Go randomizes map iteration order per process, so such
+// a loop writes its rows in a different order on every run — the
+// classic way a CSV or trace stops being byte-identical.
+//
+// The deterministic idiom — collect the keys, sort them, range over the
+// sorted slice — is not flagged: the key-collecting append is followed
+// by a sort.*/slices.* call on the same slice, and the emitting loop
+// then ranges over a slice, not a map.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "flag map iteration that writes output or accumulates unsorted results; sort keys first",
+	Run:  runMapRange,
+}
+
+// outputMethodNames are method names that, called inside a map-range
+// body, almost certainly emit ordered output (io.Writer, bufio.Writer,
+// csv.Writer, json.Encoder, strings.Builder, ...).
+var outputMethodNames = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"WriteAll":    true,
+	"Encode":      true,
+}
+
+var fmtPrintNames = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func runMapRange(pass *Pass) {
+	for _, f := range pass.Files {
+		funcs := collectFuncBodies(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, rs, enclosingBody(funcs, rs))
+			return true
+		})
+	}
+}
+
+// collectFuncBodies gathers every function body in the file so a range
+// statement can be matched to its innermost enclosing function.
+func collectFuncBodies(f *ast.File) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				bodies = append(bodies, fn.Body)
+			}
+		case *ast.FuncLit:
+			bodies = append(bodies, fn.Body)
+		}
+		return true
+	})
+	return bodies
+}
+
+// enclosingBody returns the smallest function body containing n.
+func enclosingBody(bodies []*ast.BlockStmt, n ast.Node) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	for _, b := range bodies {
+		if b.Pos() <= n.Pos() && n.End() <= b.End() {
+			if best == nil || (best.Pos() <= b.Pos() && b.End() <= best.End()) {
+				best = b
+			}
+		}
+	}
+	return best
+}
+
+// checkMapRange inspects one map-range loop body for output sinks and
+// unsorted accumulation.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	appended := map[*types.Var]ast.Expr{} // slice var -> first append site
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, isSink := outputSink(pass.Info, n); isSink {
+				pass.Report(n.Pos(), fmt.Sprintf(
+					"maprange: %s inside range over a map emits output in random iteration order; collect and sort the keys first", name))
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass.Info, call) || i >= len(n.Lhs) {
+					continue
+				}
+				if v := varOf(pass.Info, n.Lhs[i]); v != nil {
+					if _, seen := appended[v]; !seen {
+						appended[v] = call
+					}
+				}
+			}
+		}
+		return true
+	})
+	for v, site := range appended {
+		if !sortedAfter(pass.Info, fnBody, rs, v) {
+			pass.Report(site.Pos(), fmt.Sprintf(
+				"maprange: %q accumulates map-iteration results but is never sorted in this function; random map order leaks into it", v.Name()))
+		}
+	}
+}
+
+// outputSink reports whether the call writes ordered output, returning
+// a short label for the diagnostic.
+func outputSink(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch pkgPathOf(info, sel.X) {
+	case "fmt":
+		if fmtPrintNames[sel.Sel.Name] {
+			return "fmt." + sel.Sel.Name, true
+		}
+		return "", false
+	case "io":
+		if sel.Sel.Name == "WriteString" {
+			return "io.WriteString", true
+		}
+		return "", false
+	}
+	// A method call: only consider real method selections (not
+	// qualified identifiers of other packages).
+	if info.Selections[sel] != nil && outputMethodNames[sel.Sel.Name] {
+		return "." + sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, builtin := info.Uses[id].(*types.Builtin)
+	return builtin && id.Name == "append"
+}
+
+// varOf resolves an assignable expression to its variable, if any.
+func varOf(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// sortedAfter reports whether, somewhere after the range loop in the
+// enclosing function, v is passed to a sort/slices call — the
+// collect-then-sort idiom that restores determinism.
+func sortedAfter(info *types.Info, fnBody *ast.BlockStmt, rs *ast.RangeStmt, v *types.Var) bool {
+	if fnBody == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg := pkgPathOf(info, sel.X)
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsVar(info, arg, v) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mentionsVar reports whether expression e references v.
+func mentionsVar(info *types.Info, e ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,75 @@
+package detlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ObsWriteOnly keeps internal/obs strictly write-only from inside the
+// simulation core: a sim package may create metric handles and call
+// their recording methods (Add, Inc, Set, Observe) and may gate on
+// obs.Enabled(), but it must never *read* a metric value back
+// (Load, Count, Sum, BucketCounts, ...). If instrumentation could feed
+// into simulation state, enabling -obs-listen would change the results
+// — the invariant TestRunCampaignObsOnOffDeterminism checks at runtime.
+var ObsWriteOnly = &Analyzer{
+	Name: "obswriteonly",
+	Doc:  "forbid simulation packages from reading internal/obs metric values; metrics are write-only",
+	Run:  runObsWriteOnly,
+}
+
+// obsReadNames are the value-returning accessors of the obs metric
+// types. Handle constructors (Counter, Gauge, Histogram, GoodputMbps)
+// and recording methods are allowed; these are not.
+var obsReadNames = map[string]bool{
+	"Load":         true,
+	"Count":        true,
+	"Sum":          true,
+	"Edges":        true,
+	"BucketCounts": true,
+	"WriteMetrics": true,
+}
+
+func runObsWriteOnly(pass *Pass) {
+	if !IsSimPackage(pass.Pkg.Path()) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !obsReadNames[sel.Sel.Name] {
+				return true
+			}
+			s := pass.Info.Selections[sel]
+			if s == nil {
+				return true // qualified identifier, not a method/field selection
+			}
+			recv := s.Recv()
+			if recv == nil || !isObsType(recv) {
+				return true
+			}
+			pass.Report(sel.Pos(), fmt.Sprintf(
+				"obswriteonly: %s.%s reads an internal/obs metric from a simulation package; metrics are write-only so instrumentation can never feed back into results",
+				types.TypeString(recv, func(p *types.Package) string { return p.Name() }), sel.Sel.Name))
+			return true
+		})
+	}
+}
+
+// isObsType reports whether t (possibly a pointer) is a named type
+// declared in the internal/obs package.
+func isObsType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && IsObsPackage(pkg.Path())
+}

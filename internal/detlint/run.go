@@ -1,0 +1,84 @@
+package detlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// RunAnalyzers applies the given analyzers to one type-checked package,
+// honors //detlint:allow directives, and returns the surviving
+// diagnostics (violations, malformed directives, stale directives)
+// sorted by position. Test files (_test.go) are excluded: the contract
+// governs what ships in the simulator, and tests legitimately measure
+// time and compare exact floats.
+//
+// A directive is stale when it suppressed no diagnostic of its analyzer
+// on its own or the following line; stale directives are reported so
+// the allowlist shrinks when code is fixed. Directives naming an
+// analyzer outside the running subset are left unjudged (their verdict
+// would need that analyzer's diagnostics).
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
+	var checked []*ast.File
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		checked = append(checked, f)
+	}
+
+	known := KnownAnalyzers()
+	running := map[string]bool{}
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
+
+	var diags []Diagnostic
+	var allows []*Allow
+	for _, f := range checked {
+		fa, fd := parseAllows(fset, f, known)
+		allows = append(allows, fa...)
+		diags = append(diags, fd...)
+	}
+
+	for _, a := range analyzers {
+		a := a
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    checked,
+			Pkg:      pkg,
+			Info:     info,
+			Report: func(pos token.Pos, message string) {
+				line := fset.Position(pos).Line
+				for _, al := range allows {
+					if al.covers(a.Name, line) {
+						al.used = true
+						return
+					}
+				}
+				diags = append(diags, Diagnostic{Pos: pos, Analyzer: a.Name, Message: message})
+			},
+		}
+		a.Run(pass)
+	}
+
+	for _, al := range allows {
+		if !al.used && running[al.Analyzer] {
+			diags = append(diags, Diagnostic{
+				Pos:      al.Pos,
+				Analyzer: "allow",
+				Message: fmt.Sprintf(
+					"stale //detlint:allow %s: no %s diagnostic on this or the next line — remove the directive",
+					al.Analyzer, al.Analyzer),
+			})
+		}
+	}
+
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags
+}

@@ -1,0 +1,32 @@
+// Package allowfix exercises the //detlint:allow directive parser:
+// good directives suppress, malformed ones are diagnostics themselves,
+// and stale ones are reported so the allowlist cannot rot.
+package allowfix
+
+import "time"
+
+// used carries a directive that suppresses a real walltime diagnostic —
+// the healthy case.
+func used() time.Time {
+	return time.Now() //detlint:allow walltime fixture for a legitimate timing site
+}
+
+// unknownName carries a directive naming a nonexistent analyzer.
+func unknownName() {
+	// want "unknown analyzer \"notananalyzer\""
+	//detlint:allow notananalyzer some reason text
+}
+
+// missingReason carries a directive with no justification text.
+func missingReason() {
+	// want "missing reason"
+	//detlint:allow walltime
+}
+
+// stale carries a directive on a line with no diagnostic, so the
+// directive itself is reported.
+func stale() int {
+	// want "stale //detlint:allow walltime"
+	//detlint:allow walltime there is no wall-clock read here
+	return 1
+}

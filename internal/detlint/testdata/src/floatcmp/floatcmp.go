@@ -1,0 +1,58 @@
+// Package floatcmp is a floatcmp fixture: exact float equality is
+// flagged outside tests; tolerance comparisons and constant folds are
+// not.
+package floatcmp
+
+import "math"
+
+const eps = 1e-9
+
+// BadEq compares floats exactly.
+func BadEq(a, b float64) bool {
+	return a == b // want "floatcmp: == between floating-point operands"
+}
+
+// BadNeq compares float32s exactly.
+func BadNeq(xs []float32, y float32) bool {
+	for _, x := range xs {
+		if x != y { // want "floatcmp: != between floating-point operands"
+			return true
+		}
+	}
+	return false
+}
+
+// BadNonZeroConst compares a computed float against a non-zero
+// constant: truth flips if upstream rounding shifts by one ULP.
+func BadNonZeroConst(rank float64) bool {
+	return rank == 4 // want "floatcmp: == between floating-point operands"
+}
+
+// GoodZeroSentinel is the exempt idiom: the zero-value default check
+// and the division guard compare against the constant zero, which is
+// exact by construction.
+func GoodZeroSentinel(rate float64) float64 {
+	if rate == 0 {
+		return 1.0
+	}
+	return 1 / rate
+}
+
+// Good compares within a tolerance.
+func Good(a, b float64) bool {
+	return math.Abs(a-b) < eps
+}
+
+// GoodInt compares integers — not a float comparison.
+func GoodInt(a, b int) bool {
+	return a == b
+}
+
+// GoodAllowed is a deliberate bit-equality site with a directive.
+func GoodAllowed(a, b float64) bool {
+	return a == b //detlint:allow floatcmp bitwise duplicate detection is intentional here
+}
+
+// constFold compares two compile-time constants, which the compiler
+// folds exactly — not flagged.
+const constFold = eps == 1e-9

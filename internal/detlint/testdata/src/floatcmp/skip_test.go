@@ -1,0 +1,7 @@
+package floatcmp
+
+// exactEq lives in a _test.go file, where exact float comparison is
+// legitimate (asserting byte-identical aggregates) — never flagged.
+func exactEq(a, b float64) bool {
+	return a == b
+}

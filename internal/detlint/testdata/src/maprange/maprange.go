@@ -1,0 +1,60 @@
+// Package maprange is a maprange fixture: emitting or accumulating
+// inside a map range is flagged; the collect-sort-emit idiom is not.
+package maprange
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// BadFprintf writes CSV rows in random map order.
+func BadFprintf(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s,%d\n", k, v) // want "maprange: fmt.Fprintf inside range over a map"
+	}
+}
+
+// BadBuilder streams into a strings.Builder in random map order.
+func BadBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "maprange: \.WriteString inside range over a map"
+	}
+	return b.String()
+}
+
+// BadAccum collects map values into a slice that is never sorted, so
+// the random iteration order escapes to the caller.
+func BadAccum(m map[string]float64) []float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v) // want "maprange: \"vals\" accumulates map-iteration results"
+	}
+	return vals
+}
+
+// Good collects the keys, sorts them, and emits over the sorted slice —
+// the deterministic idiom. Neither loop is flagged: the key-collecting
+// append is sorted right after, and the emitting loop ranges a slice.
+func Good(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s,%d\n", k, m[k])
+	}
+}
+
+// GoodSliceSort uses the slices-package spelling of the same idiom.
+func GoodSliceSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -1,0 +1,30 @@
+// Package channel is a globalrand fixture: the seeded-generator idiom
+// is allowed, package-level draws are not.
+package channel
+
+import "math/rand"
+
+// Channel owns its generator, seeded from the config — the idiom the
+// real internal/channel uses.
+type Channel struct {
+	rng *rand.Rand
+}
+
+// New builds a channel with an owned, seeded generator. The rand.New
+// and rand.NewSource constructors are allowed: they create the owned
+// source rather than drawing from the global one.
+func New(seed int64) *Channel {
+	return &Channel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Step draws from the owned generator — allowed.
+func (c *Channel) Step() float64 {
+	return c.rng.Float64()
+}
+
+// Bad draws from and reseeds the process-global source.
+func Bad(n int) int {
+	rand.Seed(42)     // want "globalrand: rand.Seed reseeds the process-global source"
+	x := rand.Intn(n) // want "globalrand: rand.Intn draws from the process-global source"
+	return x
+}

@@ -1,0 +1,18 @@
+package channel
+
+import randv2 "math/rand/v2"
+
+// Fading owns a v2 generator — the constructors are allowed.
+type Fading struct {
+	rng *randv2.Rand
+}
+
+// NewFading seeds an owned PCG source.
+func NewFading(a, b uint64) *Fading {
+	return &Fading{rng: randv2.New(randv2.NewPCG(a, b))}
+}
+
+// BadV2 draws from math/rand/v2's global source.
+func BadV2(n int) int {
+	return randv2.IntN(n) // want "globalrand: rand.IntN draws from the process-global source"
+}

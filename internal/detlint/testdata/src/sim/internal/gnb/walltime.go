@@ -1,0 +1,27 @@
+// Package gnb is a walltime fixture: simulated time derives from the
+// slot index; wall-clock reads need a //detlint:allow directive.
+package gnb
+
+import "time"
+
+// SlotTime is the deterministic way to track time: slot index times
+// slot duration. Using the time package's types is fine — only the
+// wall-clock reads are forbidden.
+func SlotTime(slot int64, d time.Duration) time.Duration {
+	return time.Duration(slot) * d
+}
+
+// Bad reads the wall clock into simulation scope.
+func Bad() time.Time {
+	return time.Now() // want "walltime: time.Now reads the wall clock"
+}
+
+// BadSince measures elapsed wall time.
+func BadSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "walltime: time.Since reads the wall clock"
+}
+
+// Timed is an allowlisted observability-only timing site.
+func Timed() time.Time {
+	return time.Now() //detlint:allow walltime fixture for an observability-only site
+}

@@ -1,0 +1,42 @@
+// Package obs is a miniature stand-in for the real internal/obs so the
+// obswriteonly fixture can exercise metric reads and writes.
+package obs
+
+// Counter is a write-mostly cumulative metric.
+type Counter struct{ v int64 }
+
+// Add records n events.
+func (c *Counter) Add(n int64) { c.v += n }
+
+// Inc records one event.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load reads the count back — forbidden from simulation packages.
+func (c *Counter) Load() int64 { return c.v }
+
+// Histogram is a write-mostly distribution metric.
+type Histogram struct {
+	count int64
+	sum   float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.count++
+	h.sum += v
+}
+
+// Count reads the sample count back.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum reads the running sum back.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Enabled gates hot-path instrumentation; reading the gate is allowed.
+func Enabled() bool { return false }
+
+// Slots counts simulated slots.
+var Slots Counter
+
+// Goodput tracks session goodput.
+var Goodput Histogram

@@ -1,0 +1,27 @@
+// Package ue is an obswriteonly fixture: a simulation package may
+// write metrics behind the Enabled gate but never read them back.
+package ue
+
+import "sim/internal/obs"
+
+// Record instruments a sample: gating on Enabled and writing through
+// Observe/Inc is the allowed pattern.
+func Record(goodput float64) {
+	if obs.Enabled() {
+		obs.Goodput.Observe(goodput)
+		obs.Slots.Inc()
+	}
+}
+
+// BadThrottle lets instrumentation feed back into behavior.
+func BadThrottle() bool {
+	return obs.Slots.Load() > 10 // want "obswriteonly: .*Counter.Load reads an internal/obs metric"
+}
+
+// BadMean derives simulation input from a recorded distribution.
+func BadMean() float64 {
+	if obs.Goodput.Count() == 0 { // want "obswriteonly: .*Histogram.Count reads an internal/obs metric"
+		return 0
+	}
+	return obs.Goodput.Sum() // want "obswriteonly: .*Histogram.Sum reads an internal/obs metric"
+}

@@ -1,0 +1,11 @@
+// Package report is outside the simulation core, so reading metric
+// values (to render them) is allowed — obswriteonly scopes to sim
+// packages only.
+package report
+
+import "sim/internal/obs"
+
+// Render legitimately reads metrics: reporting is what they are for.
+func Render() (int64, float64) {
+	return obs.Slots.Load(), obs.Goodput.Sum()
+}

@@ -1,0 +1,10 @@
+// Package shuffle sits outside the simulation core, so globalrand does
+// not apply: ad-hoc tooling may use the global source.
+package shuffle
+
+import "math/rand"
+
+// Pick draws from the global source — allowed outside sim packages.
+func Pick(n int) int {
+	return rand.Intn(n)
+}

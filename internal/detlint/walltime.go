@@ -1,0 +1,46 @@
+package detlint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// WallTime forbids reading the wall clock (time.Now, time.Since)
+// anywhere in the module outside tests. A wall-clock read that leaks
+// into simulation state, a trace or an aggregate makes the output
+// depend on when and how fast the host ran — the workers=1-vs-N and
+// obs-on-vs-off determinism tests only catch such a leak when it
+// happens to perturb the sampled bytes.
+//
+// Legitimate timing sites — observability instruments, fleet job
+// timings, CLI progress and manifest wall-cost accounting — carry a
+// //detlint:allow walltime <reason> directive.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "forbid time.Now/time.Since outside tests; annotate observability-only timing with //detlint:allow walltime",
+	Run:  runWallTime,
+}
+
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runWallTime(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pkgPathOf(pass.Info, sel.X) != "time" || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			pass.Report(sel.Pos(), fmt.Sprintf(
+				"walltime: time.%s reads the wall clock; simulated time must derive from the slot index (annotate observability-only timing with //detlint:allow walltime <reason>)",
+				sel.Sel.Name))
+			return true
+		})
+	}
+}

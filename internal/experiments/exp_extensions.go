@@ -6,6 +6,7 @@ import (
 
 	"github.com/midband5g/midband/internal/channel"
 	"github.com/midband5g/midband/internal/core"
+	"github.com/midband5g/midband/internal/fleet"
 	"github.com/midband5g/midband/internal/gnb"
 	"github.com/midband5g/midband/internal/iperf"
 	"github.com/midband5g/midband/internal/net5g"
@@ -101,7 +102,7 @@ func ExtTDDSweep(o Options) ([]ExtTDDSweepRow, error) {
 				UEProcess:    150 * time.Microsecond,
 				GNBProcess:   150 * time.Microsecond,
 				SRBasedUL:    sr,
-				Seed:         o.seed() + int64(i),
+				Seed:         fleet.SplitSeed(o.seed(), "ext/tddlat", i),
 			})
 			if err != nil {
 				return 0, err
@@ -213,7 +214,9 @@ func ExtSchedulers(o Options) ([]ExtSchedulerRow, error) {
 			Carrier: cc,
 			UEs:     []channel.Point{{X: 0, Y: 45}, {X: 0, Y: 117}},
 			Policy:  pols[idx],
-			Seed:    o.seed() + 509,
+			// Every policy arm shares one seed on purpose: identical
+			// channel draws make the scheduler comparison controlled.
+			Seed: fleet.SplitSeed(o.seed(), "ext/scheduler", 0),
 		})
 		if err != nil {
 			return ExtSchedulerRow{}, err

@@ -5,6 +5,7 @@ import (
 
 	"github.com/midband5g/midband/internal/analysis"
 	"github.com/midband5g/midband/internal/channel"
+	"github.com/midband5g/midband/internal/fleet"
 	"github.com/midband5g/midband/internal/net5g"
 	"github.com/midband5g/midband/internal/operators"
 	"github.com/midband5g/midband/internal/phy"
@@ -246,12 +247,12 @@ type Fig07Series struct {
 // Orange's two sparse sites leave weak stretches between and beyond them.
 func Fig07(o Options) ([]Fig07Series, error) {
 	var out []Fig07Series
-	for i, acr := range []string{"V_Sp", "O_Sp100"} {
+	for _, acr := range []string{"V_Sp", "O_Sp100"} {
 		op, err := operators.ByAcronym(acr)
 		if err != nil {
 			return nil, err
 		}
-		cc, err := op.CarrierConfig(0, operators.Stationary(o.seed()+int64(i)*29))
+		cc, err := op.CarrierConfig(0, operators.Stationary(fleet.SplitSeed(o.seed(), "fig07/"+acr, 0)))
 		if err != nil {
 			return nil, err
 		}
@@ -265,7 +266,11 @@ func Fig07(o Options) ([]Fig07Series, error) {
 		for pos := 0.0; pos <= routeLen; pos += stepM {
 			chCfg := cc.Channel
 			chCfg.Route = channel.Stationary(channel.Point{X: pos, Y: pc.UEDistanceM})
-			chCfg.Seed = o.seed() + int64(i)*29 + int64(pos)
+			// One independent channel per route position: the domain
+			// carries the operator, the index the position, so no
+			// (operator, position) pair can collide the way the old
+			// i*29+pos arithmetic could.
+			chCfg.Seed = fleet.SplitSeed(o.seed(), "fig07/"+acr, int(pos))
 			ch, err := channel.New(chCfg)
 			if err != nil {
 				return nil, err

@@ -26,12 +26,18 @@ type Fig12Series struct {
 // fig12Carriers are the four channels the figure shows.
 var fig12Carriers = []string{"O_Sp100", "O_Sp90", "V_Sp", "V_It"}
 
-// Fig12 reproduces the multi-scale variability figure.
+// Fig12 reproduces the multi-scale variability figure. Like Fig01 it
+// keeps long sessions even under Quick: the curve's 2 s scale needs many
+// blocks per session, and short windows are congestion-episode lottery.
 func Fig12(o Options) ([]Fig12Series, error) {
 	maxK := 12 // 2^12 × 0.5 ms ≈ 2 s
+	d := 20 * time.Second
+	if o.Quick {
+		d = 12 * time.Second
+	}
 	var out []Fig12Series
 	for i, acr := range fig12Carriers {
-		res, err := measure(acr, o.sessionSeconds(20), net5g.Demand{DL: true}, o.seed()+int64(i)*43)
+		res, err := measure(acr, d, net5g.Demand{DL: true}, o.seed()+int64(i)*43)
 		if err != nil {
 			return nil, err
 		}

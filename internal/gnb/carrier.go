@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/midband5g/midband/internal/channel"
+	"github.com/midband5g/midband/internal/fleet"
 	"github.com/midband5g/midband/internal/obs"
 	"github.com/midband5g/midband/internal/phy"
 	"github.com/midband5g/midband/internal/tdd"
@@ -240,7 +241,7 @@ func NewCarrier(cfg CarrierConfig) (*Carrier, error) {
 	}
 	cfg.Channel.SlotDuration = cfg.Numerology.SlotDuration()
 	if cfg.Channel.Seed == 0 {
-		cfg.Channel.Seed = cfg.Seed + 1
+		cfg.Channel.Seed = fleet.SplitSeed(cfg.Seed, "gnb/channel", 0)
 	}
 	ch, err := channel.New(cfg.Channel)
 	if err != nil {
@@ -248,7 +249,7 @@ func NewCarrier(cfg CarrierConfig) (*Carrier, error) {
 	}
 	csiCfg := cfg.CSI
 	if csiCfg.Seed == 0 {
-		csiCfg.Seed = cfg.Seed + 2
+		csiCfg.Seed = fleet.SplitSeed(cfg.Seed, "gnb/csi", 0)
 	}
 	csi, err := ue.NewCSI(csiCfg)
 	if err != nil {
@@ -258,7 +259,7 @@ func NewCarrier(cfg CarrierConfig) (*Carrier, error) {
 		cfg:     cfg,
 		ch:      ch,
 		csi:     csi,
-		rng:     rand.New(rand.NewSource(cfg.Seed + 3)),
+		rng:     rand.New(rand.NewSource(fleet.SplitSeed(cfg.Seed, "gnb/sched", 0))),
 		serving: -1,
 	}, nil
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/midband5g/midband/internal/channel"
+	"github.com/midband5g/midband/internal/fleet"
 	"github.com/midband5g/midband/internal/phy"
 	"github.com/midband5g/midband/internal/ue"
 )
@@ -119,13 +120,13 @@ func NewCell(cfg CellConfig) (*Cell, error) {
 		chCfg := cfg.Carrier.Channel
 		chCfg.Route = channel.Stationary(pos)
 		chCfg.SlotDuration = cfg.Carrier.Numerology.SlotDuration()
-		chCfg.Seed = cfg.Seed + int64(i)*911 + 1
+		chCfg.Seed = fleet.SplitSeed(cfg.Seed, "gnb/cell/channel", i)
 		ch, err := channel.New(chCfg)
 		if err != nil {
 			return nil, fmt.Errorf("gnb: cell UE %d: %w", i, err)
 		}
 		csiCfg := cfg.Carrier.CSI
-		csiCfg.Seed = cfg.Seed + int64(i)*911 + 2
+		csiCfg.Seed = fleet.SplitSeed(cfg.Seed, "gnb/cell/csi", i)
 		csi, err := ue.NewCSI(csiCfg)
 		if err != nil {
 			return nil, fmt.Errorf("gnb: cell UE %d: %w", i, err)
@@ -134,7 +135,7 @@ func NewCell(cfg CellConfig) (*Cell, error) {
 			ch:     ch,
 			csi:    csi,
 			served: 1,
-			rng:    rand.New(rand.NewSource(cfg.Seed + int64(i)*911 + 3)),
+			rng:    rand.New(rand.NewSource(fleet.SplitSeed(cfg.Seed, "gnb/cell/ue", i))),
 		})
 	}
 	return cell, nil

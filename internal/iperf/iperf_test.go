@@ -137,8 +137,10 @@ func TestThroughputSeriesFeedsVariability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// 4 s at 0.5 ms slots supports scales through 512 ms (k=0..10);
+	// Curve drops the 1 s/2 s scales, which have <5 blocks here.
 	curve := analysis.Curve(res.ThroughputMbpsSeries(), res.SlotDuration, 12)
-	if len(curve) < 12 {
+	if len(curve) < 11 {
 		t.Fatalf("curve too short: %d points", len(curve))
 	}
 	if curve[len(curve)-1].V >= curve[0].V {

@@ -85,7 +85,7 @@ func NewManifest(tool string, config any) (*RunManifest, error) {
 		OS:           runtime.GOOS,
 		Arch:         runtime.GOARCH,
 		NumCPU:       runtime.NumCPU(),
-		Start:        time.Now().UTC(),
+		Start:        time.Now().UTC(), //detlint:allow walltime provenance timestamp, excluded from the config digest
 	}
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		for _, s := range bi.Settings {

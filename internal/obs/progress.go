@@ -36,9 +36,9 @@ func StartProgress(cfg ProgressConfig) (stop func()) {
 	if cfg.Prefix == "" {
 		cfg.Prefix = "obs"
 	}
-	t0 := time.Now()
+	t0 := time.Now() //detlint:allow walltime progress snapshots report real elapsed time
 	snapshot := func() {
-		elapsed := time.Since(t0).Seconds()
+		elapsed := time.Since(t0).Seconds() //detlint:allow walltime slots/s and ETA are stderr-only observability
 		if elapsed <= 0 {
 			elapsed = 1e-9
 		}

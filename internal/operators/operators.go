@@ -12,6 +12,7 @@ import (
 
 	"github.com/midband5g/midband/internal/bands"
 	"github.com/midband5g/midband/internal/channel"
+	"github.com/midband5g/midband/internal/fleet"
 	"github.com/midband5g/midband/internal/gnb"
 	"github.com/midband5g/midband/internal/lte"
 	"github.com/midband5g/midband/internal/net5g"
@@ -251,12 +252,12 @@ func (o Operator) CarrierConfig(i int, s Scenario) (gnb.CarrierConfig, error) {
 			FastSigmaDB:              c.FastSigmaDB,
 			SlowSigmaDB:              c.SlowDriftDB,
 			SINRBiasDB:               c.SINRBiasDB,
-			Seed:                     s.Seed + int64(i)*101 + 1,
+			Seed:                     fleet.SplitSeed(s.Seed, "carrier/channel", i),
 		},
 		ULSINROffsetDB: c.ULSINROffsetDB,
 		ULMaxRank:      c.ULMaxRank,
 		ULRBFraction:   c.ULRBFraction,
-		Seed:           s.Seed + int64(i)*101,
+		Seed:           fleet.SplitSeed(s.Seed, "carrier", i),
 	}
 	if c.TDDPattern != "" {
 		cfg.Pattern = tdd.MustParse(c.TDDPattern)
@@ -306,9 +307,9 @@ func (o Operator) LinkConfig(s Scenario) (net5g.LinkConfig, error) {
 				Deployment:               channel.Deployment{Sites: []channel.Point{{}}, TxPowerDBmPerRE: 18},
 				OtherCellInterferenceDBm: -102,
 				SINRBiasDB:               o.LTE.SINRBiasDB,
-				Seed:                     s.Seed + 7777,
+				Seed:                     fleet.SplitSeed(s.Seed, "lte/channel", 0),
 			},
-			Seed: s.Seed + 7778,
+			Seed: fleet.SplitSeed(s.Seed, "lte/anchor", 0),
 		}
 	}
 	cfg.ULPolicy = o.ULPolicy
