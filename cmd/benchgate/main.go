@@ -1,0 +1,256 @@
+// Command benchgate wraps, unwraps and compares Go benchmark output so a
+// committed baseline (BENCH_baseline.json) can gate performance
+// regressions in CI without external tooling.
+//
+// Subcommands:
+//
+//	benchgate wrap -o out.json [bench.txt]
+//	    Read `go test -bench` text (from the file or stdin), attach the
+//	    toolchain fingerprint (go version, GOOS, GOARCH) and write a JSON
+//	    envelope suitable for committing as a baseline.
+//
+//	benchgate unwrap file.json
+//	    Print the benchmark text stored in a wrapped baseline, e.g. to
+//	    feed benchstat.
+//
+//	benchgate compare [-max-regress 0.10] old new
+//	    Parse both inputs (raw bench text or wrapped JSON, detected
+//	    automatically), take the fastest ns/op per benchmark name (the
+//	    minimum across -count repeats — robust to scheduler noise), and exit
+//	    non-zero if any benchmark present in both is slower in new by
+//	    more than the allowed fraction. Benchmarks present on only one
+//	    side are reported but never fail the gate, so adding or renaming
+//	    benchmarks does not break CI.
+//
+// The gate compares ns/op only: allocation counts are pinned exactly by
+// testing.AllocsPerRun tests, which are stricter than any ratio check.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// envelope is the committed baseline format: the raw benchmark text plus
+// the toolchain that produced it, so reviewers can tell when a baseline
+// was measured on a different Go version than the one under test.
+type envelope struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	Bench     string `json:"bench"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "wrap":
+		err = wrap(os.Args[2:])
+	case "unwrap":
+		err = unwrap(os.Args[2:])
+	case "compare":
+		err = compare(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  benchgate wrap -o out.json [bench.txt]
+  benchgate unwrap file.json
+  benchgate compare [-max-regress 0.10] old new`)
+}
+
+func wrap(args []string) error {
+	fs := flag.NewFlagSet("wrap", flag.ExitOnError)
+	out := fs.String("o", "", "output JSON file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var text []byte
+	var err error
+	if fs.NArg() > 0 {
+		text, err = os.ReadFile(fs.Arg(0))
+	} else {
+		text, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		return err
+	}
+	env := envelope{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Bench:     string(text),
+	}
+	buf, err := json.MarshalIndent(env, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(*out, buf, 0o644)
+}
+
+func unwrap(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("unwrap: want exactly one file argument")
+	}
+	env, err := readEnvelope(args[0])
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(os.Stdout, env.Bench)
+	return err
+}
+
+func readEnvelope(path string) (envelope, error) {
+	var env envelope
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return env, err
+	}
+	if err := json.Unmarshal(buf, &env); err != nil {
+		return env, fmt.Errorf("%s: %w", path, err)
+	}
+	return env, nil
+}
+
+// loadBench reads a benchmark corpus from either a wrapped JSON baseline
+// or raw `go test -bench` text, keyed by benchmark name with the
+// MINIMUM ns/op across repeated runs (-count=N emits one line per run).
+// The minimum, not the mean: scheduler noise on a contended machine only
+// ever adds time, so the fastest of N runs is the best estimate of the
+// code's true cost and is far more stable than the average.
+func loadBench(path string) (map[string]float64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	text := string(buf)
+	if strings.HasPrefix(strings.TrimSpace(text), "{") {
+		var env envelope
+		if err := json.Unmarshal(buf, &env); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		text = env.Bench
+	}
+	best := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		// Benchmark lines look like:
+		//   BenchmarkFoo/case-8   12345   987.6 ns/op   0 B/op   0 allocs/op
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := trimProcSuffix(fields[0])
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad ns/op on line %q: %w", path, line, err)
+			}
+			if cur, ok := best[name]; !ok || v < cur {
+				best[name] = v
+			}
+			break
+		}
+	}
+	return best, nil
+}
+
+// trimProcSuffix drops the trailing -N GOMAXPROCS marker so baselines
+// recorded on machines with different core counts still intersect.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func compare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	maxRegress := fs.Float64("max-regress", 0.10, "maximum allowed ns/op slowdown fraction")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("compare: want exactly two arguments (old new)")
+	}
+	old, err := loadBench(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cur, err := loadBench(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(old))
+	for name := range old {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var failures []string
+	compared := 0
+	fmt.Printf("%-55s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		now, ok := cur[name]
+		if !ok {
+			fmt.Printf("%-55s %12.1f %12s %8s\n", name, old[name], "-", "gone")
+			continue
+		}
+		compared++
+		delta := (now - old[name]) / old[name]
+		fmt.Printf("%-55s %12.1f %12.1f %+7.1f%%\n", name, old[name], now, 100*delta)
+		if delta > *maxRegress {
+			failures = append(failures, fmt.Sprintf("%s: %.1f -> %.1f ns/op (%+.1f%% > %+.1f%% allowed)",
+				name, old[name], now, 100*delta, 100**maxRegress))
+		}
+	}
+	var added []string
+	for name := range cur {
+		if _, ok := old[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Printf("%-55s %12s %12.1f %8s\n", name, "-", cur[name], "new")
+	}
+	if compared == 0 {
+		return fmt.Errorf("compare: no benchmarks in common between %s and %s", fs.Arg(0), fs.Arg(1))
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("performance regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("ok: %d benchmarks within %.0f%% of baseline\n", compared, 100**maxRegress)
+	return nil
+}

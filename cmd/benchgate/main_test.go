@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const oldBench = `goos: linux
+goarch: amd64
+BenchmarkFoo-8          1000    100.0 ns/op    0 B/op   0 allocs/op
+BenchmarkFoo-8          1000    120.0 ns/op    0 B/op   0 allocs/op
+BenchmarkBar/case-8     2000     50.0 ns/op
+BenchmarkGone-8          500    900.0 ns/op
+PASS
+`
+
+const newBench = `BenchmarkFoo-16         1000    115.0 ns/op
+BenchmarkBar/case-16    2000     80.0 ns/op
+BenchmarkAdded-16       1000     10.0 ns/op
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadBenchTakesMinAndStripsProcSuffix(t *testing.T) {
+	got, err := loadBench(writeTemp(t, "old.txt", oldBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkFoo"] != 100.0 {
+		t.Errorf("BenchmarkFoo min = %v, want 100", got["BenchmarkFoo"])
+	}
+	if got["BenchmarkBar/case"] != 50.0 {
+		t.Errorf("BenchmarkBar/case = %v, want 50", got["BenchmarkBar/case"])
+	}
+	if len(got) != 3 {
+		t.Errorf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+}
+
+func TestLoadBenchReadsWrappedJSON(t *testing.T) {
+	raw := writeTemp(t, "old.txt", oldBench)
+	wrapped := filepath.Join(t.TempDir(), "old.json")
+	if err := wrap([]string{"-o", wrapped, raw}); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := loadBench(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromText, err := loadBench(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromJSON) != len(fromText) || fromJSON["BenchmarkFoo"] != fromText["BenchmarkFoo"] {
+		t.Errorf("wrapped parse %v != raw parse %v", fromJSON, fromText)
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	old := writeTemp(t, "old.txt", oldBench)
+	cur := writeTemp(t, "new.txt", newBench)
+	// Bar regresses 50 -> 80 ns/op (+60%): must fail at the default 10%.
+	if err := compare([]string{old, cur}); err == nil {
+		t.Error("60% regression passed the 10% gate")
+	}
+	// With a generous allowance it passes; Gone/Added are informational.
+	if err := compare([]string{"-max-regress", "0.75", old, cur}); err != nil {
+		t.Errorf("75%% allowance should pass: %v", err)
+	}
+	// No overlap at all is an error, not a silent pass.
+	empty := writeTemp(t, "none.txt", "BenchmarkOther-8 10 1.0 ns/op\n")
+	if err := compare([]string{old, empty}); err == nil {
+		t.Error("disjoint benchmark sets should fail")
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":       "BenchmarkFoo",
+		"BenchmarkFoo-16":      "BenchmarkFoo",
+		"BenchmarkFoo/sub-a-4": "BenchmarkFoo/sub-a",
+		"BenchmarkFoo/sub-a":   "BenchmarkFoo/sub-a",
+		"BenchmarkFoo":         "BenchmarkFoo",
+	}
+	for in, want := range cases {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

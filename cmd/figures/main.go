@@ -38,13 +38,15 @@ import (
 
 // options carry the CLI flags into run, keeping it testable.
 type options struct {
-	quick     bool
-	seed      int64
-	only      string
-	csvDir    string
-	parallel  int
-	obsListen string
-	progress  time.Duration
+	quick      bool
+	seed       int64
+	only       string
+	csvDir     string
+	parallel   int
+	obsListen  string
+	progress   time.Duration
+	cpuProfile string
+	memProfile string
 }
 
 func main() {
@@ -58,8 +60,18 @@ func main() {
 	flag.IntVar(&opt.parallel, "parallel", 0, "concurrent figure jobs (default: GOMAXPROCS; 1 = serial)")
 	flag.StringVar(&opt.obsListen, "obs-listen", "", "serve /metrics, /debug/pprof and /debug/vars on this address during the run (\":0\" picks a port)")
 	flag.DurationVar(&opt.progress, "progress", 0, "interval between stderr progress snapshots (0 disables)")
+	flag.StringVar(&opt.cpuProfile, "cpuprofile", "", "write a CPU profile of the whole run to this file")
+	flag.StringVar(&opt.memProfile, "memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
-	if err := run(opt, os.Stdout, os.Stderr); err != nil {
+	stopProf, err := obs.StartProfiles(opt.cpuProfile, opt.memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = run(opt, os.Stdout, os.Stderr)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }
@@ -387,19 +399,21 @@ func run(opt options, stdout, stderr io.Writer) error {
 			selected = append(selected, j)
 		}
 	}
-	// Every figure renders into its own buffer; the ordered results are
-	// streamed afterwards, so -parallel never interleaves the report.
+	// Every figure renders into its own pooled buffer; the ordered
+	// results are streamed afterwards, so -parallel never interleaves
+	// the report, and drained buffers recycle through fleet's pool.
 	fjobs := make([]fleet.Job[*bytes.Buffer], len(selected))
 	for i := range selected {
 		j := selected[i]
 		fjobs[i] = fleet.Job[*bytes.Buffer]{
 			Key: j.key,
 			Run: func(context.Context) (*bytes.Buffer, error) {
-				var buf bytes.Buffer
-				if err := j.run(&buf); err != nil {
+				buf := fleet.GetBuffer()
+				if err := j.run(buf); err != nil {
+					fleet.PutBuffer(buf)
 					return nil, err
 				}
-				return &buf, nil
+				return buf, nil
 			},
 		}
 	}
@@ -412,7 +426,9 @@ func run(opt options, stdout, stderr io.Writer) error {
 	})
 	for _, r := range results {
 		if r.Err == nil && r.Value != nil {
-			if _, werr := io.Copy(stdout, r.Value); werr != nil {
+			_, werr := io.Copy(stdout, r.Value)
+			fleet.PutBuffer(r.Value)
+			if werr != nil {
 				return werr
 			}
 		}

@@ -29,8 +29,15 @@ type Config struct {
 	OtherCellInterferenceDBm float64
 	// NeighborLoad scales interference from the modeled neighbor sites:
 	// the fraction of time/power they actually transmit toward this UE
-	// (activity factor × beam separation). Zero selects 0.1.
+	// (activity factor × beam separation). Zero selects 0.1; to model
+	// fully idle neighbors set DisableNeighborLoad instead.
 	NeighborLoad float64
+	// DisableNeighborLoad makes a zero NeighborLoad expressible: when
+	// set, the modeled neighbor sites contribute no interference at all
+	// and NeighborLoad is ignored (the zero value of NeighborLoad alone
+	// selects the 0.1 default, so "no neighbor activity" needs this
+	// explicit flag).
+	DisableNeighborLoad bool
 	// ShadowSigmaDB is the lognormal shadowing standard deviation
 	// (default 4 dB).
 	ShadowSigmaDB float64
@@ -72,7 +79,9 @@ func (c Config) withDefaults() Config {
 	if c.OtherCellInterferenceDBm == 0 {
 		c.OtherCellInterferenceDBm = -110
 	}
-	if c.NeighborLoad == 0 {
+	if c.DisableNeighborLoad {
+		c.NeighborLoad = 0
+	} else if c.NeighborLoad == 0 {
 		c.NeighborLoad = 0.1
 	}
 	if c.ShadowSigmaDB == 0 {
@@ -103,6 +112,9 @@ func (c Config) withDefaults() Config {
 func (c Config) Validate() error {
 	if c.CarrierFreqMHz <= 0 {
 		return fmt.Errorf("channel: carrier frequency %g MHz invalid", c.CarrierFreqMHz)
+	}
+	if c.NeighborLoad < 0 {
+		return fmt.Errorf("channel: neighbor load %g negative (use DisableNeighborLoad for zero)", c.NeighborLoad)
 	}
 	if err := c.Route.Validate(); err != nil {
 		return err
@@ -143,6 +155,55 @@ type Sample struct {
 	Outage bool
 }
 
+// fadingKernel holds the per-slot AR(1) coefficients of the three fading
+// processes. dt and all correlation times are fixed per session and the
+// UE speed is a route constant, so the (ρ, √(1−ρ²)) pairs are computed
+// once at construction — with exactly the expressions Step used to
+// evaluate per slot, so the precomputed path is bit-identical — and only
+// recomputed if the Doppler input (the speed) ever changes.
+type fadingKernel struct {
+	speedBits uint64 // math.Float64bits of the speed this kernel is valid for
+	shadowRho float64
+	shadowSq  float64 // √(1−ρ²)
+	fastRho   float64
+	fastSq    float64
+	slowRho   float64
+	slowSq    float64
+}
+
+func computeKernel(cfg Config, dt, speed float64) fadingKernel {
+	k := fadingKernel{speedBits: math.Float64bits(speed)}
+
+	// Ornstein–Uhlenbeck shadowing: decorrelates with both distance
+	// traveled and time.
+	shadowRate := speed/cfg.ShadowCorrMeters + 1/cfg.ShadowCorrSeconds
+	k.shadowRho = math.Exp(-dt * shadowRate)
+	k.shadowSq = math.Sqrt(1 - k.shadowRho*k.shadowRho)
+
+	// Fast fading: coherence time shrinks with Doppler (∝ speed·fc).
+	coh := cfg.FastCorrSeconds
+	if speed > 0 {
+		doppler := speed * cfg.CarrierFreqMHz * 1e6 / 3e8
+		if tc := 0.423 / doppler; tc < coh {
+			coh = tc
+		}
+	}
+	k.fastRho = math.Exp(-dt / coh)
+	k.fastSq = math.Sqrt(1 - k.fastRho*k.fastRho)
+
+	// Slow environment/load drift.
+	if cfg.SlowSigmaDB > 0 {
+		k.slowRho = math.Exp(-dt / cfg.SlowCorrSeconds)
+		k.slowSq = math.Sqrt(1 - k.slowRho*k.slowRho)
+	}
+	return k
+}
+
+// rsrqLoad is the assumed neighbor activity inside the RSRQ measurement
+// bandwidth: reference-signal REs of all neighbors are always on, and the
+// measurement integrates roughly half-loaded neighbors.
+const rsrqLoad = 0.5
+
 // Channel is the per-slot radio process. It is not safe for concurrent use.
 type Channel struct {
 	cfg      Config
@@ -153,6 +214,25 @@ type Channel struct {
 	slowDB   float64
 	blk      *blockageState
 	epi      *episodeState
+
+	// Precomputed constants of the slot path (see fadingKernel).
+	dt      float64 // SlotDuration in seconds
+	k       fadingKernel
+	noiseMW float64 // 10^(NoisePerREdBm/10)
+	floorMW float64 // 10^(OtherCellInterferenceDBm/10)
+
+	// Route geometry: segment lengths are fixed, and for a stationary UE
+	// the whole site scan (serving cell, RSRP, interference and the two
+	// noise+interference log terms) is a session constant.
+	segs      []float64 // per-segment lengths of the route polyline
+	segTotal  float64
+	staticGeo bool
+	geoCell   int
+	geoRSRP   float64
+	geoInterf float64
+	geoDataDB float64 // 10·log10(noiseMW + data interference)
+	geoRSRQDB float64 // 10·log10(noiseMW + RSRQ interference)
+	powers    []float64
 }
 
 // New creates a channel process.
@@ -177,43 +257,88 @@ func New(cfg Config) (*Channel, error) {
 	if cfg.Episodes != nil {
 		ch.epi = newEpisodeState(*cfg.Episodes, ch.rng)
 	}
+
+	ch.dt = cfg.SlotDuration.Seconds()
+	ch.k = computeKernel(cfg, ch.dt, cfg.Route.SpeedMPS)
+	ch.noiseMW = math.Pow(10, cfg.NoisePerREdBm/10)
+	ch.floorMW = math.Pow(10, cfg.OtherCellInterferenceDBm/10)
+	if n := len(cfg.Route.Waypoints); n > 1 {
+		ch.segs = make([]float64, n-1)
+		for i := 1; i < n; i++ {
+			ch.segs[i-1] = cfg.Route.Waypoints[i-1].Distance(cfg.Route.Waypoints[i])
+			ch.segTotal += ch.segs[i-1]
+		}
+	}
+	ch.powers = make([]float64, len(cfg.Deployment.Sites))
+	ch.staticGeo = cfg.Route.SpeedMPS == 0 || len(cfg.Route.Waypoints) == 1
+	if ch.staticGeo {
+		pos := cfg.Route.Waypoints[0]
+		ch.geoCell, ch.geoRSRP, ch.geoInterf =
+			cfg.Deployment.strongestSite(pos, cfg.CarrierFreqMHz, ch.powers)
+		interfData := ch.geoInterf*cfg.NeighborLoad + ch.floorMW
+		ch.geoDataDB = 10 * math.Log10(ch.noiseMW+interfData)
+		interfRSRQ := ch.geoInterf*rsrqLoad + ch.floorMW
+		ch.geoRSRQDB = 10 * math.Log10(ch.noiseMW+interfRSRQ)
+	}
 	return ch, nil
 }
 
 // Slot returns the index of the next sample to be produced.
 func (c *Channel) Slot() int64 { return c.slot }
 
+// position is Route.Position with the segment lengths precomputed at
+// construction; the arithmetic mirrors Route.Position exactly.
+func (c *Channel) position(tSec float64) Point {
+	r := c.cfg.Route
+	if r.SpeedMPS == 0 || len(r.Waypoints) == 1 {
+		return r.Waypoints[0]
+	}
+	total := c.segTotal
+	if total == 0 {
+		return r.Waypoints[0]
+	}
+	d := math.Mod(r.SpeedMPS*tSec, 2*total)
+	if d > total {
+		d = 2*total - d // walking back
+	}
+	for i := 1; i < len(r.Waypoints); i++ {
+		seg := c.segs[i-1]
+		if d <= seg && seg > 0 {
+			f := d / seg
+			a, b := r.Waypoints[i-1], r.Waypoints[i]
+			return Point{a.X + f*(b.X-a.X), a.Y + f*(b.Y-a.Y)}
+		}
+		d -= seg
+	}
+	return r.Waypoints[len(r.Waypoints)-1]
+}
+
 // Step advances one slot and returns the new radio sample.
 func (c *Channel) Step() Sample {
-	dt := c.cfg.SlotDuration.Seconds()
+	dt := c.dt
 	tSec := float64(c.slot) * dt
-	pos := c.cfg.Route.Position(tSec)
+	pos := c.position(tSec)
 	speed := c.cfg.Route.SpeedMPS
 
-	// Ornstein–Uhlenbeck shadowing: decorrelates with both distance
-	// traveled and time.
-	shadowRate := speed/c.cfg.ShadowCorrMeters + 1/c.cfg.ShadowCorrSeconds
-	rho := math.Exp(-dt * shadowRate)
-	c.shadowDB = rho*c.shadowDB + math.Sqrt(1-rho*rho)*c.rng.NormFloat64()*c.cfg.ShadowSigmaDB
-
-	// Fast fading: coherence time shrinks with Doppler (∝ speed·fc).
-	coh := c.cfg.FastCorrSeconds
-	if speed > 0 {
-		doppler := speed * c.cfg.CarrierFreqMHz * 1e6 / 3e8
-		if tc := 0.423 / doppler; tc < coh {
-			coh = tc
-		}
+	// AR(1) fading updates with the precomputed (ρ, √(1−ρ²)) kernel; the
+	// multiplication order matches the inline expressions they replace,
+	// so every sample is bit-identical to the per-slot recomputation.
+	if math.Float64bits(speed) != c.k.speedBits {
+		c.k = computeKernel(c.cfg, dt, speed)
 	}
-	rhoF := math.Exp(-dt / coh)
-	c.fastDB = rhoF*c.fastDB + math.Sqrt(1-rhoF*rhoF)*c.rng.NormFloat64()*c.cfg.FastSigmaDB
-
-	// Slow environment/load drift.
+	c.shadowDB = c.k.shadowRho*c.shadowDB + c.k.shadowSq*c.rng.NormFloat64()*c.cfg.ShadowSigmaDB
+	c.fastDB = c.k.fastRho*c.fastDB + c.k.fastSq*c.rng.NormFloat64()*c.cfg.FastSigmaDB
 	if c.cfg.SlowSigmaDB > 0 {
-		rhoS := math.Exp(-dt / c.cfg.SlowCorrSeconds)
-		c.slowDB = rhoS*c.slowDB + math.Sqrt(1-rhoS*rhoS)*c.rng.NormFloat64()*c.cfg.SlowSigmaDB
+		c.slowDB = c.k.slowRho*c.slowDB + c.k.slowSq*c.rng.NormFloat64()*c.cfg.SlowSigmaDB
 	}
 
-	cell, rsrp, interfMW := c.cfg.Deployment.StrongestSite(pos, c.cfg.CarrierFreqMHz)
+	var cell int
+	var rsrp, interfMW float64
+	if c.staticGeo {
+		cell, rsrp, interfMW = c.geoCell, c.geoRSRP, c.geoInterf
+	} else {
+		cell, rsrp, interfMW = c.cfg.Deployment.strongestSite(pos, c.cfg.CarrierFreqMHz, c.powers)
+	}
 	rsrp += c.shadowDB
 
 	los, outage := true, false
@@ -225,18 +350,19 @@ func (c *Channel) Step() Sample {
 		blockLossDB += c.epi.step(dt)
 	}
 
-	noiseMW := math.Pow(10, c.cfg.NoisePerREdBm/10)
-	floorMW := math.Pow(10, c.cfg.OtherCellInterferenceDBm/10)
-	interfData := interfMW*c.cfg.NeighborLoad + floorMW
-	sinrDB := rsrp - blockLossDB + c.fastDB + c.slowDB + c.cfg.SINRBiasDB -
-		10*math.Log10(noiseMW+interfData)
-	// RSRQ is measured against a busier RSSI than the data SINR sees:
-	// reference-signal REs of all neighbors are always on, and the
-	// measurement bandwidth integrates roughly half-loaded neighbors.
-	const rsrqLoad = 0.5
-	interfRSRQ := interfMW*rsrqLoad + floorMW
-	sinrRSRQ := rsrp - blockLossDB + c.slowDB + c.cfg.SINRBiasDB -
-		10*math.Log10(noiseMW+interfRSRQ)
+	var noiseDataDB, noiseRSRQDB float64
+	if c.staticGeo {
+		noiseDataDB, noiseRSRQDB = c.geoDataDB, c.geoRSRQDB
+	} else {
+		interfData := interfMW*c.cfg.NeighborLoad + c.floorMW
+		noiseDataDB = 10 * math.Log10(c.noiseMW+interfData)
+		// RSRQ is measured against a busier RSSI than the data SINR
+		// sees (see rsrqLoad).
+		interfRSRQ := interfMW*rsrqLoad + c.floorMW
+		noiseRSRQDB = 10 * math.Log10(c.noiseMW+interfRSRQ)
+	}
+	sinrDB := rsrp - blockLossDB + c.fastDB + c.slowDB + c.cfg.SINRBiasDB - noiseDataDB
+	sinrRSRQ := rsrp - blockLossDB + c.slowDB + c.cfg.SINRBiasDB - noiseRSRQDB
 	if outage {
 		sinrDB = math.Inf(-1)
 		sinrRSRQ = math.Inf(-1)

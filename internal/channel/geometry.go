@@ -111,9 +111,15 @@ func (d Deployment) Validate() error {
 // p at carrier frequency fcMHz and the corresponding received per-RE power
 // (dBm), plus the total interference power (mW) from all other sites.
 func (d Deployment) StrongestSite(p Point, fcMHz float64) (idx int, rsrpDBm float64, interfMW float64) {
+	return d.strongestSite(p, fcMHz, make([]float64, len(d.Sites)))
+}
+
+// strongestSite is StrongestSite with a caller-provided scratch slice
+// (len ≥ len(d.Sites)) so the per-slot hot path allocates nothing.
+func (d Deployment) strongestSite(p Point, fcMHz float64, powers []float64) (idx int, rsrpDBm float64, interfMW float64) {
 	best := math.Inf(-1)
 	idx = -1
-	powers := make([]float64, len(d.Sites))
+	powers = powers[:len(d.Sites)]
 	for i, s := range d.Sites {
 		rx := d.TxPowerDBmPerRE - PathLossDB(p.Distance(s), fcMHz)
 		powers[i] = rx

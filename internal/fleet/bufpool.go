@@ -1,0 +1,36 @@
+package fleet
+
+import (
+	"bytes"
+	"sync"
+)
+
+// bufPool recycles the per-job render buffers of fan-out consumers
+// (cmd/figures renders every figure into its own buffer before emitting
+// them in order). Pooling keeps a campaign-sized fan-out from holding one
+// grown buffer per completed job.
+var bufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// maxPooledBufBytes bounds what returns to the pool: a figure render is
+// tens of KB, so anything larger is an outlier not worth keeping alive.
+const maxPooledBufBytes = 4 << 20
+
+// GetBuffer returns an empty buffer from the pool. Pooling never affects
+// results — buffers carry rendered bytes only, and callers consume them
+// in deterministic job order before returning them.
+func GetBuffer() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+// PutBuffer returns a buffer to the pool once its contents are consumed.
+// Oversized buffers are dropped to bound pool memory.
+func PutBuffer(b *bytes.Buffer) {
+	if b == nil || b.Cap() > maxPooledBufBytes {
+		return
+	}
+	bufPool.Put(b)
+}

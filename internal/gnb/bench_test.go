@@ -1,0 +1,92 @@
+package gnb
+
+import (
+	"testing"
+
+	"github.com/midband5g/midband/internal/channel"
+	"github.com/midband5g/midband/internal/phy"
+	"github.com/midband5g/midband/internal/tdd"
+)
+
+func benchCarrierConfig() CarrierConfig {
+	return CarrierConfig{
+		Label:      "bench/90MHz",
+		Numerology: phy.Mu1,
+		NRB:        245,
+		Pattern:    tdd.MustParse("DDDDDDDSUU"),
+		MCSTable:   phy.MCSTable256QAM,
+		Channel: channel.Config{
+			CarrierFreqMHz:           3500,
+			Route:                    channel.Stationary(channel.Point{X: 450}),
+			Deployment:               channel.Deployment{Sites: []channel.Point{{}}, TxPowerDBmPerRE: 18},
+			OtherCellInterferenceDBm: -100,
+			ShadowSigmaDB:            2,
+			FastSigmaDB:              1.2,
+		},
+		ULSINROffsetDB: 6,
+		ULMaxRank:      2,
+		Seed:           77,
+	}
+}
+
+var sinkSlot SlotResult
+
+// BenchmarkCarrierStep is the full per-slot scheduler path: channel step,
+// CSI loop, AMC, TBS, BLER draw, HARQ bookkeeping.
+func BenchmarkCarrierStep(b *testing.B) {
+	c, err := NewCarrier(benchCarrierConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkSlot = c.Step(FullBuffer, FullBuffer)
+	}
+}
+
+// TestCarrierStepAllocs pins the steady-state slot loop at zero
+// allocations per Step: after warm-up (CSI queue and HARQ queues at
+// their working size), scheduling a slot must not touch the allocator.
+func TestCarrierStepAllocs(t *testing.T) {
+	c, err := NewCarrier(benchCarrierConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20_000; i++ {
+		c.Step(FullBuffer, FullBuffer)
+	}
+	allocs := testing.AllocsPerRun(5000, func() {
+		sinkSlot = c.Step(FullBuffer, FullBuffer)
+	})
+	if allocs > 0 {
+		t.Errorf("Carrier.Step allocates %.3f objects/slot in steady state, want 0", allocs)
+	}
+}
+
+// TestCellStepAllocs pins the multi-UE scheduler's steady-state slot loop
+// at zero allocations, across all three policies.
+func TestCellStepAllocs(t *testing.T) {
+	for _, policy := range []SchedulerPolicy{SchedulerEqualShare, SchedulerProportionalFair, SchedulerMaxRate} {
+		t.Run(policy.String(), func(t *testing.T) {
+			cell, err := NewCell(CellConfig{
+				Carrier: benchCarrierConfig(),
+				UEs:     []channel.Point{{X: 120}, {X: 650}},
+				Policy:  policy,
+				Seed:    31,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 20_000; i++ {
+				cell.Step()
+			}
+			allocs := testing.AllocsPerRun(5000, func() {
+				cell.Step()
+			})
+			if allocs > 0 {
+				t.Errorf("Cell.Step (%v) allocates %.3f objects/slot in steady state, want 0", policy, allocs)
+			}
+		})
+	}
+}

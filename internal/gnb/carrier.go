@@ -216,6 +216,55 @@ type harqJob struct {
 	tbs       int
 }
 
+// amcDerived holds per-carrier constants of the AMC slot path: the
+// layer-split penalties, the UL power/backoff factors and the CQI
+// optimism deflation are fixed per session, yet the scheduler used to
+// recompute them (pow/log each) for every transport block. They are
+// computed once at construction from the exact same expressions, so the
+// precomputed path is bit-identical.
+type amcDerived struct {
+	// layerPenaltyDB[r] = 10·LayerPenaltyExp·log10(r) for rank r.
+	layerPenaltyDB [5]float64
+	// rankPow[r] = r^LayerPenaltyExp.
+	rankPow [5]float64
+	// optimismLin = 10^(CQIOptimismDB/10).
+	optimismLin float64
+	// ulDerateLin = 10^(−ULSINROffsetDB/10).
+	ulDerateLin float64
+	// ulBackoffLin = 10^(−ulBackoffDB/10).
+	ulBackoffLin float64
+}
+
+func newAMCDerived(csiCfg ue.CSIConfig, cfg CarrierConfig) amcDerived {
+	var a amcDerived
+	exp := csiCfg.LayerPenaltyExp
+	for r := 1; r < len(a.layerPenaltyDB); r++ {
+		a.layerPenaltyDB[r] = 10 * exp * math.Log10(float64(r))
+		a.rankPow[r] = math.Pow(float64(r), exp)
+	}
+	a.optimismLin = math.Pow(10, csiCfg.CQIOptimismDB/10)
+	a.ulDerateLin = math.Pow(10, -cfg.ULSINROffsetDB/10)
+	a.ulBackoffLin = math.Pow(10, -ulBackoffDB/10)
+	return a
+}
+
+// layerPenalty returns 10·exp·log10(rank), from the precomputed table for
+// the ranks the CSI loop can report.
+func (a *amcDerived) layerPenalty(exp float64, rank int) float64 {
+	if rank >= 1 && rank < len(a.layerPenaltyDB) {
+		return a.layerPenaltyDB[rank]
+	}
+	return 10 * exp * math.Log10(float64(rank))
+}
+
+// rankPowAt returns rank^exp, precomputed for the reportable ranks.
+func (a *amcDerived) rankPowAt(exp float64, rank int) float64 {
+	if rank >= 1 && rank < len(a.rankPow) {
+		return a.rankPow[rank]
+	}
+	return math.Pow(float64(rank), exp)
+}
+
 // Carrier is the per-carrier simulator. Not safe for concurrent use.
 type Carrier struct {
 	cfg  CarrierConfig
@@ -231,6 +280,12 @@ type Carrier struct {
 	hoUntil int64 // data interrupted until this slot (handover execution)
 	dlAlloc Alloc // reused storage for SlotResult.DL
 	ulAlloc Alloc
+
+	// Slot-path constants (see amcDerived).
+	slotDur time.Duration
+	csiCfg  ue.CSIConfig // csi.Config(), cached to avoid per-TB copies
+	amc     amcDerived
+	tbs     *phy.TBSCache
 }
 
 // NewCarrier builds a carrier simulator.
@@ -255,12 +310,17 @@ func NewCarrier(cfg CarrierConfig) (*Carrier, error) {
 	if err != nil {
 		return nil, fmt.Errorf("gnb: carrier %q: %w", cfg.Label, err)
 	}
+	csiCfg2 := csi.Config()
 	return &Carrier{
 		cfg:     cfg,
 		ch:      ch,
 		csi:     csi,
 		rng:     rand.New(rand.NewSource(fleet.SplitSeed(cfg.Seed, "gnb/sched", 0))),
 		serving: -1,
+		slotDur: cfg.Numerology.SlotDuration(),
+		csiCfg:  csiCfg2,
+		amc:     newAMCDerived(csiCfg2, cfg),
+		tbs:     phy.NewTBSCache(cfg.MCSTable, cfg.DMRSPerPRB, 0),
 	}, nil
 }
 
@@ -311,6 +371,9 @@ func bler(sinrDB, reqSINRdB float64) float64 {
 
 const harqCombineGainDB = 2.5
 
+// ulBackoffDB is the fixed UL link-adaptation backoff (see newTB).
+const ulBackoffDB = 1.0
+
 // Step simulates one slot. The returned SlotResult's DL/UL pointers are
 // owned by the Carrier and valid until the next Step call.
 func (c *Carrier) Step(dl, ul Demand) SlotResult {
@@ -322,7 +385,7 @@ func (c *Carrier) Step(dl, ul Demand) SlotResult {
 
 	res := SlotResult{
 		Slot:   slot,
-		Time:   time.Duration(slot) * c.SlotDuration(),
+		Time:   time.Duration(slot) * c.slotDur,
 		Sample: sample,
 		CQI:    report.CQI,
 	}
@@ -372,13 +435,13 @@ func (c *Carrier) transmit(store *Alloc, queue *[]harqJob, slot int64, symbols i
 	if uplink {
 		sinr -= c.cfg.ULSINROffsetDB
 	}
-	perLayer := sinr - 10*c.csi.Config().LayerPenaltyExp*math.Log10(float64(job.rank))
+	perLayer := sinr - c.amc.layerPenalty(c.csiCfg.LayerPenaltyExp, job.rank)
 	perLayer += harqCombineGainDB * float64(job.retx)
-	mcsRow, err := job.table.Lookup(job.mcs)
+	req, err := job.table.RequiredSINRdB(job.mcs)
 	if err != nil {
 		return nil
 	}
-	p := bler(perLayer, mcsRow.RequiredSINRdB())
+	p := bler(perLayer, req)
 	ack := c.rng.Float64() >= p
 
 	if !uplink && !c.cfg.DisableOLLA {
@@ -432,7 +495,7 @@ func (c *Carrier) newTB(slot int64, symbols int, share float64, report ue.Report
 	rank := report.RI
 	cqi := report.CQI
 	table := c.cfg.MCSTable
-	csiTable := c.csi.Config().Table
+	csiTable := c.csiCfg.Table
 
 	if cqi == 0 || rank < 1 {
 		return harqJob{}
@@ -452,19 +515,17 @@ func (c *Carrier) newTB(slot int64, symbols int, share float64, report ue.Report
 		// derate by the UL power deficit, and re-split across UL layers.
 		// The DL outer-loop offset does not apply; UL link adaptation
 		// carries its own fixed backoff instead.
-		exp := c.csi.Config().LayerPenaltyExp
+		exp := c.csiCfg.LayerPenaltyExp
 		dlRank := rank
 		if rank > c.cfg.ULMaxRank {
 			rank = c.cfg.ULMaxRank
 		}
 		share *= c.cfg.ULRBFraction
 		// Deflate the report's optimism (the gNB calibrates for it).
-		optimism := math.Pow(10, c.csi.Config().CQIOptimismDB/10)
-		totalLin := (math.Pow(2, eff) - 1) / optimism * math.Pow(float64(dlRank), exp)
-		perLayerLin := totalLin * math.Pow(10, -c.cfg.ULSINROffsetDB/10) /
-			math.Pow(float64(rank), exp)
-		const ulBackoffDB = 1.0
-		eff = math.Log2(1+perLayerLin) * math.Pow(10, -ulBackoffDB/10)
+		totalLin := (math.Pow(2, eff) - 1) / c.amc.optimismLin * c.amc.rankPowAt(exp, dlRank)
+		perLayerLin := totalLin * c.amc.ulDerateLin /
+			c.amc.rankPowAt(exp, rank)
+		eff = math.Log2(1+perLayerLin) * c.amc.ulBackoffLin
 	} else {
 		eff *= math.Pow(10, c.ollaDB/10)
 	}
@@ -491,10 +552,12 @@ func (c *Carrier) newTB(slot int64, symbols int, share float64, report ue.Report
 	if rbs < 1 {
 		rbs = 1
 	}
-	mcsRow, err := table.Lookup(mcs)
+	tbs, err := c.tbs.TBS(symbols, rbs, mcs, rank)
 	if err != nil {
 		return harqJob{}
 	}
+	// REs for the trace record: same DMRS clamp the cache applies
+	// internally (MCS does not enter the RE count).
 	dmrs := c.cfg.DMRSPerPRB
 	if maxDMRS := phy.SubcarriersPerRB * symbols; dmrs > maxDMRS {
 		dmrs = maxDMRS
@@ -503,12 +566,7 @@ func (c *Carrier) newTB(slot int64, symbols int, share float64, report ue.Report
 		Symbols:    symbols,
 		DMRSPerPRB: dmrs,
 		PRBs:       rbs,
-		MCS:        mcsRow,
 		Layers:     rank,
-	}
-	tbs, err := phy.TBS(params)
-	if err != nil {
-		return harqJob{}
 	}
 	return harqJob{
 		readySlot: slot,
@@ -538,7 +596,7 @@ func (c *Carrier) TheoreticalMaxMbps(applyDuty bool) float64 {
 	if applyDuty && !c.cfg.FDD {
 		duty = c.cfg.Pattern.DLDutyCycle()
 	}
-	maxRank := c.csi.Config().MaxRank
+	maxRank := c.csiCfg.MaxRank
 	if maxRank == 0 {
 		maxRank = 4
 	}

@@ -80,11 +80,46 @@ type cellUE struct {
 	rng    *rand.Rand
 }
 
+// ueState is one UE's per-slot scheduling input.
+type ueState struct {
+	idx    int
+	sample channel.Sample
+	report ue.Report
+	ready  bool
+	instSE float64 // estimated instantaneous rate ∝ metric input
+}
+
+// grant is one UE's share of a slot's RBs.
+type grant struct {
+	idx  int
+	frac float64
+}
+
+// pfScore is one UE's proportional-fair metric.
+type pfScore struct {
+	idx    int
+	metric float64
+}
+
 // Cell simulates one carrier shared by several UEs.
 type Cell struct {
 	cfg  CellConfig
 	ues  []*cellUE
 	slot int64
+
+	// Slot-path constants, shared by all UEs (they differ only in seeds).
+	slotDur time.Duration
+	csiCfg  ue.CSIConfig
+	amc     amcDerived
+	tbs     *phy.TBSCache
+
+	// Per-slot scratch, reused so the steady-state loop allocates nothing.
+	states    []ueState
+	ready     []ueState
+	grants    []grant
+	scores    []pfScore
+	servedNow []float64
+	allocs    []UEAlloc
 }
 
 // UEAlloc is one UE's outcome in a slot.
@@ -138,36 +173,43 @@ func NewCell(cfg CellConfig) (*Cell, error) {
 			rng:    rand.New(rand.NewSource(fleet.SplitSeed(cfg.Seed, "gnb/cell/ue", i))),
 		})
 	}
+	n := len(cell.ues)
+	cell.slotDur = cfg.Carrier.Numerology.SlotDuration()
+	cell.csiCfg = cell.ues[0].csi.Config() // UEs differ only in seed
+	cell.amc = newAMCDerived(cell.csiCfg, cfg.Carrier)
+	cell.tbs = phy.NewTBSCache(cfg.Carrier.MCSTable, cfg.Carrier.DMRSPerPRB, 0)
+	cell.states = make([]ueState, 0, n)
+	cell.ready = make([]ueState, 0, n)
+	cell.grants = make([]grant, 0, n)
+	cell.scores = make([]pfScore, 0, n)
+	cell.servedNow = make([]float64, n)
+	cell.allocs = make([]UEAlloc, 0, n)
 	return cell, nil
 }
 
-// Step advances one slot with all UEs backlogged on the downlink.
+// Step advances one slot with all UEs backlogged on the downlink. The
+// returned CellSlot's Allocs slice is owned by the Cell and valid until
+// the next Step call.
 func (c *Cell) Step() CellSlot {
 	slot := c.slot
 	c.slot++
-	res := CellSlot{Slot: slot, Time: time.Duration(slot) * c.cfg.Carrier.Numerology.SlotDuration()}
+	res := CellSlot{Slot: slot, Time: time.Duration(slot) * c.slotDur}
 
-	type ueState struct {
-		idx    int
-		sample channel.Sample
-		report ue.Report
-		ready  bool
-		instSE float64 // estimated instantaneous rate ∝ metric input
-	}
-	states := make([]ueState, 0, len(c.ues))
+	states := c.states[:0]
 	for i, u := range c.ues {
 		s := u.ch.Step()
 		u.csi.Observe(slot, s.SINRdB)
 		rep, ok := u.csi.Current()
 		st := ueState{idx: i, sample: s, report: rep, ready: ok && rep.CQI > 0 && !s.Outage}
 		if st.ready {
-			row, err := u.csi.Config().Table.Lookup(rep.CQI)
+			row, err := c.csiCfg.Table.Lookup(rep.CQI)
 			if err == nil {
 				st.instSE = row.Efficiency * float64(rep.RI)
 			}
 		}
 		states = append(states, st)
 	}
+	c.states = states
 
 	dlSym := c.dlSymbols(slot)
 	if dlSym == 0 {
@@ -175,17 +217,14 @@ func (c *Cell) Step() CellSlot {
 	}
 
 	// Pick the scheduled set and their RB fractions.
-	type grant struct {
-		idx  int
-		frac float64
-	}
-	var grants []grant
-	ready := states[:0:0]
+	grants := c.grants[:0]
+	ready := c.ready[:0]
 	for _, st := range states {
 		if st.ready {
 			ready = append(ready, st)
 		}
 	}
+	c.ready = ready
 	if len(ready) == 0 {
 		return res
 	}
@@ -197,32 +236,29 @@ func (c *Cell) Step() CellSlot {
 				best = st
 			}
 		}
-		grants = []grant{{best.idx, 1}}
+		grants = append(grants, grant{best.idx, 1})
 	case SchedulerProportionalFair:
 		// Rank by PF metric; split the slot between the top two
 		// proportionally to their metrics.
-		type scored struct {
-			idx    int
-			metric float64
-		}
-		var ss []scored
+		ss := c.scores[:0]
 		for _, st := range ready {
 			m := st.instSE / c.ues[st.idx].served
-			ss = append(ss, scored{st.idx, m})
+			ss = append(ss, pfScore{st.idx, m})
 		}
+		c.scores = ss
 		for i := 1; i < len(ss); i++ {
 			for j := i; j > 0 && ss[j].metric > ss[j-1].metric; j-- {
 				ss[j], ss[j-1] = ss[j-1], ss[j]
 			}
 		}
 		if len(ss) == 1 {
-			grants = []grant{{ss[0].idx, 1}}
+			grants = append(grants, grant{ss[0].idx, 1})
 		} else {
 			total := ss[0].metric + ss[1].metric
-			grants = []grant{
-				{ss[0].idx, ss[0].metric / total},
-				{ss[1].idx, ss[1].metric / total},
-			}
+			grants = append(grants,
+				grant{ss[0].idx, ss[0].metric / total},
+				grant{ss[1].idx, ss[1].metric / total},
+			)
 		}
 	default: // equal share
 		frac := 1 / float64(len(ready))
@@ -230,7 +266,9 @@ func (c *Cell) Step() CellSlot {
 			grants = append(grants, grant{st.idx, frac})
 		}
 	}
+	c.grants = grants
 
+	res.Allocs = c.allocs[:0]
 	for _, g := range grants {
 		st := &states[g.idx]
 		u := c.ues[g.idx]
@@ -242,9 +280,16 @@ func (c *Cell) Step() CellSlot {
 			UE: g.idx, Alloc: alloc, SINRdB: st.sample.SINRdB, CQI: st.report.CQI,
 		})
 	}
+	c.allocs = res.Allocs
+	if len(res.Allocs) == 0 {
+		res.Allocs = nil // keep the no-traffic result shape of the old API
+	}
 	// PF window update (also decays unserved UEs).
 	w := float64(c.cfg.PFWindowSlots)
-	servedNow := make([]float64, len(c.ues))
+	servedNow := c.servedNow
+	for i := range servedNow {
+		servedNow[i] = 0
+	}
 	for _, a := range res.Allocs {
 		servedNow[a.UE] = float64(a.Alloc.DeliveredBits)
 	}
@@ -277,7 +322,7 @@ func (c *Cell) dlSymbols(slot int64) int {
 // multi-UE HARQ bookkeeping adds little to the Fig. 14 questions).
 func (c *Cell) transmitUE(u *cellUE, report ue.Report, sample channel.Sample, symbols int, frac float64) (Alloc, bool) {
 	cfg := c.cfg.Carrier
-	row, err := u.csi.Config().Table.Lookup(report.CQI)
+	row, err := c.csiCfg.Table.Lookup(report.CQI)
 	if err != nil {
 		return Alloc{}, false
 	}
@@ -287,24 +332,25 @@ func (c *Cell) transmitUE(u *cellUE, report ue.Report, sample channel.Sample, sy
 	if rbs < 1 {
 		rbs = 1
 	}
-	mcsRow, err := cfg.MCSTable.Lookup(mcs)
+	tbs, err := c.tbs.TBS(symbols, rbs, mcs, report.RI)
 	if err != nil {
 		return Alloc{}, false
 	}
+	// REs for the record: same DMRS clamp the cache applies internally.
 	dmrs := cfg.DMRSPerPRB
 	if m := phy.SubcarriersPerRB * symbols; dmrs > m {
 		dmrs = m
 	}
 	params := phy.TBSParams{
 		Symbols: symbols, DMRSPerPRB: dmrs, PRBs: rbs,
-		MCS: mcsRow, Layers: report.RI,
+		Layers: report.RI,
 	}
-	tbs, err := phy.TBS(params)
+	req, err := cfg.MCSTable.RequiredSINRdB(mcs)
 	if err != nil {
 		return Alloc{}, false
 	}
-	perLayer := sample.SINRdB - 10*u.csi.Config().LayerPenaltyExp*math.Log10(float64(report.RI))
-	p := bler(perLayer, mcsRow.RequiredSINRdB())
+	perLayer := sample.SINRdB - c.amc.layerPenalty(c.csiCfg.LayerPenaltyExp, report.RI)
+	p := bler(perLayer, req)
 	ack := u.rng.Float64() >= p
 	if ack {
 		u.olla += 0.05 * cfg.TargetBLER / (1 - cfg.TargetBLER)
@@ -324,5 +370,5 @@ func (c *Cell) transmitUE(u *cellUE, report ue.Report, sample channel.Sample, sy
 
 // SlotDuration returns the cell's slot length.
 func (c *Cell) SlotDuration() time.Duration {
-	return c.cfg.Carrier.Numerology.SlotDuration()
+	return c.slotDur
 }

@@ -84,6 +84,15 @@ func Run(link *net5g.Link, cfg Config) (*Result, error) {
 	res.ACK = make([]float64, 0, steps)
 
 	var recBuf []xcal.SlotKPI
+	if cfg.Trace != nil || cfg.KeepRecords {
+		// A step yields at most one DL + one UL record per carrier plus
+		// the LTE leg; preallocating keeps the per-step append loop out
+		// of the allocator.
+		recBuf = make([]xcal.SlotKPI, 0, 2*len(link.Carriers())+2)
+	}
+	if cfg.KeepRecords {
+		res.Records = make([]xcal.SlotKPI, 0, 2*steps)
+	}
 	var dlBits, ulBits, nrUL, lteUL float64
 	for i := 0; i < steps; i++ {
 		r := link.Step(demand)
@@ -94,7 +103,7 @@ func Run(link *net5g.Link, cfg Config) (*Result, error) {
 		res.DLBitsPerSlot = append(res.DLBitsPerSlot, float64(r.DLBits))
 		res.ULBitsPerSlot = append(res.ULBitsPerSlot, float64(r.ULBits))
 
-		pc := r.NR[0]
+		pc := &r.NR[0]
 		res.SINRdB = append(res.SINRdB, pc.Sample.SINRdB)
 		res.RSRQdB = append(res.RSRQdB, pc.Sample.RSRQdB)
 		res.CQI = append(res.CQI, float64(pc.CQI))

@@ -55,6 +55,8 @@ type Link struct {
 	havePcellSINR bool
 
 	results []gnb.SlotResult // reused per-step storage
+	ticked  []bool           // reused StepResult.NRTicked storage
+	lteRes  gnb.SlotResult   // reused StepResult.LTE storage
 }
 
 // NewLink builds the link.
@@ -85,6 +87,7 @@ func NewLink(cfg LinkConfig) (*Link, error) {
 	}
 	l.nextTick = make([]time.Duration, len(l.carriers))
 	l.results = make([]gnb.SlotResult, len(l.carriers))
+	l.ticked = make([]bool, len(l.carriers))
 	return l, nil
 }
 
@@ -135,16 +138,13 @@ type Demand struct {
 var Saturate = Demand{DL: true, UL: true, Share: 1}
 
 // Step advances the link by one step and returns what was delivered. The
-// returned slices are owned by the Link and valid until the next Step.
+// returned slices and the LTE pointer are owned by the Link and valid
+// until the next Step.
 func (l *Link) Step(d Demand) StepResult {
 	if d.Share == 0 {
 		d.Share = 1
 	}
-	res := StepResult{Time: l.now, NR: l.results}
-	if cap(res.NRTicked) < len(l.carriers) {
-		res.NRTicked = make([]bool, len(l.carriers))
-	}
-	res.NRTicked = res.NRTicked[:len(l.carriers)]
+	res := StepResult{Time: l.now, NR: l.results, NRTicked: l.ticked}
 
 	// Decide the NSA UL route once per step, based on PCell state.
 	nrUL := d.UL
@@ -188,11 +188,11 @@ func (l *Link) Step(d Demand) StepResult {
 	}
 	if l.anchor != nil && l.now >= l.lteTick {
 		l.lteTick += l.anchor.SlotDuration()
-		r := l.anchor.Step(gnb.Demand{}, gnb.Demand{Active: lteUL, Share: d.Share})
-		res.LTE = &r
-		if r.UL != nil {
-			res.ULBits += r.UL.DeliveredBits
-			res.LTEULBits += r.UL.DeliveredBits
+		l.lteRes = l.anchor.Step(gnb.Demand{}, gnb.Demand{Active: lteUL, Share: d.Share})
+		res.LTE = &l.lteRes
+		if ul := l.lteRes.UL; ul != nil {
+			res.ULBits += ul.DeliveredBits
+			res.LTEULBits += ul.DeliveredBits
 		}
 	}
 	l.now += l.step

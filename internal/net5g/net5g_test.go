@@ -306,3 +306,28 @@ func TestLinkClock(t *testing.T) {
 		t.Error("accessor results wrong")
 	}
 }
+
+// TestLinkStepAllocs pins the aggregated slot loop — NR carriers plus the
+// LTE anchor — at zero allocations per Step in steady state. The returned
+// slices and LTE pointer are owned by the Link, so nothing escapes.
+func TestLinkStepAllocs(t *testing.T) {
+	l, err := NewLink(LinkConfig{
+		Carriers: []gnb.CarrierConfig{
+			nrCarrier("cc0", 245, 1), nrCarrier("cc1", 106, 50),
+		},
+		LTEAnchor: anchorConfig(9),
+		ULPolicy:  lte.ULDynamic,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20_000; i++ {
+		l.Step(Demand{DL: true, UL: true})
+	}
+	allocs := testing.AllocsPerRun(5000, func() {
+		l.Step(Demand{DL: true, UL: true})
+	})
+	if allocs > 0 {
+		t.Errorf("Link.Step allocates %.3f objects/slot in steady state, want 0", allocs)
+	}
+}

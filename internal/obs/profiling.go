@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts CPU profiling to cpuPath (when non-empty) and
+// returns a stop function that finishes the CPU profile and writes a heap
+// profile to memPath (when non-empty). It backs the -cpuprofile and
+// -memprofile CLI flags, complementing the live /debug/pprof endpoint of
+// Serve for runs that exit before an operator can attach. Profiles are
+// observability outputs only — they never feed back into simulation
+// state, so profiled runs stay byte-identical to unprofiled ones.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		cpuF, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				return fmt.Errorf("obs: cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("obs: heap profile: %w", err)
+			}
+			runtime.GC() // settle the live heap before snapshotting
+			err = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fmt.Errorf("obs: heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

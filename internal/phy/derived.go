@@ -1,0 +1,56 @@
+package phy
+
+import "fmt"
+
+// derivedMCS caches per-row spectral efficiency and required SINR for one
+// MCS index table. Both are pure functions of the static TS 38.214 rows,
+// yet the slot path used to recompute them (a pow + log each) for every
+// transport block; here they are computed once at package init by calling
+// the exact same MCS methods, so every lookup is bit-identical to the
+// inline computation it replaces.
+type derivedMCS struct {
+	eff     []float64 // SpectralEfficiency() per index
+	reqSINR []float64 // RequiredSINRdB() per index
+}
+
+func deriveMCS(rows []MCS) derivedMCS {
+	d := derivedMCS{
+		eff:     make([]float64, len(rows)),
+		reqSINR: make([]float64, len(rows)),
+	}
+	for i, m := range rows {
+		d.eff[i] = m.SpectralEfficiency()
+		d.reqSINR[i] = m.RequiredSINRdB()
+	}
+	return d
+}
+
+var (
+	derivedTable1 = deriveMCS(mcsTable1)
+	derivedTable2 = deriveMCS(mcsTable2)
+)
+
+func (t MCSTable) derived() *derivedMCS {
+	switch t {
+	case MCSTable64QAM:
+		return &derivedTable1
+	case MCSTable256QAM:
+		return &derivedTable2
+	default:
+		return nil
+	}
+}
+
+// RequiredSINRdB returns Lookup(i).RequiredSINRdB() from the table
+// precomputed at init — the link abstraction needs it for every decoded
+// transport block.
+func (t MCSTable) RequiredSINRdB(i uint8) (float64, error) {
+	d := t.derived()
+	if d == nil {
+		return 0, fmt.Errorf("phy: unknown MCS table %d", uint8(t))
+	}
+	if int(i) >= len(d.reqSINR) {
+		return 0, fmt.Errorf("phy: MCS index %d out of range for table %v (max %d)", i, t, len(d.reqSINR)-1)
+	}
+	return d.reqSINR[i], nil
+}

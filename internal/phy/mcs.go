@@ -127,16 +127,17 @@ func (t MCSTable) rows() ([]MCS, error) {
 
 // HighestMCSForEfficiency returns the largest MCS index in table t whose
 // spectral efficiency does not exceed se bits per RE. It returns index 0 if
-// even the lowest MCS exceeds se.
+// even the lowest MCS exceeds se. The scan runs over the efficiencies
+// precomputed at init (row index equals MCS index in both tables).
 func (t MCSTable) HighestMCSForEfficiency(se float64) uint8 {
-	rows, err := t.rows()
-	if err != nil {
+	d := t.derived()
+	if d == nil {
 		return 0
 	}
 	best := uint8(0)
-	for _, m := range rows {
-		if m.SpectralEfficiency() <= se {
-			best = m.Index
+	for i, e := range d.eff {
+		if e <= se {
+			best = uint8(i)
 		} else {
 			break
 		}

@@ -1,0 +1,88 @@
+package phy
+
+// Key layout for the TBSCache map: symbols (4 bits) · PRBs (10 bits) ·
+// MCS index (5 bits) · layers (3 bits). Tuples outside these ranges take
+// the uncached path.
+const (
+	tbsKeyLayerBits   = 3
+	tbsKeyMCSBits     = 5
+	tbsKeyPRBBits     = 10
+	tbsKeyMCSShift    = tbsKeyLayerBits
+	tbsKeyPRBShift    = tbsKeyMCSShift + tbsKeyMCSBits
+	tbsKeySymbolShift = tbsKeyPRBShift + tbsKeyPRBBits
+)
+
+// TBSCache memoizes TBS over its small discrete input space for one
+// carrier's fixed MCS table and DMRS/overhead configuration. The
+// scheduler calls TBS once per scheduled transport block, but its inputs
+// — (symbols, PRBs, MCS, layers) — take only a few hundred distinct
+// values per session, so the TS 38.214 ladder (log2/pow plus a table
+// scan) collapses to one map probe after warm-up. Misses are computed by
+// the exact same TBS function, so cached results are bit-identical by
+// construction.
+//
+// A TBSCache belongs to one carrier; it is not safe for concurrent use.
+type TBSCache struct {
+	table    MCSTable
+	dmrs     int
+	overhead int
+	m        map[uint32]int32
+}
+
+// NewTBSCache builds a cache for one carrier's MCS table and configured
+// per-PRB DMRS/xOverhead REs.
+func NewTBSCache(table MCSTable, dmrsPerPRB, overheadPerPRB int) *TBSCache {
+	return &TBSCache{
+		table:    table,
+		dmrs:     dmrsPerPRB,
+		overhead: overheadPerPRB,
+		m:        make(map[uint32]int32, 256),
+	}
+}
+
+// params reconstructs the full TBSParams for a tuple, applying the same
+// DMRS clamp the scheduler applies (DMRS REs cannot exceed the REs of the
+// allocated symbols).
+func (c *TBSCache) params(symbols, prbs int, row MCS, layers int) TBSParams {
+	dmrs := c.dmrs
+	if maxDMRS := SubcarriersPerRB * symbols; dmrs > maxDMRS {
+		dmrs = maxDMRS
+	}
+	return TBSParams{
+		Symbols:        symbols,
+		DMRSPerPRB:     dmrs,
+		OverheadPerPRB: c.overhead,
+		PRBs:           prbs,
+		MCS:            row,
+		Layers:         layers,
+	}
+}
+
+// TBS returns the transport block size for the tuple, memoized. It is
+// equivalent to calling the package-level TBS with the carrier's DMRS
+// clamp applied.
+func (c *TBSCache) TBS(symbols, prbs int, mcs uint8, layers int) (int, error) {
+	row, err := c.table.Lookup(mcs)
+	if err != nil {
+		return 0, err
+	}
+	if symbols < 1 || symbols > SymbolsPerSlot ||
+		prbs < 1 || prbs >= 1<<tbsKeyPRBBits ||
+		layers < 1 || layers > 4 {
+		// Not packable into a key; let TBS validate and compute directly.
+		return TBS(c.params(symbols, prbs, row, layers))
+	}
+	key := uint32(symbols)<<tbsKeySymbolShift |
+		uint32(prbs)<<tbsKeyPRBShift |
+		uint32(mcs)<<tbsKeyMCSShift |
+		uint32(layers)
+	if v, ok := c.m[key]; ok {
+		return int(v), nil
+	}
+	tbs, err := TBS(c.params(symbols, prbs, row, layers))
+	if err != nil {
+		return 0, err
+	}
+	c.m[key] = int32(tbs)
+	return tbs, nil
+}

@@ -1,0 +1,148 @@
+package phy
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTBSCacheMatchesTBS sweeps the scheduler's whole input space for
+// both MCS tables and checks the memoized path returns exactly what the
+// direct TS 38.214 computation returns — including the DMRS clamp the
+// scheduler applies for short symbol allocations.
+func TestTBSCacheMatchesTBS(t *testing.T) {
+	symbols := []int{1, 2, 4, 10, 13, 14}
+	prbs := []int{1, 11, 51, 245, 273, 1023}
+	for _, table := range []MCSTable{MCSTable64QAM, MCSTable256QAM} {
+		for _, dmrs := range []int{12, 24} {
+			cache := NewTBSCache(table, dmrs, 0)
+			for _, sym := range symbols {
+				for _, rb := range prbs {
+					for mcs := uint8(0); mcs <= table.MaxIndex(); mcs++ {
+						for layers := 1; layers <= 4; layers++ {
+							row, err := table.Lookup(mcs)
+							if err != nil {
+								t.Fatal(err)
+							}
+							d := dmrs
+							if m := SubcarriersPerRB * sym; d > m {
+								d = m
+							}
+							want, wantErr := TBS(TBSParams{
+								Symbols: sym, DMRSPerPRB: d, PRBs: rb,
+								MCS: row, Layers: layers,
+							})
+							// Twice: the first call fills the cache, the
+							// second must hit it.
+							for pass := 0; pass < 2; pass++ {
+								got, gotErr := cache.TBS(sym, rb, mcs, layers)
+								if (gotErr == nil) != (wantErr == nil) {
+									t.Fatalf("table=%v dmrs=%d sym=%d rb=%d mcs=%d layers=%d: err %v, want %v",
+										table, dmrs, sym, rb, mcs, layers, gotErr, wantErr)
+								}
+								if got != want {
+									t.Fatalf("table=%v dmrs=%d sym=%d rb=%d mcs=%d layers=%d: TBS %d, want %d",
+										table, dmrs, sym, rb, mcs, layers, got, want)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTBSCacheRejectsBadInputs mirrors TBS's own validation on the
+// uncached path.
+func TestTBSCacheRejectsBadInputs(t *testing.T) {
+	cache := NewTBSCache(MCSTable256QAM, 12, 0)
+	if _, err := cache.TBS(13, 100, 99, 2); err == nil {
+		t.Error("MCS 99: want error")
+	}
+	if _, err := cache.TBS(0, 100, 10, 2); err == nil {
+		t.Error("symbols 0: want error")
+	}
+	if _, err := cache.TBS(13, 0, 10, 2); err == nil {
+		t.Error("PRBs 0: want error")
+	}
+	if _, err := cache.TBS(13, 100, 10, 5); err == nil {
+		t.Error("layers 5: want error")
+	}
+	if _, err := NewTBSCache(MCSTable(9), 12, 0).TBS(13, 100, 10, 2); err == nil {
+		t.Error("unknown table: want error")
+	}
+}
+
+// TestDerivedTablesBitIdentical locks the init-time precomputed spectral
+// efficiency and required-SINR columns to the MCS methods they replace.
+func TestDerivedTablesBitIdentical(t *testing.T) {
+	for _, table := range []MCSTable{MCSTable64QAM, MCSTable256QAM} {
+		for i := uint8(0); i <= table.MaxIndex(); i++ {
+			row, err := table.Lookup(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			req, err := table.RequiredSINRdB(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(req) != math.Float64bits(row.RequiredSINRdB()) {
+				t.Errorf("table %v mcs %d: derived reqSINR %v != %v", table, i, req, row.RequiredSINRdB())
+			}
+			d := table.derived()
+			if math.Float64bits(d.eff[i]) != math.Float64bits(row.SpectralEfficiency()) {
+				t.Errorf("table %v mcs %d: derived eff %v != %v", table, i, d.eff[i], row.SpectralEfficiency())
+			}
+		}
+		if _, err := table.RequiredSINRdB(table.MaxIndex() + 1); err == nil {
+			t.Errorf("table %v: out-of-range index accepted", table)
+		}
+	}
+	if _, err := MCSTable(9).RequiredSINRdB(0); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+// TestHighestMCSForEfficiencyMatchesScan locks the derived-table scan to
+// a row-by-row recomputation across a dense efficiency sweep.
+func TestHighestMCSForEfficiencyMatchesScan(t *testing.T) {
+	for _, table := range []MCSTable{MCSTable64QAM, MCSTable256QAM} {
+		rows, err := table.rows()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for se := -0.5; se < 9; se += 0.01 {
+			want := uint8(0)
+			for _, m := range rows {
+				if m.SpectralEfficiency() <= se {
+					want = m.Index
+				} else {
+					break
+				}
+			}
+			if got := table.HighestMCSForEfficiency(se); got != want {
+				t.Fatalf("table %v se=%.3f: got %d, want %d", table, se, got, want)
+			}
+		}
+	}
+	if MCSTable(9).HighestMCSForEfficiency(3) != 0 {
+		t.Error("unknown table: want index 0")
+	}
+}
+
+// BenchmarkTBSCached measures the memoized slot-path lookup (compare with
+// BenchmarkTBS, the direct ladder).
+func BenchmarkTBSCached(b *testing.B) {
+	cache := NewTBSCache(MCSTable256QAM, 12, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbs, err := cache.TBS(13, 245, 22, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkInt = tbs
+	}
+}
+
+var sinkInt int

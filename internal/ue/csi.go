@@ -152,11 +152,17 @@ func (c *CSI) rankFor(sinrDB float64) int {
 // Observe feeds one slot's SINR into the loop. On reporting slots a new
 // report is generated; reports become visible to Current after DelaySlots.
 func (c *CSI) Observe(slot int64, sinrDB float64) {
-	// Promote matured reports.
-	for len(c.pending) > 0 && slot-c.pending[0].Slot >= int64(c.cfg.DelaySlots) {
-		c.current = c.pending[0]
+	// Promote matured reports, compacting the queue in place so its
+	// backing array is reused (re-slicing from the front would leak
+	// capacity and re-allocate on every later append).
+	n := 0
+	for n < len(c.pending) && slot-c.pending[n].Slot >= int64(c.cfg.DelaySlots) {
+		c.current = c.pending[n]
 		c.primed = true
-		c.pending = c.pending[1:]
+		n++
+	}
+	if n > 0 {
+		c.pending = c.pending[:copy(c.pending, c.pending[n:])]
 	}
 	if slot%int64(c.cfg.PeriodSlots) != 0 {
 		return
