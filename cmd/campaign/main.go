@@ -13,10 +13,19 @@
 // the simulation: aggregates and traces are byte-identical with
 // observability on or off.
 //
+// Fault injection: -faults arms a deterministic fault schedule
+// (radio-link failures, SINR blackouts, trace I/O errors, session aborts,
+// worker panics — see internal/fault). The campaign then degrades
+// gracefully: transient failures retry with simulated backoff and
+// sessions that still fail are recorded as failure provenance in the
+// manifest instead of failing the run. Without -faults the campaign is
+// byte-identical to one built before fault injection existed.
+//
 // Usage:
 //
 //	campaign [-out DIR] [-duration 10s] [-seed N] [-ops V_Sp,Tmb_US]
 //	         [-parallel N] [-obs-listen :9090] [-progress 2s]
+//	         [-faults rlf=2e-4,abort=0.05,trace=1e-3,seed=7]
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 	"time"
 
 	"github.com/midband5g/midband/internal/core"
+	"github.com/midband5g/midband/internal/fault"
 	"github.com/midband5g/midband/internal/fleet"
 	"github.com/midband5g/midband/internal/obs"
 	"github.com/midband5g/midband/internal/operators"
@@ -43,6 +53,9 @@ type manifestConfig struct {
 	Operators       []string `json:"operators"`
 	DurationSeconds float64  `json:"duration_seconds"`
 	Seed            int64    `json:"seed"`
+	// Faults is the -faults spec verbatim; omitted when empty so
+	// fault-free manifests keep their historical config digest.
+	Faults string `json:"faults,omitempty"`
 }
 
 func main() {
@@ -55,6 +68,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "concurrent sessions (default: GOMAXPROCS; 1 = serial)")
 	obsListen := flag.String("obs-listen", "", "serve /metrics, /debug/pprof and /debug/vars on this address during the run (\":0\" picks a port)")
 	progress := flag.Duration("progress", 0, "interval between stderr progress snapshots (0 disables)")
+	faults := flag.String("faults", "", "fault-injection spec, e.g. rlf=2e-4,blackout=1e-4,trace=1e-3,abort=0.05,panic=0.02,attempts=3,seed=7 (empty disables)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -123,10 +137,15 @@ func main() {
 			opNames = append(opNames, op.Acronym)
 		}
 	}
+	sched, err := fault.ParseSpec(*faults)
+	if err != nil {
+		log.Fatal(err)
+	}
 	manifest, err := obs.NewManifest("campaign", manifestConfig{
 		Operators:       opNames,
 		DurationSeconds: duration.Seconds(),
 		Seed:            *seed,
+		Faults:          *faults,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -140,6 +159,7 @@ func main() {
 		TraceDir:        *out,
 		Seed:            *seed,
 		Workers:         *parallel,
+		Faults:          sched,
 		Metrics:         &m,
 		Progress: func(done, total int, key string) {
 			fmt.Fprintf(os.Stderr, "campaign: [%d/%d] %s (%.1fs)\n", done, total, key, time.Since(t0).Seconds()) //detlint:allow walltime stderr progress line, not part of campaign output
@@ -154,6 +174,20 @@ func main() {
 	manifest.JobsDone = m.JobsDone.Load()
 	manifest.SlotsSimulated = m.SlotsSimulated.Load()
 	manifest.TraceBytes = m.TraceBytes.Load()
+	manifest.Retries = m.Retries.Load()
+	manifest.BackoffSimNs = int64(stats.BackoffSim)
+	for _, f := range stats.Failures {
+		manifest.Failures = append(manifest.Failures, obs.SessionFailure{
+			Key:      f.Key,
+			Operator: f.Operator,
+			Session:  f.Session,
+			Attempts: f.Attempts,
+			Stage:    f.Stage,
+			Err:      f.Err,
+		})
+		fmt.Fprintf(os.Stderr, "campaign: session %s failed after %d attempt(s): %s (%s)\n",
+			f.Key, f.Attempts, f.Stage, f.Err)
+	}
 	for _, s := range stats.Sessions {
 		if s.TracePath != "" {
 			manifest.Outputs = append(manifest.Outputs, filepath.Base(s.TracePath))
@@ -164,6 +198,10 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if n := len(stats.Failures); n > 0 {
+		fmt.Fprintf(os.Stderr, "campaign: %d session(s) lost to injected faults (%d retries, %v simulated backoff)\n",
+			n, m.Retries.Load(), stats.BackoffSim)
+	}
 	slots := float64(m.SlotsSimulated.Load())
 	fmt.Fprintf(os.Stderr, "campaign: %d sessions, %.2fM slots (%.2fM slots/s), %.1f KB traces, %.1fs wall\n",
 		m.JobsDone.Load(), slots/1e6, slots/1e6/elapsed, float64(m.TraceBytes.Load())/1e3, elapsed)

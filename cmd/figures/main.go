@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"github.com/midband5g/midband/internal/experiments"
+	"github.com/midband5g/midband/internal/fault"
 	"github.com/midband5g/midband/internal/fleet"
 	"github.com/midband5g/midband/internal/obs"
 	"github.com/midband5g/midband/internal/report"
@@ -47,6 +48,7 @@ type options struct {
 	progress   time.Duration
 	cpuProfile string
 	memProfile string
+	faults     string
 }
 
 func main() {
@@ -62,6 +64,7 @@ func main() {
 	flag.DurationVar(&opt.progress, "progress", 0, "interval between stderr progress snapshots (0 disables)")
 	flag.StringVar(&opt.cpuProfile, "cpuprofile", "", "write a CPU profile of the whole run to this file")
 	flag.StringVar(&opt.memProfile, "memprofile", "", "write a heap profile at exit to this file")
+	flag.StringVar(&opt.faults, "faults", "", "fault-injection spec for campaign-based figures, e.g. rlf=2e-4,abort=0.05,seed=7 (empty disables)")
 	flag.Parse()
 	stopProf, err := obs.StartProfiles(opt.cpuProfile, opt.memProfile)
 	if err != nil {
@@ -83,12 +86,19 @@ type manifestConfig struct {
 	Only  string `json:"only,omitempty"`
 	Quick bool   `json:"quick"`
 	Seed  int64  `json:"seed"`
+	// Faults is the -faults spec verbatim; omitted when empty so
+	// fault-free manifests keep their historical config digest.
+	Faults string `json:"faults,omitempty"`
 }
 
 // run regenerates the selected figures, streaming progress to stderr and
 // the rendered tables — in deterministic figure order — to stdout.
 func run(opt options, stdout, stderr io.Writer) error {
-	o := experiments.Options{Quick: opt.quick, Seed: opt.seed, Workers: opt.parallel}
+	sched, err := fault.ParseSpec(opt.faults)
+	if err != nil {
+		return err
+	}
+	o := experiments.Options{Quick: opt.quick, Seed: opt.seed, Workers: opt.parallel, Faults: sched}
 
 	var m fleet.Metrics
 	t0 := time.Now() //detlint:allow walltime CLI wall-cost accounting for the manifest, never simulation input
@@ -451,7 +461,7 @@ func run(opt options, stdout, stderr io.Writer) error {
 // writeManifest records the run next to its CSV outputs so every figure
 // is reproducible from the manifest's config digest and seed.
 func writeManifest(opt options, t0 time.Time, m *fleet.Metrics) error {
-	man, err := obs.NewManifest("figures", manifestConfig{Only: opt.only, Quick: opt.quick, Seed: opt.seed})
+	man, err := obs.NewManifest("figures", manifestConfig{Only: opt.only, Quick: opt.quick, Seed: opt.seed, Faults: opt.faults})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,67 @@
+package bands
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzFreqToARFCN checks the NR raster conversion over the whole float64
+// input space: in-raster frequencies must convert, round-trip back within
+// the range's raster granularity, and re-convert to a stable ARFCN;
+// out-of-raster inputs (negative, ≥100 GHz, NaN, ±Inf) must error, never
+// panic or return garbage.
+//
+// `go test` exercises the seed corpus;
+// `go test -fuzz=FuzzFreqToARFCN ./internal/bands` explores further.
+func FuzzFreqToARFCN(f *testing.F) {
+	// Paper frequencies (mid-band n78/n41), range boundaries, and the
+	// raster discontinuity at 24250 MHz.
+	for _, mhz := range []float64{
+		0, 703.5, 1842.5, 2545, 2999.9975, 3000, 3500, 3700, 4800,
+		24249.99, 24249.9975, 24250, 24250.08, 39000, 99999.97,
+		-1, 100000, math.NaN(), math.Inf(1), math.Inf(-1), 24250.05,
+	} {
+		f.Add(mhz)
+	}
+	f.Fuzz(func(t *testing.T, mhz float64) {
+		n, err := FreqToARFCN(mhz)
+		if math.IsNaN(mhz) || mhz < 0 || mhz >= 100000 {
+			if err == nil {
+				t.Fatalf("FreqToARFCN(%g) = %d, want out-of-raster error", mhz, n)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("FreqToARFCN(%g): %v", mhz, err)
+		}
+		back, err := ARFCNToFreq(n)
+		if err != nil {
+			t.Fatalf("ARFCNToFreq(%d) from %g MHz: %v", n, mhz, err)
+		}
+		// Round-trip tolerance: half a raster step of the input's range
+		// (nearest-point rounding), except across the 15 kHz → 60 kHz
+		// discontinuity: TS 38.104 leaves no raster point in
+		// (24249.99, 24250.08), so inputs rounding up to n=2016667 come
+		// back up to 0.0825 MHz away.
+		tol := 0.0025 // ΔF 5 kHz, half-step
+		switch {
+		case mhz >= 24250.08:
+			tol = 0.03 // ΔF 60 kHz
+		case mhz >= 24249.99:
+			tol = 0.0825 // discontinuity neighborhood
+		case mhz >= 3000:
+			tol = 0.0075 // ΔF 15 kHz
+		}
+		if diff := math.Abs(back - mhz); diff > tol+1e-9 {
+			t.Fatalf("round trip %g MHz → ARFCN %d → %g MHz: off by %g > %g", mhz, n, back, diff, tol)
+		}
+		// A raster point must be a fixed point of the conversion.
+		n2, err := FreqToARFCN(back)
+		if err != nil {
+			t.Fatalf("FreqToARFCN(%g) (raster point of %d): %v", back, n, err)
+		}
+		if n2 != n {
+			t.Fatalf("raster point drifted: %g MHz → %d, its frequency %g MHz → %d", mhz, n, back, n2)
+		}
+	})
+}

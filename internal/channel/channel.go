@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/midband5g/midband/internal/fault"
 	"github.com/midband5g/midband/internal/obs"
 )
 
@@ -70,6 +71,10 @@ type Config struct {
 	Episodes *EpisodeConfig
 	// Blockage, when non-nil, adds the mmWave LOS/NLOS/outage process.
 	Blockage *BlockageConfig
+	// Fault, when non-nil, injects deterministic SINR blackout windows
+	// (deep coverage holes). The injector draws from its own seeded RNG,
+	// so a nil Fault leaves every other random sequence untouched.
+	Fault *fault.Blackout
 }
 
 func (c Config) withDefaults() Config {
@@ -214,6 +219,7 @@ type Channel struct {
 	slowDB   float64
 	blk      *blockageState
 	epi      *episodeState
+	blackout *fault.BlackoutState
 
 	// Precomputed constants of the slot path (see fadingKernel).
 	dt      float64 // SlotDuration in seconds
@@ -257,6 +263,7 @@ func New(cfg Config) (*Channel, error) {
 	if cfg.Episodes != nil {
 		ch.epi = newEpisodeState(*cfg.Episodes, ch.rng)
 	}
+	ch.blackout = fault.NewBlackoutState(cfg.Fault)
 
 	ch.dt = cfg.SlotDuration.Seconds()
 	ch.k = computeKernel(cfg, ch.dt, cfg.Route.SpeedMPS)
@@ -348,6 +355,14 @@ func (c *Channel) Step() Sample {
 	}
 	if c.epi != nil {
 		blockLossDB += c.epi.step(dt)
+	}
+	if c.blackout != nil {
+		if loss := c.blackout.Step(); loss > 0 {
+			blockLossDB += loss
+			if obs.Enabled() {
+				obs.Sim.FaultBlackoutSlots.Inc()
+			}
+		}
 	}
 
 	var noiseDataDB, noiseRSRQDB float64

@@ -2,12 +2,16 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"github.com/midband5g/midband/internal/bands"
+	"github.com/midband5g/midband/internal/fault"
 	"github.com/midband5g/midband/internal/fleet"
 	"github.com/midband5g/midband/internal/iperf"
 	"github.com/midband5g/midband/internal/net5g"
@@ -46,8 +50,16 @@ type CampaignConfig struct {
 	Seed int64
 	// Workers bounds the parallel session fan-out (<=0: GOMAXPROCS).
 	Workers int
+	// Faults, when non-nil and armed, injects deterministic failures
+	// into every session (see package fault) and switches the campaign
+	// to graceful degradation: transient failures are retried up to the
+	// schedule's MaxAttempts with simulated backoff, and sessions that
+	// still fail become Failures provenance on the stats instead of a
+	// campaign error. Nil keeps the legacy fail-fast behavior and a
+	// byte-identical fault-free campaign.
+	Faults *fault.Schedule
 	// Metrics, when non-nil, receives fleet counters (sessions done,
-	// simulated slots, trace bytes written).
+	// simulated slots, trace bytes written, retries).
 	Metrics *fleet.Metrics
 	// Progress, when non-nil, is called after each session completes.
 	Progress func(done, total int, key string)
@@ -68,6 +80,27 @@ type SessionReport struct {
 	TracePath string
 	// LatencyClean/Retx are the mean §4.3 latencies.
 	LatencyClean, LatencyRetx time.Duration
+	// Sessions is how many of the operator's sessions contributed to the
+	// averages (equals SessionsPerOperator unless fault injection
+	// failed some).
+	Sessions int
+}
+
+// SessionFailure records one session that still failed after the
+// campaign's bounded retries — the provenance of a hole in the
+// aggregate KPIs.
+type SessionFailure struct {
+	// Key is the fleet job key, "ACRONYM/index".
+	Key      string
+	Operator string
+	// Session is the session index within the operator.
+	Session int
+	// Attempts is how many times the session ran before giving up.
+	Attempts int
+	// Stage classifies the failure: "abort", "panic", "trace-io",
+	// "cancelled" or "error".
+	Stage string
+	Err   string
 }
 
 // CampaignStats aggregates Table 1.
@@ -79,6 +112,11 @@ type CampaignStats struct {
 	DataTB     float64
 	Sessions   []SessionReport
 	TraceFiles int
+	// Failures lists sessions lost to injected (or genuine) faults, in
+	// submission order. Empty without fault injection.
+	Failures []SessionFailure
+	// BackoffSim is the total simulated retry backoff (never slept).
+	BackoffSim time.Duration
 }
 
 // sessionOutcome is what one fleet job (one operator session) produces.
@@ -90,24 +128,50 @@ type sessionOutcome struct {
 	clean, retx time.Duration
 }
 
+// traceWrap adapts a fault session into the xcal.CreateFileVia sink
+// hook; nil sessions (or sessions without trace faults armed) wrap
+// nothing.
+func traceWrap(fs *fault.Session) func(io.Writer) io.Writer {
+	if fs == nil {
+		return nil
+	}
+	return func(w io.Writer) io.Writer { return fs.TraceWriter(w) }
+}
+
 // runSession executes one operator session — build the link, optionally
 // open a trace, run the bulk transfer — and guarantees the trace file is
 // flushed and closed on every path. On error the partial .xcal is
 // removed so a failed campaign leaves no half-written captures behind.
-func runSession(op operators.Operator, sc operators.Scenario, d time.Duration, tracePath string, m *fleet.Metrics) (*Session, *iperf.Result, error) {
-	sess, err := NewSession(op, sc)
+// A non-nil fault session threads injectors into the link, may shorten
+// the transfer to an abort point, and may wrap the trace sink with
+// write-error injection.
+func runSession(op operators.Operator, sc operators.Scenario, d time.Duration, tracePath string, m *fleet.Metrics, fs *fault.Session) (*Session, *iperf.Result, error) {
+	sess, err := NewSessionWithFaults(op, sc, fs)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: %s: %w", op.Acronym, err)
+	}
+	aborted := fs != nil && fs.Abort
+	if aborted {
+		// The schedule kills this session partway through: run the
+		// surviving fraction so any partial trace holds real slots, then
+		// abandon the measurement below.
+		d = time.Duration(float64(d) * fs.AbortFraction)
 	}
 	var w *xcal.Writer
 	var f *os.File
 	if tracePath != "" {
-		w, f, err = xcal.CreateFile(tracePath, sess.Meta())
+		w, f, err = xcal.CreateFileVia(tracePath, sess.Meta(), traceWrap(fs))
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: creating trace: %w", err)
 		}
 	}
 	res, err := sess.RunIperf(d, net5g.Saturate, w)
+	if err == nil && aborted {
+		err = fleet.Permanent(fault.ErrSessionAborted)
+		if obs.Enabled() {
+			obs.Sim.SessionAborts.Inc()
+		}
+	}
 	if f != nil {
 		if err == nil {
 			err = w.Flush()
@@ -124,12 +188,31 @@ func runSession(op operators.Operator, sc operators.Scenario, d time.Duration, t
 		}
 	}
 	if err != nil {
+		if errors.Is(err, fault.ErrInjectedIO) && obs.Enabled() {
+			obs.Sim.InjectedTraceErrors.Inc()
+		}
 		return nil, nil, fmt.Errorf("core: %s: %w", op.Acronym, err)
 	}
 	if m != nil {
 		m.SlotsSimulated.Add(int64(len(res.DLBitsPerSlot)))
 	}
 	return sess, res, nil
+}
+
+// failureStage classifies a session error for provenance reporting.
+func failureStage(err error) string {
+	switch {
+	case errors.Is(err, fault.ErrSessionAborted):
+		return "abort"
+	case errors.Is(err, fault.ErrInjectedIO):
+		return "trace-io"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "cancelled"
+	case strings.Contains(err.Error(), "panic:"):
+		return "panic"
+	default:
+		return "error"
+	}
 }
 
 // RunCampaign measures every configured operator once, stationary with
@@ -143,7 +226,7 @@ func RunCampaign(cfg CampaignConfig) (*CampaignStats, error) {
 // cfg.Workers workers. Aggregation happens afterwards in submission
 // order, so the resulting CampaignStats — including the floating-point
 // accumulation order of Minutes and DataTB — is byte-identical for
-// workers=1 and workers=N.
+// workers=1 and workers=N, with or without fault injection.
 func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignStats, error) {
 	ops := cfg.Operators
 	if len(ops) == 0 {
@@ -159,17 +242,24 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignStats
 		cfg.SessionsPerOperator = 3
 	}
 	spo := cfg.SessionsPerOperator
+	faultsOn := cfg.Faults != nil && cfg.Faults.Config().Active()
 
-	// One job per (operator, session index). The session seed is split
-	// from the base seed by (operator, session index) alone via
-	// fleet.SplitSeed, so no seed ever depends on scheduling.
+	// One job per (operator, session index). The simulation seed is
+	// split from the base seed by (operator, session index) alone via
+	// fleet.SplitSeed — attempt-independent, so a retry replays the same
+	// channel realization; only the fault plan re-draws per attempt.
 	jobs := make([]fleet.Job[sessionOutcome], 0, len(ops)*spo)
 	for _, op := range ops {
 		for k := 0; k < spo; k++ {
 			k, op := k, op
+			key := fmt.Sprintf("%s/%d", op.Acronym, k)
 			jobs = append(jobs, fleet.Job[sessionOutcome]{
-				Key: fmt.Sprintf("%s/%d", op.Acronym, k),
-				Run: func(context.Context) (sessionOutcome, error) {
+				Key: key,
+				RunAttempt: func(_ context.Context, attempt int) (sessionOutcome, error) {
+					fs := cfg.Faults.Session(key, attempt)
+					if fs != nil && fs.Panic {
+						panic(fmt.Sprintf("fault: injected worker panic (%s, attempt %d)", key, attempt))
+					}
 					seed := fleet.SplitSeed(cfg.Seed, op.Acronym, k)
 					path := ""
 					if k == 0 && cfg.TraceDir != "" {
@@ -180,7 +270,7 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignStats
 					if obs.Enabled() {
 						t0 = time.Now() //detlint:allow walltime per-session wall-cost metric behind the obs gate
 					}
-					sess, res, err := runSession(op, operators.Stationary(seed), cfg.SessionDuration, path, cfg.Metrics)
+					sess, res, err := runSession(op, operators.Stationary(seed), cfg.SessionDuration, path, cfg.Metrics, fs)
 					if err != nil {
 						return sessionOutcome{}, err
 					}
@@ -209,61 +299,114 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignStats
 			})
 		}
 	}
-	results, err := fleet.Run(ctx, jobs, fleet.Options{
+	opts := fleet.Options{
 		Workers:  cfg.Workers,
 		Metrics:  cfg.Metrics,
 		Progress: cfg.Progress,
-	})
+	}
+	var clock fleet.SimClock
+	if faultsOn {
+		// Graceful degradation: run every job, retry transients with
+		// simulated backoff, and convert surviving failures into
+		// provenance below instead of failing the campaign.
+		opts.OnError = fleet.CollectAll
+		opts.MaxAttempts = cfg.Faults.MaxAttempts()
+		opts.Clock = &clock
+	}
+	results, err := fleet.Run(ctx, jobs, opts)
 	if err != nil {
-		return nil, err
+		if !faultsOn {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			// External cancellation is not an injected fault; surface it.
+			return nil, fmt.Errorf("core: campaign cancelled: %w", ctx.Err())
+		}
 	}
 
 	// Deterministic aggregation: walk operators in registry order and
 	// sessions in index order, mirroring the serial loop's arithmetic.
+	// Failed sessions contribute provenance instead of KPIs; with zero
+	// failures the float accumulation order is exactly the historical
+	// one, so fault-capable and legacy campaigns are byte-identical.
 	stats := &CampaignStats{
 		Countries: map[string]bool{},
 		Cities:    map[string]bool{},
 	}
 	for i, op := range ops {
 		base := i * spo
-		o0 := results[base].Value
-		if o0.tracePath != "" {
-			stats.TraceFiles++
+		var dl, ul, nrUL, lteUL float64
+		var primary *sessionOutcome
+		nOK := 0
+		for k := 0; k < spo; k++ {
+			r := &results[base+k]
+			if r.Err != nil {
+				// Provenance keeps the error's first line only: a recovered
+				// panic carries its stack, whose goroutine IDs and addresses
+				// would break workers=1 vs workers=N byte-identity.
+				msg := r.Err.Error()
+				if nl := strings.IndexByte(msg, '\n'); nl >= 0 {
+					msg = msg[:nl]
+				}
+				stats.Failures = append(stats.Failures, SessionFailure{
+					Key:      r.Key,
+					Operator: op.Acronym,
+					Session:  k,
+					Attempts: r.Attempts,
+					Stage:    failureStage(r.Err),
+					Err:      msg,
+				})
+				if obs.Enabled() {
+					obs.Sim.SessionsFailed.Inc()
+				}
+				continue
+			}
+			o := r.Value
+			if k == 0 {
+				primary = &r.Value
+			}
+			dl += o.res.DLMbps
+			ul += o.res.ULMbps
+			nrUL += o.res.NRULMbps
+			lteUL += o.res.LTEULMbps
+			nOK++
+			if k > 0 {
+				// Extra sessions at fresh channel realizations (§2:
+				// experiments repeat across time periods; single windows
+				// are congestion-episode lottery).
+				stats.Minutes += cfg.SessionDuration.Minutes()
+				stats.DataTB += (o.res.DLMbps + o.res.ULMbps) * 1e6 / 8 * cfg.SessionDuration.Seconds() / 1e12
+			}
 		}
-		// Average the throughput KPIs over the extra sessions at fresh
-		// channel realizations (§2: experiments repeat across time
-		// periods; single windows are congestion-episode lottery).
-		dl, ul, nrUL, lteUL := o0.res.DLMbps, o0.res.ULMbps, o0.res.NRULMbps, o0.res.LTEULMbps
-		for k := 1; k < spo; k++ {
-			r2 := results[base+k].Value.res
-			dl += r2.DLMbps
-			ul += r2.ULMbps
-			nrUL += r2.NRULMbps
-			lteUL += r2.LTEULMbps
-			stats.Minutes += cfg.SessionDuration.Minutes()
-			stats.DataTB += (r2.DLMbps + r2.ULMbps) * 1e6 / 8 * cfg.SessionDuration.Seconds() / 1e12
-		}
-		n := float64(spo)
 		rep := SessionReport{
-			Operator:     op.Acronym,
-			Country:      op.Country,
-			City:         op.City,
-			DLMbps:       dl / n,
-			ULMbps:       ul / n,
-			NRULMbps:     nrUL / n,
-			LTEULMbps:    lteUL / n,
-			DataBytes:    (dl/n + ul/n) * 1e6 / 8 * cfg.SessionDuration.Seconds(),
-			TracePath:    o0.tracePath,
-			LatencyClean: o0.clean,
-			LatencyRetx:  o0.retx,
+			Operator: op.Acronym,
+			Country:  op.Country,
+			City:     op.City,
+			Sessions: nOK,
+		}
+		if primary != nil {
+			if primary.tracePath != "" {
+				stats.TraceFiles++
+			}
+			rep.TracePath = primary.tracePath
+			rep.LatencyClean, rep.LatencyRetx = primary.clean, primary.retx
+		}
+		if nOK > 0 {
+			n := float64(nOK)
+			rep.DLMbps = dl / n
+			rep.ULMbps = ul / n
+			rep.NRULMbps = nrUL / n
+			rep.LTEULMbps = lteUL / n
+			rep.DataBytes = (dl/n + ul/n) * 1e6 / 8 * cfg.SessionDuration.Seconds()
+			stats.Minutes += cfg.SessionDuration.Minutes()
+			stats.DataTB += rep.DataBytes / 1e12
 		}
 		stats.Sessions = append(stats.Sessions, rep)
 		stats.Countries[op.Country] = true
 		stats.Cities[op.City] = true
-		stats.Minutes += cfg.SessionDuration.Minutes()
-		stats.DataTB += rep.DataBytes / 1e12
 	}
 	stats.Operators = len(ops)
+	stats.BackoffSim = clock.Now()
 	return stats, nil
 }
 

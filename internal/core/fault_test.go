@@ -1,0 +1,258 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/midband5g/midband/internal/fault"
+)
+
+func mustFaults(t *testing.T, cfg fault.Config) *fault.Schedule {
+	t.Helper()
+	s, err := fault.NewSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// With every session aborting, the campaign must still complete — nil
+// error, full provenance — and aborted primaries must leave no partial
+// trace behind.
+func TestRunCampaignGracefulOnAbort(t *testing.T) {
+	dir := t.TempDir()
+	stats, err := RunCampaign(CampaignConfig{
+		Operators:           campaignOps(t, "V_Sp", "Tmb_US"),
+		SessionDuration:     300 * time.Millisecond,
+		SessionsPerOperator: 2,
+		LatencyProbes:       50,
+		TraceDir:            dir,
+		Seed:                42,
+		Faults:              mustFaults(t, fault.Config{SessionAbortProb: 1, Seed: 5}),
+	})
+	if err != nil {
+		t.Fatalf("campaign must degrade gracefully, got error: %v", err)
+	}
+	if len(stats.Failures) != 4 {
+		t.Fatalf("%d failures recorded, want all 4 sessions", len(stats.Failures))
+	}
+	for _, f := range stats.Failures {
+		if f.Stage != "abort" {
+			t.Errorf("%s: stage %q, want \"abort\"", f.Key, f.Stage)
+		}
+		if f.Attempts != 1 {
+			t.Errorf("%s: %d attempts — aborts are permanent and must not retry", f.Key, f.Attempts)
+		}
+	}
+	for _, rep := range stats.Sessions {
+		if rep.Sessions != 0 || rep.DLMbps != 0 || rep.TracePath != "" {
+			t.Errorf("%s: report carries data from aborted sessions: %+v", rep.Operator, rep)
+		}
+	}
+	if stats.TraceFiles != 0 {
+		t.Errorf("TraceFiles = %d, want 0", stats.TraceFiles)
+	}
+	entries, rerr := os.ReadDir(dir)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	for _, e := range entries {
+		t.Errorf("partial trace left behind by aborted session: %s", e.Name())
+	}
+}
+
+// Injected trace write errors fail only the trace-writing primary
+// sessions; secondaries survive, the report averages over them, and the
+// broken captures are cleaned up. Trace I/O is transient, so the
+// failures must show the full retry budget.
+func TestRunCampaignTraceErrorCleanup(t *testing.T) {
+	dir := t.TempDir()
+	stats, err := RunCampaign(CampaignConfig{
+		Operators:           campaignOps(t, "V_Sp", "V_It"),
+		SessionDuration:     300 * time.Millisecond,
+		SessionsPerOperator: 2,
+		LatencyProbes:       50,
+		TraceDir:            dir,
+		Seed:                42,
+		Faults:              mustFaults(t, fault.Config{TraceErrorPerWrite: 1, MaxAttempts: 3, Seed: 5}),
+	})
+	if err != nil {
+		t.Fatalf("campaign must degrade gracefully, got error: %v", err)
+	}
+	if len(stats.Failures) != 2 {
+		t.Fatalf("%d failures, want the 2 trace-writing primaries", len(stats.Failures))
+	}
+	for _, f := range stats.Failures {
+		if f.Session != 0 {
+			t.Errorf("%s: session %d failed, but only primaries write traces", f.Key, f.Session)
+		}
+		if f.Stage != "trace-io" {
+			t.Errorf("%s: stage %q, want \"trace-io\"", f.Key, f.Stage)
+		}
+		if f.Attempts != 3 {
+			t.Errorf("%s: %d attempts, want the full retry budget of 3", f.Key, f.Attempts)
+		}
+	}
+	for _, rep := range stats.Sessions {
+		if rep.Sessions != 1 {
+			t.Errorf("%s: %d surviving sessions, want the 1 traceless secondary", rep.Operator, rep.Sessions)
+		}
+		if rep.DLMbps <= 0 {
+			t.Errorf("%s: no throughput from the surviving secondary", rep.Operator)
+		}
+	}
+	entries, rerr := os.ReadDir(dir)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	for _, e := range entries {
+		t.Errorf("partial trace left behind under injected write errors: %s", e.Name())
+	}
+	if stats.BackoffSim == 0 {
+		t.Error("retries happened but no simulated backoff accumulated")
+	}
+}
+
+// Injected worker panics are recovered per attempt, retried to the
+// budget, and reported with the job key in the provenance — never torn
+// through the campaign.
+func TestRunCampaignPanicProvenance(t *testing.T) {
+	stats, err := RunCampaign(CampaignConfig{
+		Operators:           campaignOps(t, "V_Sp"),
+		SessionDuration:     200 * time.Millisecond,
+		SessionsPerOperator: 1,
+		LatencyProbes:       50,
+		Seed:                42,
+		Faults:              mustFaults(t, fault.Config{WorkerPanicProb: 1, MaxAttempts: 2, Seed: 5}),
+	})
+	if err != nil {
+		t.Fatalf("campaign must recover injected panics, got error: %v", err)
+	}
+	if len(stats.Failures) != 1 {
+		t.Fatalf("%d failures, want 1", len(stats.Failures))
+	}
+	f := stats.Failures[0]
+	if f.Stage != "panic" || f.Attempts != 2 {
+		t.Fatalf("failure (stage=%q attempts=%d), want panic after 2 attempts", f.Stage, f.Attempts)
+	}
+	if f.Key != "V_Sp/0" || !strings.Contains(f.Err, "V_Sp") {
+		t.Fatalf("panic provenance lost the job key: key=%q err=%q", f.Key, f.Err)
+	}
+}
+
+// The acceptance bar for fault injection: a faulty campaign — aborts,
+// panics, retries, blackouts and all — aggregates byte-identically for
+// any worker count, because fault plans derive from (key, attempt) and
+// retries run inline on the owning worker.
+func TestRunCampaignFaultyParallelDeterminism(t *testing.T) {
+	faultCfg := fault.Config{
+		RLFProbPerSlot:      2e-4,
+		BlackoutProbPerSlot: 2e-4,
+		SessionAbortProb:    0.3,
+		WorkerPanicProb:     0.3,
+		MaxAttempts:         3,
+		Seed:                17,
+	}
+	run := func(workers int) *CampaignStats {
+		stats, err := RunCampaign(CampaignConfig{
+			Operators:           campaignOps(t, "V_Sp", "Tmb_US", "V_It"),
+			SessionDuration:     300 * time.Millisecond,
+			SessionsPerOperator: 2,
+			LatencyProbes:       100,
+			Seed:                42,
+			Workers:             workers,
+			Faults:              mustFaults(t, faultCfg),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	serial := run(1)
+	parallel := run(8)
+	if len(serial.Failures) == 0 {
+		t.Fatal("fault mix injected no failures — the determinism check is vacuous")
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("faulty campaign diverges between workers=1 and workers=8:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// External cancellation is not an injected fault: even in graceful
+// degradation mode the campaign must stop and report it as an error.
+func TestRunCampaignCancelledMidFlight(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := RunCampaignContext(ctx, CampaignConfig{
+		Operators:           campaignOps(t, "V_Sp", "Tmb_US", "V_It"),
+		SessionDuration:     200 * time.Millisecond,
+		SessionsPerOperator: 2,
+		LatencyProbes:       50,
+		Seed:                42,
+		Workers:             1,
+		Faults:              mustFaults(t, fault.Config{SessionAbortProb: 0.1, Seed: 5}),
+		Progress: func(done, total int, key string) {
+			if done == 1 {
+				cancel() // first session finished: kill the rest mid-campaign
+			}
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "cancelled") {
+		t.Fatalf("cancelled campaign returned %v, want a cancellation error", err)
+	}
+
+	// Without faults the legacy fail-fast path surfaces it too.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	_, err = RunCampaignContext(ctx2, CampaignConfig{
+		Operators:           campaignOps(t, "V_Sp"),
+		SessionDuration:     200 * time.Millisecond,
+		SessionsPerOperator: 1,
+		LatencyProbes:       50,
+		Seed:                42,
+	})
+	if err == nil {
+		t.Fatal("pre-cancelled fault-free campaign returned nil error")
+	}
+}
+
+// A partial trace directory must never confuse the trace-bytes cleanup:
+// sessions that survive injected RLF/blackout faults still produce
+// valid, parseable traces.
+func TestRunCampaignFaultyTracesRemainValid(t *testing.T) {
+	dir := t.TempDir()
+	stats, err := RunCampaign(CampaignConfig{
+		Operators:           campaignOps(t, "V_Sp"),
+		SessionDuration:     300 * time.Millisecond,
+		SessionsPerOperator: 1,
+		LatencyProbes:       50,
+		TraceDir:            dir,
+		Seed:                42,
+		Faults: mustFaults(t, fault.Config{
+			RLFProbPerSlot:      1e-3,
+			BlackoutProbPerSlot: 1e-3,
+			Seed:                5,
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Failures) != 0 {
+		t.Fatalf("radio faults alone should not fail sessions: %+v", stats.Failures)
+	}
+	if stats.TraceFiles != 1 {
+		t.Fatalf("TraceFiles = %d, want 1", stats.TraceFiles)
+	}
+	path := stats.Sessions[0].TracePath
+	if filepath.Dir(path) != dir {
+		t.Fatalf("trace %q not under %q", path, dir)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace missing or empty: %v", err)
+	}
+}

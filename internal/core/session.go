@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/midband5g/midband/internal/fault"
 	"github.com/midband5g/midband/internal/fleet"
 	"github.com/midband5g/midband/internal/iperf"
 	"github.com/midband5g/midband/internal/net5g"
@@ -30,9 +31,24 @@ type Session struct {
 
 // NewSession builds the link for an operator and scenario.
 func NewSession(op operators.Operator, sc operators.Scenario) (*Session, error) {
+	return NewSessionWithFaults(op, sc, nil)
+}
+
+// NewSessionWithFaults is NewSession with a fault plan threaded into
+// every component carrier: radio-link failures into the gnb scheduler
+// and SINR blackout windows into each carrier's channel. A nil plan
+// builds exactly the session NewSession builds — no component draws a
+// single extra random number, so the fault path is strictly opt-in.
+func NewSessionWithFaults(op operators.Operator, sc operators.Scenario, fs *fault.Session) (*Session, error) {
 	cfg, err := op.LinkConfig(sc)
 	if err != nil {
 		return nil, err
+	}
+	if fs != nil {
+		for i := range cfg.Carriers {
+			cfg.Carriers[i].Fault = fs.RLF(i)
+			cfg.Carriers[i].Channel.Fault = fs.Blackout(i)
+		}
 	}
 	link, err := net5g.NewLink(cfg)
 	if err != nil {

@@ -24,6 +24,7 @@ var simCore = map[string]bool{
 	"video":     true,
 	"iperf":     true,
 	"transport": true,
+	"fault":     true,
 }
 
 // internalSegments splits a package path at its "internal" element and

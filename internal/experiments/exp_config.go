@@ -23,6 +23,7 @@ func Table1(o Options) (*core.CampaignStats, error) {
 		SessionDuration: o.sessionSeconds(48),
 		LatencyProbes:   1000,
 		Seed:            o.seed(),
+		Faults:          o.Faults,
 	})
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/midband5g/midband/internal/core"
+	"github.com/midband5g/midband/internal/fault"
 	"github.com/midband5g/midband/internal/fleet"
 	"github.com/midband5g/midband/internal/iperf"
 	"github.com/midband5g/midband/internal/lte"
@@ -31,6 +32,11 @@ type Options struct {
 	// its randomness from Seed and its arm index, so any worker count
 	// produces identical rows.
 	Workers int
+	// Faults, when non-nil, threads a deterministic fault-injection
+	// schedule into the campaign-based experiments (Table1). Nil — the
+	// default — keeps every figure byte-identical to the fault-free
+	// artifacts.
+	Faults *fault.Schedule
 }
 
 // runArms fans the arms of a sweep through the fleet worker pool and

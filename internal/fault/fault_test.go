@@ -1,0 +1,209 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func mustSchedule(t *testing.T, cfg Config) *Schedule {
+	t.Helper()
+	s, err := NewSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// The determinism contract: a session plan is a pure function of
+// (schedule seed, key, attempt) — re-deriving it gives identical
+// decisions and identical injector seeds.
+func TestSessionDerivationIsDeterministic(t *testing.T) {
+	s := mustSchedule(t, Config{
+		RLFProbPerSlot:      1e-3,
+		BlackoutProbPerSlot: 1e-3,
+		TraceErrorPerWrite:  1e-2,
+		SessionAbortProb:    0.5,
+		WorkerPanicProb:     0.5,
+		Seed:                7,
+	})
+	for _, key := range []string{"V_Sp/0", "V_Sp/1", "Tmb_US/0"} {
+		for attempt := 0; attempt < 3; attempt++ {
+			a, b := s.Session(key, attempt), s.Session(key, attempt)
+			if a.Abort != b.Abort || a.AbortFraction != b.AbortFraction || a.Panic != b.Panic {
+				t.Fatalf("%s attempt %d: plans diverge: %+v vs %+v", key, attempt, a, b)
+			}
+			if *a.RLF(0) != *b.RLF(0) || *a.Blackout(1) != *b.Blackout(1) {
+				t.Fatalf("%s attempt %d: injector configs diverge", key, attempt)
+			}
+			if a.RLF(0).Seed == a.RLF(1).Seed {
+				t.Fatalf("%s: carriers 0 and 1 share an RLF seed", key)
+			}
+		}
+	}
+}
+
+// Abort is permanent: every attempt of a session must reach the same
+// abort decision (and fraction), or a retry could dodge a fault that
+// models the UE losing coverage for good.
+func TestAbortDecisionIsAttemptInvariant(t *testing.T) {
+	s := mustSchedule(t, Config{SessionAbortProb: 0.5, WorkerPanicProb: 0.3, Seed: 11})
+	aborts := 0
+	for i := 0; i < 200; i++ {
+		key := string(rune('a'+i%26)) + "/" + string(rune('0'+i%10))
+		ref := s.Session(key, 0)
+		if ref.Abort {
+			aborts++
+		}
+		for attempt := 1; attempt < 4; attempt++ {
+			fs := s.Session(key, attempt)
+			if fs.Abort != ref.Abort || fs.AbortFraction != ref.AbortFraction {
+				t.Fatalf("key %s attempt %d: abort (%v, %g) != attempt 0's (%v, %g)",
+					key, attempt, fs.Abort, fs.AbortFraction, ref.Abort, ref.AbortFraction)
+			}
+		}
+	}
+	if aborts == 0 || aborts == 200 {
+		t.Fatalf("abort rate degenerate: %d/200 at p=0.5", aborts)
+	}
+}
+
+// Transient decisions (panic) must re-draw per attempt, or retrying a
+// panicking session could never succeed.
+func TestPanicRedrawsPerAttempt(t *testing.T) {
+	s := mustSchedule(t, Config{WorkerPanicProb: 0.5, Seed: 3})
+	varied := false
+	for i := 0; i < 100 && !varied; i++ {
+		key := string(rune('a'+i%26)) + "x" + string(rune('0'+i%10))
+		p0 := s.Session(key, 0).Panic
+		for attempt := 1; attempt < 4; attempt++ {
+			if s.Session(key, attempt).Panic != p0 {
+				varied = true
+			}
+		}
+	}
+	if !varied {
+		t.Fatal("panic decision never varied across attempts at p=0.5")
+	}
+}
+
+// A blackout window must hold its configured depth for exactly its
+// configured duration (runs may chain back-to-back when the post-window
+// draw fires again, so run lengths are multiples of the duration), and
+// consume no RNG draws while open — so window length can never perturb
+// the timing of later windows.
+func TestBlackoutWindowShape(t *testing.T) {
+	cfg := &Blackout{ProbPerSlot: 5e-3, DurationSlots: 37, DepthDB: 40, Seed: 13}
+	st := NewBlackoutState(cfg)
+	inWindow := 0
+	runs := 0
+	for i := 0; i < 200000; i++ {
+		loss := st.Step()
+		if loss == 0 {
+			if inWindow%cfg.DurationSlots != 0 {
+				t.Fatalf("slot %d: blackout run of %d slots is not a multiple of %d", i, inWindow, cfg.DurationSlots)
+			}
+			inWindow = 0
+			continue
+		}
+		if loss != cfg.DepthDB {
+			t.Fatalf("slot %d: loss %g dB, want %g", i, loss, cfg.DepthDB)
+		}
+		if inWindow == 0 {
+			runs++
+		}
+		inWindow++
+	}
+	if runs == 0 {
+		t.Fatal("no blackout window opened in 200k slots at p=5e-3")
+	}
+	// Replay must be identical.
+	st2 := NewBlackoutState(cfg)
+	st3 := NewBlackoutState(cfg)
+	for i := 0; i < 10000; i++ {
+		if st2.Step() != st3.Step() {
+			t.Fatalf("slot %d: blackout replay diverged", i)
+		}
+	}
+}
+
+// The injecting writer fails at its configured rate and stays failed:
+// a broken sink does not heal, and nothing further reaches the
+// underlying writer.
+func TestWriterStickyError(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(&sink, 1, 5)
+	if _, err := w.Write([]byte("abc")); !errors.Is(err, ErrInjectedIO) {
+		t.Fatalf("first write: %v, want ErrInjectedIO", err)
+	}
+	if _, err := w.Write([]byte("def")); !errors.Is(err, ErrInjectedIO) {
+		t.Fatalf("write after failure: %v, want sticky ErrInjectedIO", err)
+	}
+	if sink.Len() != 0 {
+		t.Fatalf("%d bytes reached the sink after injection", sink.Len())
+	}
+
+	// prob 0 through the Session hook: the sink is returned unwrapped.
+	s := mustSchedule(t, Config{SessionAbortProb: 0.1})
+	fs := s.Session("k/0", 0)
+	if got := fs.TraceWriter(&sink); got != &sink {
+		t.Fatal("TraceWriter wrapped the sink with trace faults unarmed")
+	}
+	var nilSession *Session
+	if got := nilSession.TraceWriter(&sink); got != &sink {
+		t.Fatal("nil session must pass the sink through")
+	}
+}
+
+// Nil schedules and nil sessions are inert: every accessor returns the
+// "inject nothing" value, so the fault path costs exactly one nil check.
+func TestNilScheduleIsInert(t *testing.T) {
+	var s *Schedule
+	if s.MaxAttempts() != 1 {
+		t.Fatalf("nil schedule MaxAttempts = %d, want 1", s.MaxAttempts())
+	}
+	if fs := s.Session("k", 0); fs != nil {
+		t.Fatalf("nil schedule produced session %+v", fs)
+	}
+	var fs *Session
+	if fs.RLF(0) != nil || fs.Blackout(0) != nil {
+		t.Fatal("nil session produced injector configs")
+	}
+	if NewRLFState(nil) != nil || NewBlackoutState(nil) != nil {
+		t.Fatal("nil injector configs produced live states")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec("rlf=2e-4, reestablish=120, abort=0.25, trace=1e-3, attempts=5, seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.Config()
+	if cfg.RLFProbPerSlot != 2e-4 || cfg.RLFReestablishSlots != 120 ||
+		cfg.SessionAbortProb != 0.25 || cfg.TraceErrorPerWrite != 1e-3 ||
+		cfg.MaxAttempts != 5 || cfg.Seed != 7 {
+		t.Fatalf("spec parsed to %+v", cfg)
+	}
+	if cfg.BlackoutDurationSlots != 400 || cfg.BlackoutDepthDB != 40 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+
+	if s, err := ParseSpec("  "); err != nil || s != nil {
+		t.Fatalf("blank spec: (%v, %v), want (nil, nil)", s, err)
+	}
+	for _, bad := range []string{
+		"rlf",                     // not key=value
+		"bogus=1",                 // unknown key
+		"rlf=abc",                 // bad float
+		"attempts=x",              // bad int
+		"seed=9",                  // arms nothing
+		"rlf=1.5",                 // probability out of range
+		"abort=-0.1",              // probability out of range
+		"rlf=1e-4,reestablish=-1", // bad duration
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses a -faults CLI spec into a schedule. The spec is a
+// comma-separated key=value list; an empty spec returns a nil schedule
+// (no injection). Keys:
+//
+//	rlf=P          per-slot radio-link-failure probability
+//	reestablish=N  RLF re-establishment delay in slots
+//	blackout=P     per-slot SINR-blackout probability
+//	blackoutdur=N  blackout window length in slots
+//	blackoutdb=D   blackout SINR suppression in dB
+//	trace=P        per-write trace-sink error probability
+//	abort=P        per-session mid-transfer abort probability
+//	panic=P        per-attempt worker panic probability
+//	attempts=N     per-session attempt bound (retry budget)
+//	seed=N         fault-schedule base seed
+//
+// Example: "rlf=2e-4,abort=0.25,trace=1e-3,seed=7".
+func ParseSpec(spec string) (*Schedule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var cfg Config
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: spec entry %q is not key=value", kv)
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		switch k {
+		case "reestablish", "blackoutdur", "attempts", "seed":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: spec %s=%q: %v", k, v, err)
+			}
+			switch k {
+			case "reestablish":
+				cfg.RLFReestablishSlots = int(n)
+			case "blackoutdur":
+				cfg.BlackoutDurationSlots = int(n)
+			case "attempts":
+				cfg.MaxAttempts = int(n)
+			case "seed":
+				cfg.Seed = n
+			}
+		case "rlf", "blackout", "blackoutdb", "trace", "abort", "panic":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: spec %s=%q: %v", k, v, err)
+			}
+			switch k {
+			case "rlf":
+				cfg.RLFProbPerSlot = f
+			case "blackout":
+				cfg.BlackoutProbPerSlot = f
+			case "blackoutdb":
+				cfg.BlackoutDepthDB = f
+			case "trace":
+				cfg.TraceErrorPerWrite = f
+			case "abort":
+				cfg.SessionAbortProb = f
+			case "panic":
+				cfg.WorkerPanicProb = f
+			}
+		default:
+			return nil, fmt.Errorf("fault: unknown spec key %q", k)
+		}
+	}
+	if !cfg.Active() {
+		return nil, fmt.Errorf("fault: spec %q arms no fault class", spec)
+	}
+	return NewSchedule(cfg)
+}

@@ -35,6 +35,11 @@ type Job[T any] struct {
 	// Run executes the job. The context is cancelled when the pool
 	// fail-fasts or the caller cancels; long jobs may poll it.
 	Run func(ctx context.Context) (T, error)
+	// RunAttempt, when non-nil, is used instead of Run and receives the
+	// 0-based attempt index, so a retried job can vary deterministically
+	// (fault-injection schedules re-draw transient faults per attempt).
+	// Jobs that don't set it are retried by re-running Run verbatim.
+	RunAttempt func(ctx context.Context, attempt int) (T, error)
 }
 
 // ErrorMode selects how Run reacts to a failing job.
@@ -63,6 +68,19 @@ type Options struct {
 	// Progress, when non-nil, is called after each job completes with
 	// the running completion count. Calls are serialized.
 	Progress func(done, total int, key string)
+	// MaxAttempts bounds per-job attempts: a job whose error is
+	// transient (not [Permanent], not a context error) is retried up to
+	// MaxAttempts-1 times, inline on the same worker so retry order
+	// cannot depend on pool scheduling. 0 or 1 disables retry.
+	MaxAttempts int
+	// RetryBackoff is the base of the exponential backoff between
+	// attempts (base, 2·base, 4·base, …), advanced on the simulated
+	// Clock — never slept — so retries are free at the wall and the
+	// accumulated backoff is deterministic. Defaults to 100ms when
+	// MaxAttempts enables retry.
+	RetryBackoff time.Duration
+	// Clock, when non-nil, accumulates the simulated retry backoff.
+	Clock *SimClock
 }
 
 // Result pairs a job with its outcome. Run returns results in submission
@@ -71,6 +89,9 @@ type Result[T any] struct {
 	Key   string
 	Value T
 	Err   error
+	// Attempts is how many times the job ran (1 without retry; 0 when
+	// the job was skipped by fail-fast cancellation).
+	Attempts int
 }
 
 // Run executes the jobs on a worker pool and returns their results in
@@ -130,7 +151,32 @@ func Run[T any](ctx context.Context, jobs []Job[T], opts Options) ([]Result[T], 
 				if obs.Enabled() {
 					t0 = time.Now() //detlint:allow walltime job wall-cost metric behind the obs gate
 				}
-				v, err := runOne(ctx, j)
+				v, err := runOne(ctx, j, 0)
+				results[i].Attempts = 1
+				// Bounded retry with simulated backoff: transient
+				// failures re-attempt inline (same worker, ascending
+				// attempt index), so the result sequence is identical
+				// for any pool size.
+				for attempt := 1; attempt < opts.MaxAttempts && err != nil &&
+					!IsPermanent(err) && ctx.Err() == nil; attempt++ {
+					results[i].Attempts++
+					backoff := opts.RetryBackoff
+					if backoff <= 0 {
+						backoff = 100 * time.Millisecond
+					}
+					backoff <<= attempt - 1
+					if opts.Clock != nil {
+						opts.Clock.Advance(backoff)
+					}
+					if opts.Metrics != nil {
+						opts.Metrics.Retries.Add(1)
+						opts.Metrics.BackoffSimNs.Add(int64(backoff))
+					}
+					if obs.Enabled() {
+						obs.Sim.FleetRetries.Inc()
+					}
+					v, err = runOne(ctx, j, attempt)
+				}
 				results[i].Value, results[i].Err = v, err
 				if obs.Enabled() {
 					// Wall time only — recording never touches job state.
@@ -180,13 +226,18 @@ func Run[T any](ctx context.Context, jobs []Job[T], opts Options) ([]Result[T], 
 	return results, errors.Join(errs...)
 }
 
-// runOne executes a job with panic recovery: a panicking simulation arm
-// becomes that job's error, carrying the stack for the report.
-func runOne[T any](ctx context.Context, j Job[T]) (v T, err error) {
+// runOne executes one attempt of a job with panic recovery: a panicking
+// simulation arm becomes that job's error, carrying the stack for the
+// report. Panics are transient for retry purposes — an injected worker
+// panic is exactly the failure mode retry exists for.
+func runOne[T any](ctx context.Context, j Job[T], attempt int) (v T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
 		}
 	}()
+	if j.RunAttempt != nil {
+		return j.RunAttempt(ctx, attempt)
+	}
 	return j.Run(ctx)
 }

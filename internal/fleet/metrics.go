@@ -18,4 +18,10 @@ type Metrics struct {
 	SlotsSimulated atomic.Int64
 	// TraceBytes counts bytes of xcal traces written to disk.
 	TraceBytes atomic.Int64
+	// Retries counts job attempts beyond the first (see
+	// Options.MaxAttempts).
+	Retries atomic.Int64
+	// BackoffSimNs is the total simulated retry backoff in nanoseconds
+	// (advanced on the SimClock, never slept).
+	BackoffSimNs atomic.Int64
 }

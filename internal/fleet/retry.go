@@ -1,0 +1,47 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// SimClock is a simulated clock: retry backoff advances it instead of
+// sleeping, so retries cost zero wall time and — unlike a wall clock —
+// the accumulated backoff is deterministic and assertable in tests. The
+// zero value is ready to use and safe for concurrent workers.
+type SimClock struct {
+	ns atomic.Int64
+}
+
+// Now returns the accumulated simulated time.
+func (c *SimClock) Now() time.Duration { return time.Duration(c.ns.Load()) }
+
+// Advance moves the clock forward by d.
+func (c *SimClock) Advance(d time.Duration) { c.ns.Add(int64(d)) }
+
+// permanentError marks an error as non-retryable.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so the pool's retry loop will not re-attempt the
+// job: the failure is structural (an aborted session, invalid config),
+// not transient. A nil err returns nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked
+// with [Permanent]. Context cancellation is treated as permanent too:
+// retrying a cancelled job can only observe the same cancellation.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

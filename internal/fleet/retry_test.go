@@ -1,0 +1,194 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyJob fails its first failures attempts with a transient error,
+// then succeeds. Attempt counting comes from RunAttempt's index, not
+// shared state, so the job is safe under any worker count.
+func flakyJob(key string, failures int) Job[string] {
+	return Job[string]{
+		Key: key,
+		RunAttempt: func(_ context.Context, attempt int) (string, error) {
+			if attempt < failures {
+				return "", fmt.Errorf("transient failure on attempt %d", attempt)
+			}
+			return fmt.Sprintf("%s/ok@%d", key, attempt), nil
+		},
+	}
+}
+
+func TestRunRetriesTransientErrors(t *testing.T) {
+	var clock SimClock
+	var m Metrics
+	res, err := Run(context.Background(), []Job[string]{flakyJob("flaky", 2)}, Options{
+		Workers:     1,
+		MaxAttempts: 3,
+		Clock:       &clock,
+		Metrics:     &m,
+	})
+	if err != nil {
+		t.Fatalf("job should recover within 3 attempts: %v", err)
+	}
+	if res[0].Attempts != 3 {
+		t.Fatalf("Attempts = %d, want 3", res[0].Attempts)
+	}
+	if res[0].Value != "flaky/ok@2" {
+		t.Fatalf("Value = %q, want success on attempt 2", res[0].Value)
+	}
+	if got := m.Retries.Load(); got != 2 {
+		t.Fatalf("Metrics.Retries = %d, want 2", got)
+	}
+	// Exponential backoff on the simulated clock: 100ms + 200ms.
+	if want := 300 * time.Millisecond; clock.Now() != want {
+		t.Fatalf("simulated backoff = %v, want %v", clock.Now(), want)
+	}
+	if got := m.BackoffSimNs.Load(); got != int64(300*time.Millisecond) {
+		t.Fatalf("Metrics.BackoffSimNs = %d, want %d", got, int64(300*time.Millisecond))
+	}
+}
+
+func TestRunRetryExhaustion(t *testing.T) {
+	transient := errors.New("still broken")
+	var clock SimClock
+	res, err := Run(context.Background(), []Job[string]{{
+		Key:        "doomed",
+		RunAttempt: func(context.Context, int) (string, error) { return "", transient },
+	}}, Options{Workers: 1, MaxAttempts: 3, Clock: &clock, OnError: CollectAll})
+	if !errors.Is(err, transient) {
+		t.Fatalf("err = %v, want the job's transient error", err)
+	}
+	if res[0].Attempts != 3 {
+		t.Fatalf("Attempts = %d, want MaxAttempts=3", res[0].Attempts)
+	}
+	if want := 300 * time.Millisecond; clock.Now() != want {
+		t.Fatalf("simulated backoff = %v, want %v (100+200ms despite final failure)", clock.Now(), want)
+	}
+}
+
+func TestRunPermanentErrorsAreNotRetried(t *testing.T) {
+	base := errors.New("session aborted")
+	var calls atomic.Int64
+	res, err := Run(context.Background(), []Job[string]{{
+		Key: "aborted",
+		RunAttempt: func(context.Context, int) (string, error) {
+			calls.Add(1)
+			return "", Permanent(base)
+		},
+	}}, Options{Workers: 1, MaxAttempts: 5, OnError: CollectAll})
+	if !errors.Is(err, base) {
+		t.Fatalf("err = %v, want wrapped base error", err)
+	}
+	if res[0].Attempts != 1 || calls.Load() != 1 {
+		t.Fatalf("permanent error retried: Attempts=%d calls=%d, want 1/1", res[0].Attempts, calls.Load())
+	}
+}
+
+func TestRunRetriesPanics(t *testing.T) {
+	// An injected worker panic is transient: the retry loop must
+	// re-attempt it, and a later attempt can succeed.
+	res, err := Run(context.Background(), []Job[int]{{
+		Key: "panicky",
+		RunAttempt: func(_ context.Context, attempt int) (int, error) {
+			if attempt == 0 {
+				panic("injected worker panic")
+			}
+			return attempt, nil
+		},
+	}}, Options{Workers: 1, MaxAttempts: 2})
+	if err != nil {
+		t.Fatalf("panic should be retried into success: %v", err)
+	}
+	if res[0].Attempts != 2 || res[0].Value != 1 {
+		t.Fatalf("Attempts=%d Value=%d, want 2/1", res[0].Attempts, res[0].Value)
+	}
+
+	// With retry disabled the panic surfaces as the job error.
+	res, err = Run(context.Background(), []Job[int]{{
+		Key:        "panicky",
+		RunAttempt: func(context.Context, int) (int, error) { panic("boom") },
+	}}, Options{Workers: 1, OnError: CollectAll})
+	if err == nil || !strings.Contains(res[0].Err.Error(), "panic: boom") {
+		t.Fatalf("unretried panic not surfaced: err=%v jobErr=%v", err, res[0].Err)
+	}
+}
+
+func TestRunDoesNotRetryAfterCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	res, _ := Run(ctx, []Job[string]{{
+		Key: "cancelled",
+		RunAttempt: func(context.Context, int) (string, error) {
+			calls.Add(1)
+			cancel() // the pool context dies while the job is in flight
+			return "", errors.New("transient")
+		},
+	}}, Options{Workers: 1, MaxAttempts: 5, OnError: CollectAll})
+	if calls.Load() != 1 {
+		t.Fatalf("job re-attempted %d times after cancellation, want 1 run", calls.Load())
+	}
+	if res[0].Attempts != 1 {
+		t.Fatalf("Attempts = %d, want 1", res[0].Attempts)
+	}
+}
+
+func TestRunRetryDeterministicAcrossWorkerCounts(t *testing.T) {
+	// Retries happen inline on the owning worker, so attempt counts,
+	// values and total simulated backoff must not depend on pool size.
+	mk := func() []Job[string] {
+		jobs := make([]Job[string], 16)
+		for i := range jobs {
+			// Jobs 0, 3, 6, … fail twice; 1, 4, 7, … once; rest succeed.
+			jobs[i] = flakyJob(fmt.Sprintf("job/%d", i), (3-i%3)%3)
+		}
+		return jobs
+	}
+	var clock1 SimClock
+	res1, err := Run(context.Background(), mk(), Options{Workers: 1, MaxAttempts: 3, Clock: &clock1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		var clockN SimClock
+		resN, err := Run(context.Background(), mk(), Options{Workers: workers, MaxAttempts: 3, Clock: &clockN})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range res1 {
+			if res1[i].Value != resN[i].Value || res1[i].Attempts != resN[i].Attempts {
+				t.Fatalf("workers=%d job %d: (%q, %d) != serial (%q, %d)",
+					workers, i, resN[i].Value, resN[i].Attempts, res1[i].Value, res1[i].Attempts)
+			}
+		}
+		if clock1.Now() != clockN.Now() {
+			t.Fatalf("workers=%d: simulated backoff %v != serial %v", workers, clockN.Now(), clock1.Now())
+		}
+	}
+}
+
+func TestPermanentNilAndUnwrap(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) must be nil")
+	}
+	base := errors.New("root cause")
+	err := Permanent(base)
+	if !errors.Is(err, base) {
+		t.Fatal("Permanent must unwrap to the original error")
+	}
+	if !IsPermanent(err) || !IsPermanent(fmt.Errorf("wrapped: %w", err)) {
+		t.Fatal("IsPermanent must see through wrapping")
+	}
+	if IsPermanent(base) {
+		t.Fatal("unmarked error reported permanent")
+	}
+	if !IsPermanent(context.Canceled) || !IsPermanent(context.DeadlineExceeded) {
+		t.Fatal("context errors must be permanent")
+	}
+}

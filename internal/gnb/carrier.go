@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/midband5g/midband/internal/channel"
+	"github.com/midband5g/midband/internal/fault"
 	"github.com/midband5g/midband/internal/fleet"
 	"github.com/midband5g/midband/internal/obs"
 	"github.com/midband5g/midband/internal/phy"
@@ -67,8 +68,16 @@ type CarrierConfig struct {
 	RBJitterFrac float64
 	// HandoverInterruptionSlots is the data interruption when the
 	// serving cell changes along a route (NR handover execution takes
-	// ~50 ms; default 100 slots at 30 kHz). Set negative to disable.
+	// ~50 ms; default 100 slots at 30 kHz). The zero value selects the
+	// default; to model instantaneous handovers set
+	// DisableHandoverInterruption instead.
 	HandoverInterruptionSlots int
+	// DisableHandoverInterruption makes a zero interruption expressible:
+	// when set, serving-cell changes never interrupt data and
+	// HandoverInterruptionSlots is ignored (mirroring the
+	// channel.Config.DisableNeighborLoad pattern; the zero value of
+	// HandoverInterruptionSlots alone selects the 100-slot default).
+	DisableHandoverInterruption bool
 	// MCSDither is the ± range of per-slot MCS variation around the
 	// link-adaptation point. Real gNBs schedule different sub-bands and
 	// re-evaluate per slot, so the DCI-signaled MCS jitters at the
@@ -80,6 +89,12 @@ type CarrierConfig struct {
 	// layer fewer than reported (per-allocation rank adaptation).
 	// Default 0.08; negative disables.
 	RankDitherProb float64
+	// Fault, when non-nil, injects deterministic radio-link failures:
+	// data stops for ReestablishSlots (RRC re-establishment) and the
+	// CSI loop desyncs and must re-prime. The injector draws from its
+	// own seeded RNG, so a nil Fault leaves the scheduler's random
+	// sequence untouched.
+	Fault *fault.RLF
 	// Seed drives scheduler randomness.
 	Seed int64
 }
@@ -111,7 +126,9 @@ func (c CarrierConfig) withDefaults() CarrierConfig {
 	if c.RBJitterFrac == 0 {
 		c.RBJitterFrac = 0.04
 	}
-	if c.HandoverInterruptionSlots == 0 {
+	if c.DisableHandoverInterruption {
+		c.HandoverInterruptionSlots = 0
+	} else if c.HandoverInterruptionSlots == 0 {
 		c.HandoverInterruptionSlots = 100
 	}
 	if c.MCSDither == 0 {
@@ -281,6 +298,10 @@ type Carrier struct {
 	dlAlloc Alloc // reused storage for SlotResult.DL
 	ulAlloc Alloc
 
+	rlf      *fault.RLFState
+	rlfUntil int64 // data interrupted until this slot (RRC re-establishment)
+	rlfCount int64
+
 	// Slot-path constants (see amcDerived).
 	slotDur time.Duration
 	csiCfg  ue.CSIConfig // csi.Config(), cached to avoid per-TB copies
@@ -321,6 +342,7 @@ func NewCarrier(cfg CarrierConfig) (*Carrier, error) {
 		csiCfg:  csiCfg2,
 		amc:     newAMCDerived(csiCfg2, cfg),
 		tbs:     phy.NewTBSCache(cfg.MCSTable, cfg.DMRSPerPRB, 0),
+		rlf:     fault.NewRLFState(cfg.Fault),
 	}, nil
 }
 
@@ -329,6 +351,13 @@ func (c *Carrier) Config() CarrierConfig { return c.cfg }
 
 // Slot returns the next slot index to be simulated.
 func (c *Carrier) Slot() int64 { return c.slot }
+
+// RLFs returns the number of injected radio-link failures so far.
+func (c *Carrier) RLFs() int64 { return c.rlfCount }
+
+// InRLF reports whether data is currently interrupted by a radio-link
+// failure (RRC re-establishment in progress).
+func (c *Carrier) InRLF() bool { return c.slot < c.rlfUntil }
 
 // SlotDuration returns the slot length.
 func (c *Carrier) SlotDuration() time.Duration { return c.cfg.Numerology.SlotDuration() }
@@ -398,7 +427,22 @@ func (c *Carrier) Step(dl, ul Demand) SlotResult {
 		}
 	}
 	c.serving = sample.ServingCell
-	if !haveCSI || slot < c.hoUntil {
+	// Injected radio-link failure: data stops while the UE re-establishes
+	// the RRC connection, and the CSI loop desyncs — scheduling cannot
+	// resume until a fresh report matures (the recovery ⇒ re-sync
+	// invariant internal/simtest checks). Exactly one injector draw per
+	// slot, so fault timing never depends on scheduler state.
+	if c.rlf != nil && c.rlf.Step() {
+		if slot >= c.rlfUntil {
+			c.rlfCount++
+			if obs.Enabled() {
+				obs.Sim.RLFs.Inc()
+			}
+		}
+		c.rlfUntil = slot + int64(c.rlf.ReestablishSlots)
+		c.csi.Reset()
+	}
+	if !haveCSI || slot < c.hoUntil || slot < c.rlfUntil {
 		return res
 	}
 

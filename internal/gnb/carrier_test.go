@@ -314,3 +314,71 @@ func TestCarrierModulationMix(t *testing.T) {
 		t.Errorf("256QAM share = %.2f, should be the minority", q256)
 	}
 }
+
+// TestCarrierHandoverInterruptionDefaults pins the zero-value semantics
+// of the interruption knob: the bool makes "no interruption" expressible
+// without hijacking the 0 ⇒ 100-slot default.
+func TestCarrierHandoverInterruptionDefaults(t *testing.T) {
+	cases := []struct {
+		name    string
+		slots   int
+		disable bool
+		want    int
+	}{
+		{"zero value defaults to 100", 0, false, 100},
+		{"explicit value preserved", 37, false, 37},
+		{"disabled forces zero", 0, true, 0},
+		{"disabled overrides explicit value", 37, true, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := CarrierConfig{
+				HandoverInterruptionSlots:   tc.slots,
+				DisableHandoverInterruption: tc.disable,
+			}
+			if got := cfg.withDefaults().HandoverInterruptionSlots; got != tc.want {
+				t.Fatalf("HandoverInterruptionSlots = %d, want %d", got, tc.want)
+			}
+		})
+	}
+	// End to end: drive a mobile UE across a cell border. With the
+	// default interruption, the serving-cell change opens a ≥100-slot
+	// data gap; with the knob disabled, scheduling continues through the
+	// handover and no such gap can appear.
+	drive := func(disable bool) (handovers, maxGap int) {
+		c := testCarrier(t, func(c *CarrierConfig) {
+			c.DisableHandoverInterruption = disable
+			c.Channel.Route = channel.Route{
+				Waypoints: []channel.Point{{X: 0}, {X: 2000}},
+				SpeedMPS:  50,
+			}
+			c.Channel.Deployment.Sites = []channel.Point{{}, {X: 1000}}
+		})
+		serving, lastDL := -2, -1
+		for i := 0; i < 40000; i++ {
+			r := c.Step(FullBuffer, Demand{})
+			if serving != -2 && r.Sample.ServingCell != serving {
+				handovers++
+			}
+			serving = r.Sample.ServingCell
+			if r.DL != nil {
+				if lastDL >= 0 && i-lastDL > maxGap {
+					maxGap = i - lastDL
+				}
+				lastDL = i
+			}
+		}
+		return handovers, maxGap
+	}
+	hoOn, gapOn := drive(false)
+	hoOff, gapOff := drive(true)
+	if hoOn == 0 || hoOff == 0 {
+		t.Fatalf("route crossed a cell border but no handover happened (%d/%d)", hoOn, hoOff)
+	}
+	if gapOn < 100 {
+		t.Errorf("default interruption: max DL gap %d slots, want >= the 100-slot window", gapOn)
+	}
+	if gapOff >= 100 {
+		t.Errorf("disabled interruption: max DL gap %d slots — handover still stalls data", gapOff)
+	}
+}

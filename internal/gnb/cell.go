@@ -372,3 +372,16 @@ func (c *Cell) transmitUE(u *cellUE, report ue.Report, sample channel.Sample, sy
 func (c *Cell) SlotDuration() time.Duration {
 	return c.slotDur
 }
+
+// NumUEs returns the number of UEs sharing the cell.
+func (c *Cell) NumUEs() int {
+	return len(c.ues)
+}
+
+// ServedRate returns UE i's PF-window-smoothed served rate in
+// bits/slot — the denominator of the proportional-fair metric. The
+// window update clamps it to ≥ 1 so the metric can never divide by
+// zero; the simtest harness asserts that invariant across policies.
+func (c *Cell) ServedRate(i int) float64 {
+	return c.ues[i].served
+}

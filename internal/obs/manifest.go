@@ -51,9 +51,30 @@ type RunManifest struct {
 	SlotsSimulated int64     `json:"slots_simulated"`
 	TraceBytes     int64     `json:"trace_bytes"`
 
+	// Fault-injection accounting (all omitted for fault-free runs, so
+	// legacy manifests are byte-identical). Retries counts job attempts
+	// beyond the first; BackoffSimNs is the total simulated retry
+	// backoff; Failures is the per-session failure provenance after
+	// retries were exhausted.
+	Retries      int64            `json:"retries,omitempty"`
+	BackoffSimNs int64            `json:"backoff_sim_ns,omitempty"`
+	Failures     []SessionFailure `json:"failures,omitempty"`
+
 	// Outputs lists the files the run produced, relative to the
 	// manifest's own directory.
 	Outputs []string `json:"outputs,omitempty"`
+}
+
+// SessionFailure is one failed campaign session's provenance as recorded
+// in the manifest: which job, how many attempts, and what class of fault
+// killed it. It mirrors core.SessionFailure (obs cannot import core).
+type SessionFailure struct {
+	Key      string `json:"key"`
+	Operator string `json:"operator"`
+	Session  int    `json:"session"`
+	Attempts int    `json:"attempts"`
+	Stage    string `json:"stage"`
+	Err      string `json:"err,omitempty"`
 }
 
 // DigestJSON canonicalizes v through encoding/json (struct field order,

@@ -1,0 +1,202 @@
+package simtest_test
+
+import (
+	"testing"
+
+	"github.com/midband5g/midband/internal/channel"
+	"github.com/midband5g/midband/internal/fault"
+	"github.com/midband5g/midband/internal/gnb"
+	"github.com/midband5g/midband/internal/phy"
+	"github.com/midband5g/midband/internal/simtest"
+	"github.com/midband5g/midband/internal/tdd"
+)
+
+// maxBitsPerRE is the hard spectral ceiling per resource element and
+// layer: 256QAM carries 8 coded bits, and the code rate is < 1, so no
+// transport block can pack more information bits than 8·REs·layers.
+const maxBitsPerRE = 8
+
+// carrierConfig is the shared mid-band carrier the invariants run on,
+// shaped like the paper's 90 MHz n78 deployments.
+func carrierConfig(seed int64) gnb.CarrierConfig {
+	return gnb.CarrierConfig{
+		Label:      "simtest/90MHz",
+		Numerology: phy.Mu1,
+		NRB:        245,
+		Pattern:    tdd.MustParse("DDDDDDDSUU"),
+		MCSTable:   phy.MCSTable256QAM,
+		Channel: channel.Config{
+			CarrierFreqMHz:           3500,
+			Route:                    channel.Stationary(channel.Point{X: 450}),
+			Deployment:               channel.Deployment{Sites: []channel.Point{{}}, TxPowerDBmPerRE: 18},
+			OtherCellInterferenceDBm: -100,
+			ShadowSigmaDB:            2,
+			FastSigmaDB:              1.2,
+		},
+		ULSINROffsetDB: 6,
+		ULMaxRank:      2,
+		Seed:           seed,
+	}
+}
+
+// checkAlloc asserts the per-allocation invariants every scheduled TB
+// must satisfy regardless of policy, direction or fault state.
+func checkAlloc(t *testing.T, slot int64, a gnb.Alloc, nrb int) {
+	t.Helper()
+	if a.RBs < 1 || a.RBs > nrb {
+		t.Fatalf("slot %d: RBs %d outside [1, %d]", slot, a.RBs, nrb)
+	}
+	if a.Rank < 1 || a.Rank > 4 {
+		t.Fatalf("slot %d: rank %d outside [1, 4]", slot, a.Rank)
+	}
+	if bound := a.REs * a.Rank * maxBitsPerRE; a.TBSBits > bound {
+		t.Fatalf("slot %d: TBS %d bits exceeds capacity %d (REs=%d rank=%d)",
+			slot, a.TBSBits, bound, a.REs, a.Rank)
+	}
+	if a.DeliveredBits != 0 && a.DeliveredBits != a.TBSBits {
+		t.Fatalf("slot %d: delivered %d is neither 0 nor TBS %d", slot, a.DeliveredBits, a.TBSBits)
+	}
+	if a.DeliveredBits > a.TBSBits {
+		t.Fatalf("slot %d: goodput %d exceeds TBS %d", slot, a.DeliveredBits, a.TBSBits)
+	}
+}
+
+// TestCellSchedulerInvariants sweeps every scheduler policy and asserts,
+// per slot: the granted RBs never exceed the carrier's NRB (resource
+// conservation), no UE is granted twice, no UE with CQI 0 is scheduled,
+// every allocation obeys the capacity bound, and the PF window stays at
+// or above its ≥1 clamp (so the PF metric can never divide by zero).
+func TestCellSchedulerInvariants(t *testing.T) {
+	policies := []gnb.SchedulerPolicy{
+		gnb.SchedulerEqualShare,
+		gnb.SchedulerProportionalFair,
+		gnb.SchedulerMaxRate,
+	}
+	for _, pol := range policies {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			simtest.Run(t, "cell/"+pol.String(), 3, func(t *testing.T, seed int64) {
+				cfg := gnb.CellConfig{
+					Carrier: carrierConfig(seed),
+					UEs: []channel.Point{
+						{X: 120}, {X: 450}, {X: 800, Y: 300}, {X: 1500},
+					},
+					Policy: pol,
+					Seed:   seed,
+				}
+				cell, err := gnb.NewCell(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				granted := make([]bool, cell.NumUEs())
+				for s := 0; s < 20000; s++ {
+					slot := cell.Step()
+					sum := 0
+					for i := range granted {
+						granted[i] = false
+					}
+					for _, a := range slot.Allocs {
+						if granted[a.UE] {
+							t.Fatalf("slot %d: UE %d granted twice", slot.Slot, a.UE)
+						}
+						granted[a.UE] = true
+						if a.CQI == 0 {
+							t.Fatalf("slot %d: UE %d scheduled with CQI 0", slot.Slot, a.UE)
+						}
+						checkAlloc(t, slot.Slot, a.Alloc, cfg.Carrier.NRB)
+						sum += a.Alloc.RBs
+					}
+					if sum > cfg.Carrier.NRB {
+						t.Fatalf("slot %d: %d RBs granted on a %d-RB carrier", slot.Slot, sum, cfg.Carrier.NRB)
+					}
+					for i := 0; i < cell.NumUEs(); i++ {
+						if r := cell.ServedRate(i); r < 1 {
+							t.Fatalf("slot %d: UE %d PF served rate %g below the ≥1 clamp", slot.Slot, i, r)
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestCarrierGrantInvariants runs the single-UE carrier with mixed
+// DL/UL full-buffer demand and asserts that a slot whose effective CQI
+// report is 0 never carries a *new* grant — only HARQ retransmissions,
+// which were sized by an earlier report, may proceed — and that every
+// allocation obeys the structural bounds.
+func TestCarrierGrantInvariants(t *testing.T) {
+	simtest.Run(t, "carrier/grants", 4, func(t *testing.T, seed int64) {
+		c, err := gnb.NewCarrier(carrierConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nrb := c.Config().NRB
+		for s := 0; s < 50000; s++ {
+			r := c.Step(gnb.FullBuffer, gnb.FullBuffer)
+			for _, a := range []*gnb.Alloc{r.DL, r.UL} {
+				if a == nil {
+					continue
+				}
+				checkAlloc(t, r.Slot, *a, nrb)
+				if r.CQI == 0 && a.HARQRetx == 0 {
+					t.Fatalf("slot %d: new grant (retx=0) with CQI 0", r.Slot)
+				}
+			}
+		}
+	})
+}
+
+// TestRLFRecoveryResyncs mirrors the carrier's injected radio-link
+// failure process draw-for-draw (the injector is deterministic, so the
+// test can predict every failure slot), then asserts the two sides of
+// the recovery contract: while re-establishment is pending the carrier
+// schedules nothing, and after the last failure clears, the desynced
+// CSI loop re-primes and data eventually flows again.
+func TestRLFRecoveryResyncs(t *testing.T) {
+	simtest.Run(t, "carrier/rlf", 3, func(t *testing.T, seed int64) {
+		const (
+			slots      = 40000
+			rlfProb    = 4e-4
+			reestSlots = 200
+		)
+		cfg := carrierConfig(seed)
+		cfg.FDD = true // every slot is DL-capable: no TDD holes in the assertion
+		cfg.Pattern = tdd.Pattern{}
+		cfg.Fault = &fault.RLF{ProbPerSlot: rlfProb, ReestablishSlots: reestSlots, Seed: seed}
+		c, err := gnb.NewCarrier(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Lockstep mirror of the injector: same config, same seed, one
+		// draw per slot — the test knows exactly when each RLF fires.
+		mirror := fault.NewRLFState(&fault.RLF{ProbPerSlot: rlfProb, ReestablishSlots: reestSlots, Seed: seed})
+		var blockedUntil, lastClear, fires int64
+		deliveredAfterClear := false
+		for s := int64(0); s < slots; s++ {
+			r := c.Step(gnb.FullBuffer, gnb.Demand{})
+			if mirror.Step() {
+				if s >= blockedUntil {
+					fires++ // the carrier counts window-opening fires only
+				}
+				blockedUntil = s + reestSlots
+				lastClear = blockedUntil
+			}
+			if s < blockedUntil && r.DL != nil {
+				t.Fatalf("slot %d: DL grant during RRC re-establishment (blocked until %d)", s, blockedUntil)
+			}
+			if s >= lastClear && r.DL != nil && r.DL.DeliveredBits > 0 {
+				deliveredAfterClear = true
+			}
+		}
+		if fires == 0 {
+			t.Fatalf("no RLF fired in %d slots at p=%g — sweep too short to test recovery", slots, rlfProb)
+		}
+		if got := c.RLFs(); got != fires {
+			t.Fatalf("carrier counted %d RLFs, mirror predicted %d", got, fires)
+		}
+		if lastClear < slots-2000 && !deliveredAfterClear {
+			t.Fatalf("no data delivered after the last RLF cleared at slot %d (ran to %d): CSI never re-synced", lastClear, slots)
+		}
+	})
+}

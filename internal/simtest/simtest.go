@@ -1,0 +1,59 @@
+// Package simtest is a lightweight property/invariant harness for the
+// simulator: each property runs over a deterministic sweep of derived
+// seeds, and a failure prints the exact seed (and a replay command) so
+// the offending realization can be re-run in isolation with
+// SIMTEST_SEED. The invariants it enforces — resource conservation,
+// feedback-loop sanity, capacity bounds, fault recovery — are the
+// structural facts every figure in the paper quietly assumes; see
+// invariants_test.go for the suite.
+package simtest
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"github.com/midband5g/midband/internal/fleet"
+)
+
+// BaseSeed anchors the derived seed sweep. Properties never use it
+// directly: each case seed is fleet.SplitSeed(BaseSeed, property, index),
+// so adding a property (or widening one's sweep) never shifts the seeds
+// of the others.
+const BaseSeed int64 = 2024
+
+// SeedEnv is the environment variable that replays a single failing
+// seed: SIMTEST_SEED=<seed> go test ./internal/simtest -run <Property>.
+const SeedEnv = "SIMTEST_SEED"
+
+// Run executes property fn once per derived seed, as subtests named by
+// the seed. With SeedEnv set, only that seed runs — the replay path for
+// a reported failure. On failure the subtest logs the seed and a replay
+// command, so a red CI run is reproducible from its output alone.
+func Run(t *testing.T, property string, cases int, fn func(t *testing.T, seed int64)) {
+	t.Helper()
+	if env := os.Getenv(SeedEnv); env != "" {
+		seed, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("simtest: %s=%q is not an int64: %v", SeedEnv, env, err)
+		}
+		runSeed(t, seed, fn)
+		return
+	}
+	for i := 0; i < cases; i++ {
+		runSeed(t, fleet.SplitSeed(BaseSeed, "simtest/"+property, i), fn)
+	}
+}
+
+func runSeed(t *testing.T, seed int64, fn func(t *testing.T, seed int64)) {
+	t.Helper()
+	t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+		defer func() {
+			if t.Failed() {
+				t.Logf("replay: %s=%d go test -run '%s' ./internal/simtest", SeedEnv, seed, t.Name())
+			}
+		}()
+		fn(t, seed)
+	})
+}

@@ -194,3 +194,18 @@ func (c *CSI) Observe(slot int64, sinrDB float64) {
 func (c *CSI) Current() (Report, bool) {
 	return c.current, c.primed
 }
+
+// Reset desynchronizes the feedback loop, as a radio-link failure does:
+// pending and current reports are discarded (the gNB's CSI context is
+// gone after RRC re-establishment) and the rank memory returns to its
+// initial state. The loop re-primes through Observe — a fresh report
+// must be generated and mature through the feedback delay before
+// Current reports true again. Reset draws no randomness and keeps the
+// pending queue's backing array, so it is safe on the zero-alloc slot
+// path.
+func (c *CSI) Reset() {
+	c.pending = c.pending[:0]
+	c.current = Report{}
+	c.primed = false
+	c.lastRank = 1
+}

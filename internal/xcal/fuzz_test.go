@@ -40,6 +40,46 @@ func FuzzDecodeSIB1(f *testing.F) {
 	})
 }
 
+func FuzzDecodeMIB(f *testing.F) {
+	m := MIB{SFN: 512, SCSkHz: 30, ControlResourceSetZero: 1}
+	f.Add(m.AppendTo(nil))
+	f.Add([]byte{})
+	f.Add(make([]byte, mibSize-1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var out MIB
+		if err := DecodeMIB(data, &out); err == nil {
+			// A successful decode must re-encode losslessly.
+			var back MIB
+			if err := DecodeMIB(out.AppendTo(nil), &back); err != nil {
+				t.Fatalf("re-decode of valid MIB failed: %v", err)
+			}
+			if back != out {
+				t.Fatalf("MIB round trip diverged: %+v vs %+v", out, back)
+			}
+		}
+	})
+}
+
+func FuzzDecodeDCI(f *testing.F) {
+	d := DCI{Slot: 42, Format: DCI11, Carrier: 1, MCS: 22, RBs: 245, Rank: 4, HARQProcess: 7, NDI: true}
+	f.Add(d.AppendTo(nil))
+	f.Add([]byte{})
+	f.Add(make([]byte, dciSize-1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var out DCI
+		if err := DecodeDCI(data, &out); err == nil {
+			// The HARQProcess/NDI bit-packing must survive a round trip.
+			var back DCI
+			if err := DecodeDCI(out.AppendTo(nil), &back); err != nil {
+				t.Fatalf("re-decode of valid DCI failed: %v", err)
+			}
+			if back != out {
+				t.Fatalf("DCI round trip diverged: %+v vs %+v", out, back)
+			}
+		}
+	})
+}
+
 func FuzzTraceReader(f *testing.F) {
 	var buf bytes.Buffer
 	w, err := NewWriter(&buf, Meta{Operator: "V_Sp"})

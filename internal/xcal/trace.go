@@ -249,13 +249,29 @@ func (r *Reader) Next() (FrameType, error) {
 
 // CreateFile creates a trace file on disk.
 func CreateFile(path string, meta Meta) (*Writer, *os.File, error) {
+	return CreateFileVia(path, meta, nil)
+}
+
+// CreateFileVia is CreateFile with the on-disk sink wrapped by wrap
+// before the trace writer buffers on top of it — the hook fault
+// injection uses to make trace-sink I/O errors reachable in tests and
+// campaigns. A nil wrap writes straight to the file. Errors injected by
+// the wrapper surface through the Writer's usual sticky-error path, so
+// callers need no special handling beyond what real I/O failures
+// already require.
+func CreateFileVia(path string, meta Meta, wrap func(io.Writer) io.Writer) (*Writer, *os.File, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	w, err := NewWriter(f, meta)
+	var sink io.Writer = f
+	if wrap != nil {
+		sink = wrap(f)
+	}
+	w, err := NewWriter(sink, meta)
 	if err != nil {
 		f.Close()
+		os.Remove(path)
 		return nil, nil, err
 	}
 	return w, f, nil

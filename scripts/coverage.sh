@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Measure total statement coverage and (re)generate or check the
+# committed baseline.
+#
+#   scripts/coverage.sh           print per-function coverage and the total
+#   scripts/coverage.sh baseline  rewrite COVERAGE_baseline.txt from a fresh run
+#   scripts/coverage.sh check     compare a fresh run against COVERAGE_baseline.txt
+#                                 (fails when the total drops more than
+#                                 COVERAGE_SLACK points, default 0.5)
+#
+# The baseline is a ratchet, not a target: it only moves up (or down,
+# deliberately, with `baseline`) by commit. Coverage percentages wobble a
+# little as code is added, so the check allows a small slack rather than
+# demanding monotonicity to the decimal.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=COVERAGE_baseline.txt
+SLACK="${COVERAGE_SLACK:-0.5}"
+# COVERAGE_PROFILE, when set, keeps the merged profile at that path (for
+# CI artifact upload); otherwise a temp file is used and removed.
+PROFILE="${COVERAGE_PROFILE:-}"
+
+total() {
+    local profile="$1"
+    go tool cover -func="$profile" | awk '/^total:/ {sub(/%$/, "", $3); print $3}'
+}
+
+run_cover() {
+    local profile="$1"
+    go test -count=1 -coverprofile="$profile" ./... > /dev/null
+}
+
+case "${1:-run}" in
+run)
+    tmp="${PROFILE:-$(mktemp)}"
+    [ -n "$PROFILE" ] || trap 'rm -f "$tmp"' EXIT
+    run_cover "$tmp"
+    go tool cover -func="$tmp"
+    ;;
+baseline)
+    tmp="${PROFILE:-$(mktemp)}"
+    [ -n "$PROFILE" ] || trap 'rm -f "$tmp"' EXIT
+    run_cover "$tmp"
+    total "$tmp" > "$BASELINE"
+    echo "wrote $BASELINE: $(cat "$BASELINE")%"
+    ;;
+check)
+    tmp="${PROFILE:-$(mktemp)}"
+    [ -n "$PROFILE" ] || trap 'rm -f "$tmp"' EXIT
+    run_cover "$tmp"
+    new="$(total "$tmp")"
+    old="$(cat "$BASELINE")"
+    echo "total coverage: ${new}% (baseline ${old}%, slack ${SLACK})"
+    awk -v new="$new" -v old="$old" -v slack="$SLACK" 'BEGIN {
+        if (new + slack < old) {
+            printf "coverage dropped: %.1f%% < baseline %.1f%% - %.1f\n", new, old, slack
+            exit 1
+        }
+    }'
+    ;;
+*)
+    echo "usage: scripts/coverage.sh [run|baseline|check]" >&2
+    exit 2
+    ;;
+esac
