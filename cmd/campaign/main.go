@@ -1,6 +1,8 @@
 // Command campaign runs a measurement campaign across the operator registry
-// and writes one XCAL-style trace per session, reproducing the data
-// collection methodology of §2. Sessions fan out over the fleet worker
+// and writes one trace per session, reproducing the data collection
+// methodology of §2. Traces default to the columnar .xcol container
+// (streamable with bounded memory; see docs/ARCHITECTURE.md "Trace
+// pipeline"); -trace-format xcal selects the row container. Sessions fan out over the fleet worker
 // pool; -parallel bounds the workers and the results are identical for
 // any value because every session seed derives from the job key alone.
 //
@@ -61,7 +63,8 @@ type manifestConfig struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("campaign: ")
-	out := flag.String("out", "traces", "directory for .xcal traces and manifest.json")
+	out := flag.String("out", "traces", "directory for traces and manifest.json")
+	traceFormat := flag.String("trace-format", "xcol", "trace container: xcol (columnar blocks, streaming scans) or xcal (row frames)")
 	duration := flag.Duration("duration", 10*time.Second, "bulk-transfer duration per operator")
 	seed := flag.Int64("seed", 2024, "simulation seed")
 	ops := flag.String("ops", "", "comma-separated operator acronyms (default: all mid-band)")
@@ -72,6 +75,9 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+	if *traceFormat != "xcal" && *traceFormat != "xcol" {
+		log.Fatalf("unknown -trace-format %q (want xcal or xcol)", *traceFormat)
+	}
 
 	stopProf, err := obs.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -157,6 +163,7 @@ func main() {
 		Operators:       selected,
 		SessionDuration: *duration,
 		TraceDir:        *out,
+		TraceFormat:     *traceFormat,
 		Seed:            *seed,
 		Workers:         *parallel,
 		Faults:          sched,

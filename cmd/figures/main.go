@@ -6,6 +6,12 @@
 // the buffers are emitted in figure order, making the output
 // byte-identical for any -parallel value.
 //
+// The multi-scale variability figures (12, 13) regenerate through the
+// columnar trace pipeline: their sessions capture to in-memory .xcol
+// traces and the plotted series are rebuilt from a projected block scan
+// (see docs/ARCHITECTURE.md "Trace pipeline"), with a test pinning the
+// scanned series equal to the in-memory ones.
+//
 // Observability: -obs-listen serves live /metrics, /debug/pprof and
 // /debug/vars during the run; -progress prints periodic jobs-done + ETA
 // snapshots to stderr; with -csv, a RunManifest (manifest.json) is

@@ -1,13 +1,19 @@
-// Command xcaldump inspects XCAL-style trace files: it prints the session
-// metadata, the channel configuration recovered from the captured signaling
-// (the Appendix 10.1 procedure), and aggregate KPI statistics.
+// Command xcaldump inspects trace files in either container: the row
+// XCAL-style format (.xcal) or the columnar block format (.xcol). The
+// container is auto-detected from the magic bytes, never the file name.
+// It prints the session metadata, the channel configuration recovered
+// from the captured signaling (the Appendix 10.1 procedure), and
+// aggregate KPI statistics — streamed through one-pass mergeable
+// aggregates for columnar traces, so dumping never loads a whole trace.
 //
 // Usage:
 //
-//	xcaldump [-records N] trace.xcal...
+//	xcaldump [-records N] [-blocks] trace...
+//	xcaldump -convert DST SRC
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -15,35 +21,50 @@ import (
 
 	"github.com/midband5g/midband/internal/analysis"
 	"github.com/midband5g/midband/internal/config"
+	"github.com/midband5g/midband/internal/report"
 	"github.com/midband5g/midband/internal/xcal"
+	"github.com/midband5g/midband/internal/xcol"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("xcaldump: ")
 	showRecords := flag.Int("records", 0, "print the first N KPI records")
+	showBlocks := flag.Bool("blocks", false, "list the block index of columnar traces")
+	convert := flag.String("convert", "", "convert the input trace into this path (direction chosen by magic: .xcal ↔ .xcol)")
 	flag.Parse()
+	if *convert != "" {
+		if flag.NArg() != 1 {
+			log.Fatal("usage: xcaldump -convert DST SRC")
+		}
+		dir, n, err := xcol.ConvertFile(flag.Arg(0), *convert)
+		if err != nil {
+			log.Fatalf("%s: %v", flag.Arg(0), err)
+		}
+		fmt.Printf("%s: %s, %d KPI records -> %s\n", flag.Arg(0), dir, n, *convert)
+		return
+	}
 	if flag.NArg() == 0 {
-		log.Fatal("usage: xcaldump [-records N] trace.xcal...")
+		log.Fatal("usage: xcaldump [-records N] [-blocks] trace...")
 	}
 	for _, path := range flag.Args() {
-		if err := dump(path, *showRecords); err != nil {
+		format, err := xcol.DetectFormat(path)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		if format == "xcol" {
+			err = dumpCol(path, *showRecords, *showBlocks)
+		} else {
+			err = dumpRow(path, *showRecords)
+		}
+		if err != nil {
 			log.Fatalf("%s: %v", path, err)
 		}
 	}
 }
 
-func dump(path string, showRecords int) error {
-	// Pass 1: configuration extraction from signaling.
-	r, f, err := xcal.OpenFile(path)
-	if err != nil {
-		return err
-	}
-	ex, err := config.Extract(r)
-	f.Close()
-	if err != nil {
-		return err
-	}
+// printExtraction renders the recovered channel configuration.
+func printExtraction(path string, ex *config.Extraction) {
 	meta := ex.Meta
 	fmt.Printf("%s\n  operator=%s country=%s city=%s scenario=%s slot=%v\n",
 		path, meta.Operator, meta.Country, meta.City, meta.Scenario, meta.SlotDuration)
@@ -59,6 +80,83 @@ func dump(path string, showRecords int) error {
 		}
 		fmt.Println()
 	}
+}
+
+// kpiStats is the streaming KPI reduction both dump paths share.
+type kpiStats struct {
+	dlBits, ulBits float64
+	records        int
+	minT, maxT     float64
+	sinr, rsrq     analysis.Accum
+	sinrS, rsrqS   *analysis.Sketch
+	mcs, rank      []float64
+}
+
+func newKPIStats() *kpiStats {
+	return &kpiStats{minT: -1, sinrS: analysis.NewSketch(), rsrqS: analysis.NewSketch()}
+}
+
+func (st *kpiStats) add(k *xcal.SlotKPI) {
+	st.records++
+	if t := k.Time.Seconds(); true {
+		if st.minT < 0 || t < st.minT {
+			st.minT = t
+		}
+		if t > st.maxT {
+			st.maxT = t
+		}
+	}
+	switch k.Dir {
+	case xcal.DL:
+		st.dlBits += float64(k.DeliveredBits)
+	case xcal.UL:
+		st.ulBits += float64(k.DeliveredBits)
+	}
+	if k.RAT == xcal.NR && k.Carrier == 0 {
+		st.sinr.Add(float64(k.SINRdB))
+		st.sinrS.Add(float64(k.SINRdB))
+		st.rsrq.Add(float64(k.RSRQdB))
+		st.rsrqS.Add(float64(k.RSRQdB))
+		if k.Dir == xcal.DL && k.RBs > 0 {
+			st.mcs = append(st.mcs, float64(k.MCS))
+			st.rank = append(st.rank, float64(k.Rank))
+		}
+	}
+}
+
+func (st *kpiStats) print() {
+	if span := st.maxT - st.minT; span > 0 {
+		fmt.Printf("  records=%d span=%.1fs DL=%.1f Mbps UL=%.1f Mbps\n",
+			st.records, span, st.dlBits/span/1e6, st.ulBits/span/1e6)
+	}
+	if st.sinr.N > 0 {
+		fmt.Printf("  PCell: SINR %s\n         RSRQ %s\n",
+			report.StreamSummary(st.sinr, st.sinrS), report.StreamSummary(st.rsrq, st.rsrqS))
+	}
+	if len(st.mcs) > 1 {
+		vm, _ := analysis.Variability(st.mcs, 256)
+		vr, _ := analysis.Variability(st.rank, 256)
+		fmt.Printf("  V(128ms): MCS %.3f  MIMO %.3f\n", vm, vr)
+	}
+}
+
+func (st *kpiStats) printRecord(k *xcal.SlotKPI, i int) {
+	fmt.Printf("  #%d slot=%d %s/%s cqi=%d mcs=%d(t%d) rank=%d rbs=%d tbs=%d ack=%v sinr=%.1f\n",
+		i, k.Slot, k.RAT, k.Dir, k.CQI, k.MCS, k.MCSTable, k.Rank, k.RBs, k.TBSBits, k.ACK, k.SINRdB)
+}
+
+func dumpRow(path string, showRecords int) error {
+	// Pass 1: configuration extraction from signaling.
+	r, f, err := xcal.OpenFile(path)
+	if err != nil {
+		return err
+	}
+	ex, err := config.Extract(r)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	printExtraction(path, ex)
 
 	// Pass 2: KPI statistics.
 	r, f, err = xcal.OpenFile(path)
@@ -66,10 +164,8 @@ func dump(path string, showRecords int) error {
 		return err
 	}
 	defer f.Close()
-	var dlBits, ulBits float64
-	var sinr, rsrq, mcs, rank []float64
-	var records, printed int
-	minT, maxT := -1.0, 0.0
+	st := newKPIStats()
+	printed := 0
 	for {
 		ft, err := r.Next()
 		if err == io.EOF {
@@ -81,48 +177,82 @@ func dump(path string, showRecords int) error {
 		if ft != xcal.FrameKPI {
 			continue
 		}
-		k := &r.KPI
-		records++
 		if printed < showRecords {
 			printed++
-			fmt.Printf("  #%d slot=%d %s/%s cqi=%d mcs=%d(t%d) rank=%d rbs=%d tbs=%d ack=%v sinr=%.1f\n",
-				printed, k.Slot, k.RAT, k.Dir, k.CQI, k.MCS, k.MCSTable, k.Rank, k.RBs, k.TBSBits, k.ACK, k.SINRdB)
+			st.printRecord(&r.KPI, printed)
 		}
-		if t := k.Time.Seconds(); true {
-			if minT < 0 || t < minT {
-				minT = t
-			}
-			if t > maxT {
-				maxT = t
-			}
-		}
-		switch k.Dir {
-		case xcal.DL:
-			dlBits += float64(k.DeliveredBits)
-		case xcal.UL:
-			ulBits += float64(k.DeliveredBits)
-		}
-		if k.RAT == xcal.NR && k.Carrier == 0 {
-			sinr = append(sinr, float64(k.SINRdB))
-			rsrq = append(rsrq, float64(k.RSRQdB))
-			if k.Dir == xcal.DL && k.RBs > 0 {
-				mcs = append(mcs, float64(k.MCS))
-				rank = append(rank, float64(k.Rank))
+		st.add(&r.KPI)
+	}
+	st.print()
+	return nil
+}
+
+func dumpCol(path string, showRecords int, showBlocks bool) error {
+	s, f, err := xcol.OpenFile(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	// Configuration extraction reuses the row-format procedure over the
+	// re-interleaved stream: convert in memory (signaling traces are
+	// small — aux frames plus blocks stream through bounded buffers).
+	var rowBuf bytes.Buffer
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if _, err := xcol.ConvertColToRow(f, fi.Size(), &rowBuf); err != nil {
+		return err
+	}
+	rr, err := xcal.NewReader(bytes.NewReader(rowBuf.Bytes()))
+	if err != nil {
+		return err
+	}
+	ex, err := config.Extract(rr)
+	if err != nil {
+		return err
+	}
+	printExtraction(path, ex)
+	rowBuf = bytes.Buffer{}
+
+	if showBlocks {
+		if s.Sequential() {
+			fmt.Printf("  index: unusable (%v) — sequential fallback\n", s.IndexErr())
+		} else {
+			fmt.Printf("  index: %d blocks\n", len(s.Index()))
+			for i, e := range s.Index() {
+				kind := map[uint8]string{1: "meta", 2: "kpi", 3: "aux"}[e.Kind]
+				fmt.Printf("  block %3d %-4s off=%-8d len=%-7d count=%-5d first=%-7d firstSlot=%d\n",
+					i, kind, e.Offset, e.Len, e.Count, e.First, e.FirstSlot)
 			}
 		}
 	}
-	if span := maxT - minT; span > 0 {
-		fmt.Printf("  records=%d span=%.1fs DL=%.1f Mbps UL=%.1f Mbps\n",
-			records, span, dlBits/span/1e6, ulBits/span/1e6)
+
+	// KPI statistics stream block by block through the scanner.
+	st := newKPIStats()
+	printed := 0
+	var k xcal.SlotKPI
+	for {
+		blk, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		for i := 0; i < blk.Count; i++ {
+			blk.Row(i, &k)
+			if printed < showRecords {
+				printed++
+				st.printRecord(&k, printed)
+			}
+			st.add(&k)
+		}
 	}
-	if len(sinr) > 0 {
-		fmt.Printf("  PCell: SINR %s\n         RSRQ %s\n",
-			analysis.Summarize(sinr), analysis.Summarize(rsrq))
-	}
-	if len(mcs) > 1 {
-		vm, _ := analysis.Variability(mcs, 256)
-		vr, _ := analysis.Variability(rank, 256)
-		fmt.Printf("  V(128ms): MCS %.3f  MIMO %.3f\n", vm, vr)
+	st.print()
+	for _, be := range s.Corrupt() {
+		fmt.Printf("  [!] skipped block %d at offset %d: %v\n", be.Index, be.Offset, be.Err)
 	}
 	return nil
 }

@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file adds the mergeable online aggregates the streaming scan
+// path reduces through: an exact count/sum/min/max accumulator and a
+// bucketed quantile sketch. Both merge deterministically — the sketch
+// bucket-wise over integers, so shard merge order cannot change the
+// result — which is what lets a parallel block scan produce the same
+// summary as a serial pass.
+
+// Accum is an online count/sum/min/max accumulator.
+type Accum struct {
+	N   int64
+	Sum float64
+	Min float64
+	Max float64
+}
+
+// Add folds one observation in. Non-finite values are ignored so a
+// corrupt slot cannot poison a whole campaign summary.
+func (a *Accum) Add(x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return
+	}
+	if a.N == 0 || x < a.Min {
+		a.Min = x
+	}
+	if a.N == 0 || x > a.Max {
+		a.Max = x
+	}
+	a.N++
+	a.Sum += x
+}
+
+// Merge folds another accumulator in. Min/max/count are order-
+// independent; the float sum is folded in shard order, so callers
+// merging parallel shards must do so in a fixed order (fleet.Stream's
+// ordered emission provides one).
+func (a *Accum) Merge(b Accum) {
+	if b.N == 0 {
+		return
+	}
+	if a.N == 0 || b.Min < a.Min {
+		a.Min = b.Min
+	}
+	if a.N == 0 || b.Max > a.Max {
+		a.Max = b.Max
+	}
+	a.N += b.N
+	a.Sum += b.Sum
+}
+
+// Mean returns Sum/N, or 0 for an empty accumulator.
+func (a Accum) Mean() float64 {
+	if a.N == 0 {
+		return 0
+	}
+	return a.Sum / float64(a.N)
+}
+
+// SketchAlpha is the sketch's relative accuracy: a quantile estimate q̂
+// satisfies |q̂ - q| ≤ SketchAlpha·|q| for values outside the
+// collapsed-to-zero band.
+const SketchAlpha = 0.005
+
+// sketchZeroBand: magnitudes below this land in the zero bucket. The
+// KPI metrics the pipeline sketches (Mbps, dB, dBm, slots) never live
+// below 1e-9 in a meaningful way.
+const sketchZeroBand = 1e-9
+
+// Sketch is a DDSketch-style log-bucketed quantile sketch with
+// relative accuracy SketchAlpha. Buckets hold integer counts, so Merge
+// is bucket-wise addition — associative, commutative, and bit-exact
+// regardless of shard order — and AppendBinary emits a canonical byte
+// string: two sketches fed the same multiset of values serialize
+// identically no matter how they were sharded or merged.
+type Sketch struct {
+	gamma    float64
+	logGamma float64
+	count    uint64
+	zero     uint64
+	pos      map[int32]uint64
+	neg      map[int32]uint64
+}
+
+// NewSketch returns an empty sketch at the package accuracy.
+func NewSketch() *Sketch {
+	gamma := (1 + SketchAlpha) / (1 - SketchAlpha)
+	return &Sketch{
+		gamma:    gamma,
+		logGamma: math.Log(gamma),
+		pos:      make(map[int32]uint64),
+		neg:      make(map[int32]uint64),
+	}
+}
+
+func (s *Sketch) bucket(mag float64) int32 {
+	return int32(math.Ceil(math.Log(mag) / s.logGamma))
+}
+
+// value returns the representative (midpoint) value of bucket idx.
+func (s *Sketch) value(idx int32) float64 {
+	return 2 * math.Pow(s.gamma, float64(idx)) / (s.gamma + 1)
+}
+
+// Add folds one observation in; non-finite values are ignored.
+func (s *Sketch) Add(x float64) { s.AddN(x, 1) }
+
+// AddN folds n copies of x in.
+func (s *Sketch) AddN(x float64, n uint64) {
+	if n == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		return
+	}
+	s.count += n
+	switch {
+	case x > sketchZeroBand:
+		s.pos[s.bucket(x)] += n
+	case x < -sketchZeroBand:
+		s.neg[s.bucket(-x)] += n
+	default:
+		s.zero += n
+	}
+}
+
+// Count returns the number of observations folded in.
+func (s *Sketch) Count() uint64 { return s.count }
+
+// Merge folds another sketch in, bucket-wise.
+func (s *Sketch) Merge(o *Sketch) {
+	s.count += o.count
+	s.zero += o.zero
+	for idx, n := range o.pos {
+		s.pos[idx] += n
+	}
+	for idx, n := range o.neg {
+		s.neg[idx] += n
+	}
+}
+
+func sortedKeys(m map[int32]uint64) []int32 {
+	keys := make([]int32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Quantile returns the estimate for q in [0,1]; NaN when empty. The
+// walk visits buckets in ascending value order (most-negative first),
+// so the result is deterministic.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.count-1))
+	var seen uint64
+	negKeys := sortedKeys(s.neg)
+	for i := len(negKeys) - 1; i >= 0; i-- {
+		seen += s.neg[negKeys[i]]
+		if seen > rank {
+			return -s.value(negKeys[i])
+		}
+	}
+	seen += s.zero
+	if seen > rank {
+		return 0
+	}
+	for _, idx := range sortedKeys(s.pos) {
+		seen += s.pos[idx]
+		if seen > rank {
+			return s.value(idx)
+		}
+	}
+	// Unreachable for a consistent sketch; fall back to the top bucket.
+	if len(s.pos) > 0 {
+		return s.value(sortedKeys(s.pos)[len(s.pos)-1])
+	}
+	return 0
+}
+
+// AppendBinary appends the canonical serialization: alpha, total and
+// zero counts, then each bucket map as (len, sorted (idx, count)
+// pairs). Bucket maps are emitted in sorted index order, so the bytes
+// are a pure function of the sketch's contents.
+func (s *Sketch) AppendBinary(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(SketchAlpha))
+	dst = binary.LittleEndian.AppendUint64(dst, s.count)
+	dst = binary.LittleEndian.AppendUint64(dst, s.zero)
+	for _, m := range []map[int32]uint64{s.neg, s.pos} {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(m)))
+		for _, idx := range sortedKeys(m) {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(idx))
+			dst = binary.LittleEndian.AppendUint64(dst, m[idx])
+		}
+	}
+	return dst
+}
+
+// SketchFromBinary parses an AppendBinary serialization.
+func SketchFromBinary(data []byte) (*Sketch, error) {
+	if len(data) < 24 {
+		return nil, fmt.Errorf("analysis: sketch serialization too short")
+	}
+	// Bit equality on purpose: merges are only defined between sketches
+	// built with the identical bucket base, so the serialized alpha must
+	// be the exact constant.
+	alphaBits := binary.LittleEndian.Uint64(data)
+	if alphaBits != math.Float64bits(SketchAlpha) {
+		return nil, fmt.Errorf("analysis: sketch alpha %g, want %g",
+			math.Float64frombits(alphaBits), SketchAlpha)
+	}
+	s := NewSketch()
+	s.count = binary.LittleEndian.Uint64(data[8:])
+	s.zero = binary.LittleEndian.Uint64(data[16:])
+	pos := 24
+	var total uint64 = s.zero
+	for _, m := range []map[int32]uint64{s.neg, s.pos} {
+		if pos+4 > len(data) {
+			return nil, fmt.Errorf("analysis: sketch serialization truncated")
+		}
+		n := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		if n > (len(data)-pos)/12 {
+			return nil, fmt.Errorf("analysis: sketch bucket count %d exceeds payload", n)
+		}
+		for i := 0; i < n; i++ {
+			idx := int32(binary.LittleEndian.Uint32(data[pos:]))
+			c := binary.LittleEndian.Uint64(data[pos+4:])
+			pos += 12
+			m[idx] = c
+			total += c
+		}
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("analysis: %d trailing bytes after sketch", len(data)-pos)
+	}
+	if total != s.count {
+		return nil, fmt.Errorf("analysis: sketch bucket total %d != count %d", total, s.count)
+	}
+	return s, nil
+}

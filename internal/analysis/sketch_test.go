@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestAccum(t *testing.T) {
+	var a Accum
+	for _, x := range []float64{3, -1, 4, 1, 5} {
+		a.Add(x)
+	}
+	if a.N != 5 || a.Min != -1 || a.Max != 5 || a.Sum != 12 {
+		t.Fatalf("accum %+v", a)
+	}
+	if got := a.Mean(); got != 12.0/5 {
+		t.Fatalf("mean %g", got)
+	}
+	a.Add(math.NaN())
+	a.Add(math.Inf(1))
+	if a.N != 5 {
+		t.Fatalf("non-finite values counted: N=%d", a.N)
+	}
+
+	var b, c Accum
+	b.Add(10)
+	c.Merge(a)
+	c.Merge(b)
+	if c.N != 6 || c.Min != -1 || c.Max != 10 || c.Sum != 22 {
+		t.Fatalf("merged %+v", c)
+	}
+	var empty Accum
+	c.Merge(empty)
+	if c.N != 6 {
+		t.Fatalf("empty merge changed the accumulator: %+v", c)
+	}
+}
+
+// TestSketchQuantileErrorBound checks the advertised relative-accuracy
+// guarantee against exact quantiles on mixed-sign heavy-tailed data.
+func TestSketchQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 200_000
+	xs := make([]float64, n)
+	s := NewSketch()
+	for i := range xs {
+		x := math.Exp(rng.NormFloat64()*2) * 50 // lognormal, ~Mbps scale
+		if i%5 == 0 {
+			x = -x // mix in negatives (dB-style metrics)
+		}
+		if i%1000 == 0 {
+			x = 0 // outage slots
+		}
+		xs[i] = x
+		s.Add(x)
+	}
+	sort.Float64s(xs)
+	for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		exact := xs[int(q*float64(n-1))]
+		got := s.Quantile(q)
+		if exact == 0 {
+			if got != 0 {
+				t.Errorf("q=%g: got %g, want 0", q, got)
+			}
+			continue
+		}
+		if rel := math.Abs(got-exact) / math.Abs(exact); rel > SketchAlpha {
+			t.Errorf("q=%g: got %g, exact %g, relative error %g > %g", q, got, exact, rel, SketchAlpha)
+		}
+	}
+}
+
+// TestSketchMergeOrderByteIdentity shards one stream many ways and
+// merges the shards in different orders: every path must serialize to
+// the identical byte string as the serial sketch.
+func TestSketchMergeOrderByteIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 50_000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 100
+	}
+	serial := NewSketch()
+	for _, x := range xs {
+		serial.Add(x)
+	}
+	want := serial.AppendBinary(nil)
+
+	for _, shards := range []int{2, 3, 7, 16} {
+		parts := make([]*Sketch, shards)
+		for i := range parts {
+			parts[i] = NewSketch()
+		}
+		for i, x := range xs {
+			parts[i%shards].Add(x)
+		}
+		order := rng.Perm(shards)
+		merged := NewSketch()
+		for _, i := range order {
+			merged.Merge(parts[i])
+		}
+		if got := merged.AppendBinary(nil); !bytes.Equal(got, want) {
+			t.Fatalf("%d shards merged in order %v: digest diverged from serial", shards, order)
+		}
+	}
+}
+
+func TestSketchBinaryRoundTrip(t *testing.T) {
+	s := NewSketch()
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i-500) * 1.37)
+	}
+	enc := s.AppendBinary(nil)
+	back, err := SketchFromBinary(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back.AppendBinary(nil), enc) {
+		t.Fatal("serialization not idempotent through parse")
+	}
+	if back.Count() != s.Count() || back.Quantile(0.5) != s.Quantile(0.5) {
+		t.Fatal("parsed sketch diverged")
+	}
+	if _, err := SketchFromBinary(enc[:10]); err == nil {
+		t.Fatal("accepted truncated serialization")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[8]++ // count no longer matches bucket totals
+	if _, err := SketchFromBinary(bad); err == nil {
+		t.Fatal("accepted inconsistent count")
+	}
+}
+
+func TestSketchEmptyAndEdge(t *testing.T) {
+	s := NewSketch()
+	if !math.IsNaN(s.Quantile(0.5)) {
+		t.Fatal("empty sketch quantile not NaN")
+	}
+	s.Add(math.NaN())
+	s.Add(math.Inf(-1))
+	if s.Count() != 0 {
+		t.Fatal("non-finite values counted")
+	}
+	s.Add(42)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := s.Quantile(q); math.Abs(got-42)/42 > SketchAlpha {
+			t.Fatalf("single-value sketch q=%g: %g", q, got)
+		}
+	}
+}

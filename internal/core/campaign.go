@@ -18,6 +18,7 @@ import (
 	"github.com/midband5g/midband/internal/obs"
 	"github.com/midband5g/midband/internal/operators"
 	"github.com/midband5g/midband/internal/xcal"
+	"github.com/midband5g/midband/internal/xcol"
 )
 
 // freqToARFCN converts a carrier's center frequency to the NR raster.
@@ -42,8 +43,12 @@ type CampaignConfig struct {
 	SessionsPerOperator int
 	// LatencyProbes per operator.
 	LatencyProbes int
-	// TraceDir, when non-empty, receives one .xcal file per session.
+	// TraceDir, when non-empty, receives one trace file per session.
 	TraceDir string
+	// TraceFormat selects the trace container: "xcal" (row frames, the
+	// default) or "xcol" (columnar blocks, the streaming-scan format).
+	// The extension of the written files follows the format.
+	TraceFormat string
 	// Seed drives all sessions. Each (operator, session) job derives
 	// its own seed from the base seed and the job indices — never from
 	// worker identity — so results are identical for any Workers value.
@@ -138,14 +143,37 @@ func traceWrap(fs *fault.Session) func(io.Writer) io.Writer {
 	return func(w io.Writer) io.Writer { return fs.TraceWriter(w) }
 }
 
+// openTrace creates the session's capture file in the requested
+// container format, returning the format-agnostic writer. The interface
+// is only ever bound to a non-nil concrete writer, so the nil checks in
+// Session.RunIperf stay meaningful.
+func openTrace(format, path string, meta xcal.Meta, fs *fault.Session) (xcal.TraceWriter, *os.File, error) {
+	switch format {
+	case "", "xcal":
+		return xcal.CreateFileVia(path, meta, traceWrap(fs))
+	case "xcol":
+		return xcol.CreateFileVia(path, meta, traceWrap(fs))
+	default:
+		return nil, nil, fmt.Errorf("core: unknown trace format %q", format)
+	}
+}
+
+// traceExt returns the file extension for a trace format.
+func traceExt(format string) string {
+	if format == "xcol" {
+		return "xcol"
+	}
+	return "xcal"
+}
+
 // runSession executes one operator session — build the link, optionally
 // open a trace, run the bulk transfer — and guarantees the trace file is
-// flushed and closed on every path. On error the partial .xcal is
-// removed so a failed campaign leaves no half-written captures behind.
-// A non-nil fault session threads injectors into the link, may shorten
-// the transfer to an abort point, and may wrap the trace sink with
+// closed on every path. On error the partial trace is removed so a
+// failed campaign leaves no half-written captures behind. A non-nil
+// fault session threads injectors into the link, may shorten the
+// transfer to an abort point, and may wrap the trace sink with
 // write-error injection.
-func runSession(op operators.Operator, sc operators.Scenario, d time.Duration, tracePath string, m *fleet.Metrics, fs *fault.Session) (*Session, *iperf.Result, error) {
+func runSession(op operators.Operator, sc operators.Scenario, d time.Duration, format, tracePath string, m *fleet.Metrics, fs *fault.Session) (*Session, *iperf.Result, error) {
 	sess, err := NewSessionWithFaults(op, sc, fs)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: %s: %w", op.Acronym, err)
@@ -157,10 +185,10 @@ func runSession(op operators.Operator, sc operators.Scenario, d time.Duration, t
 		// abandon the measurement below.
 		d = time.Duration(float64(d) * fs.AbortFraction)
 	}
-	var w *xcal.Writer
+	var w xcal.TraceWriter
 	var f *os.File
 	if tracePath != "" {
-		w, f, err = xcal.CreateFileVia(tracePath, sess.Meta(), traceWrap(fs))
+		w, f, err = openTrace(format, tracePath, sess.Meta(), fs)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: creating trace: %w", err)
 		}
@@ -174,7 +202,9 @@ func runSession(op operators.Operator, sc operators.Scenario, d time.Duration, t
 	}
 	if f != nil {
 		if err == nil {
-			err = w.Flush()
+			// Close, not Flush: the columnar container finalizes its
+			// block index and tail here.
+			err = w.Close()
 		}
 		if cerr := f.Close(); err == nil {
 			err = cerr
@@ -264,13 +294,13 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignStats
 					path := ""
 					if k == 0 && cfg.TraceDir != "" {
 						sc := operators.Stationary(seed)
-						path = filepath.Join(cfg.TraceDir, fmt.Sprintf("%s-%s.xcal", op.Acronym, sc.Name))
+						path = filepath.Join(cfg.TraceDir, fmt.Sprintf("%s-%s.%s", op.Acronym, sc.Name, traceExt(cfg.TraceFormat)))
 					}
 					var t0 time.Time
 					if obs.Enabled() {
 						t0 = time.Now() //detlint:allow walltime per-session wall-cost metric behind the obs gate
 					}
-					sess, res, err := runSession(op, operators.Stationary(seed), cfg.SessionDuration, path, cfg.Metrics, fs)
+					sess, res, err := runSession(op, operators.Stationary(seed), cfg.SessionDuration, cfg.TraceFormat, path, cfg.Metrics, fs)
 					if err != nil {
 						return sessionOutcome{}, err
 					}

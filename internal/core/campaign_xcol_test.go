@@ -1,0 +1,117 @@
+package core
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/midband5g/midband/internal/operators"
+	"github.com/midband5g/midband/internal/xcal"
+	"github.com/midband5g/midband/internal/xcol"
+)
+
+// TestCampaignXcolTraces runs a campaign in the columnar trace format
+// and checks the captures are complete: readable through the indexed
+// scanner, KPI records present, signaling aux frames replayable, and
+// per-slot content identical to what the same campaign writes in the
+// row format.
+func TestCampaignXcolTraces(t *testing.T) {
+	op, err := operators.ByAcronym("V_Sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := CampaignConfig{
+		Operators:           []operators.Operator{op},
+		SessionDuration:     time.Second,
+		SessionsPerOperator: 1,
+		LatencyProbes:       100,
+		Seed:                5,
+	}
+
+	colCfg := base
+	colCfg.TraceDir = t.TempDir()
+	colCfg.TraceFormat = "xcol"
+	colStats, err := RunCampaign(colCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowCfg := base
+	rowCfg.TraceDir = t.TempDir()
+	rowStats, err := RunCampaign(rowCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	colPath := colStats.Sessions[0].TracePath
+	if !strings.HasSuffix(colPath, ".xcol") {
+		t.Fatalf("columnar campaign wrote %q, want .xcol extension", colPath)
+	}
+	if format, err := xcol.DetectFormat(colPath); err != nil || format != "xcol" {
+		t.Fatalf("DetectFormat(%s) = %q, %v", filepath.Base(colPath), format, err)
+	}
+
+	s, f, err := xcol.OpenFile(colPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if s.Sequential() {
+		t.Fatal("campaign trace has no usable index — Close did not finalize the footer")
+	}
+	if s.Meta().Operator != "V_Sp" {
+		t.Fatalf("meta operator %q", s.Meta().Operator)
+	}
+	var colKPIs []xcal.SlotKPI
+	for {
+		blk, err := s.Next()
+		if err != nil {
+			break
+		}
+		colKPIs = blk.AppendRows(colKPIs)
+	}
+	if len(s.Corrupt()) != 0 {
+		t.Fatalf("campaign trace has corrupt blocks: %v", s.Corrupt())
+	}
+	var sibs int
+	err = s.AuxFrames(func(ft xcal.FrameType, pos uint64, payload []byte) error {
+		if ft == xcal.FrameSIB1 {
+			sibs++
+		}
+		return nil
+	})
+	if err != nil || sibs == 0 {
+		t.Fatalf("aux replay: sibs=%d err=%v", sibs, err)
+	}
+
+	// The same seed in the row container must capture identical slots.
+	r, rf, err := xcal.OpenFile(rowStats.Sessions[0].TracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	var rowKPIs []xcal.SlotKPI
+	for {
+		ft, err := r.Next()
+		if err != nil {
+			break
+		}
+		if ft == xcal.FrameKPI {
+			rowKPIs = append(rowKPIs, r.KPI)
+		}
+	}
+	if len(colKPIs) == 0 || len(colKPIs) != len(rowKPIs) {
+		t.Fatalf("columnar campaign captured %d KPIs, row campaign %d", len(colKPIs), len(rowKPIs))
+	}
+	for i := range colKPIs {
+		if colKPIs[i] != rowKPIs[i] {
+			t.Fatalf("record %d diverges between containers: %+v vs %+v", i, colKPIs[i], rowKPIs[i])
+		}
+	}
+
+	// The aggregate stats must not depend on the container at all.
+	if colStats.Sessions[0].DLMbps != rowStats.Sessions[0].DLMbps {
+		t.Fatalf("DLMbps differs by trace format: %v vs %v",
+			colStats.Sessions[0].DLMbps, rowStats.Sessions[0].DLMbps)
+	}
+}

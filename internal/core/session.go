@@ -135,7 +135,10 @@ func (s *Session) WarmUp() error {
 // RunIperf runs a bulk-transfer measurement after warm-up. When w is
 // non-nil, the session writes the full capture: signaling first, then
 // per-slot KPI records, plus periodic DCI frames for config extraction.
-func (s *Session) RunIperf(d time.Duration, demand net5g.Demand, w *xcal.Writer) (*iperf.Result, error) {
+// The session is container-agnostic: w may be a row xcal.Writer or a
+// columnar xcol.Writer. Pass a nil interface (not a typed nil) to skip
+// capture.
+func (s *Session) RunIperf(d time.Duration, demand net5g.Demand, w xcal.TraceWriter) (*iperf.Result, error) {
 	if err := s.WarmUp(); err != nil {
 		return nil, err
 	}
@@ -172,7 +175,7 @@ func (s *Session) RunIperf(d time.Duration, demand net5g.Demand, w *xcal.Writer)
 
 // writeDCISamples emits one DCI frame per captured DL allocation record,
 // subsampled to keep traces compact.
-func writeDCISamples(w *xcal.Writer, recs []xcal.SlotKPI) error {
+func writeDCISamples(w xcal.TraceWriter, recs []xcal.SlotKPI) error {
 	const every = 16
 	n := 0
 	for i := range recs {
@@ -225,7 +228,7 @@ func (s *Session) RunLatency(n int, bler float64) (clean, retx []time.Duration, 
 // signaling, per-slot KPI records from a parallel probe of the same channel
 // realization, and application events annotating every chunk decision and
 // stall — the material for cross-correlating PHY KPIs with ABR decisions.
-func (s *Session) RunVideo(cfg video.SessionConfig, w *xcal.Writer) (*video.Result, error) {
+func (s *Session) RunVideo(cfg video.SessionConfig, w xcal.TraceWriter) (*video.Result, error) {
 	if err := s.WarmUp(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/midband5g/midband/internal/core"
+	"github.com/midband5g/midband/internal/net5g"
+	"github.com/midband5g/midband/internal/operators"
+	"github.com/midband5g/midband/internal/xcal"
+	"github.com/midband5g/midband/internal/xcol"
+)
+
+// scanSeries is the per-slot view of a session reconstructed from a
+// columnar trace scan. It carries exactly the series the variability
+// figures consume, rebuilt record by record from the Goodput projection
+// so the figures exercise the same decode path a post-hoc analysis of
+// campaign traces would — and its accessors mirror iperf.Result's, so the
+// outputs are byte-identical to the in-memory path.
+type scanSeries struct {
+	SlotDuration time.Duration
+	// DLBitsPerSlot aggregates NR DL goodput across carriers per link
+	// step, like iperf.Run's step loop does.
+	DLBitsPerSlot []float64
+	// MCS, Rank, RBs are the PCell DL allocation series; zero where the
+	// PCell scheduled no DL data, matching the in-memory convention.
+	MCS, Rank, RBs []float64
+}
+
+// ThroughputMbpsSeries mirrors iperf.Result.ThroughputMbpsSeries.
+func (s *scanSeries) ThroughputMbpsSeries() []float64 {
+	out := make([]float64, len(s.DLBitsPerSlot))
+	scale := 1 / s.SlotDuration.Seconds() / 1e6
+	for i, b := range s.DLBitsPerSlot {
+		out[i] = b * scale
+	}
+	return out
+}
+
+// DLThroughputProcess mirrors iperf.Result.DLThroughputProcess.
+func (s *scanSeries) DLThroughputProcess() []float64 {
+	out := make([]float64, 0, len(s.DLBitsPerSlot))
+	scale := 1 / s.SlotDuration.Seconds() / 1e6
+	for i, b := range s.DLBitsPerSlot {
+		if s.RBs[i] > 0 {
+			out = append(out, b*scale)
+		}
+	}
+	return out
+}
+
+// FilterDL mirrors iperf.Result.FilterDL.
+func (s *scanSeries) FilterDL(series []float64) []float64 {
+	out := make([]float64, 0, len(series))
+	for i, v := range series {
+		if i < len(s.RBs) && s.RBs[i] > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// measureViaScan runs the same stationary session as measure, but routes
+// the result through the columnar trace pipeline: the session captures to
+// an in-memory .xcol container, and the returned series are rebuilt by
+// scanning it with the Goodput projection (plus Time, which keys records
+// back to link steps). This is the figure-regeneration path for the
+// multi-scale variability figures: what they plot is provably derivable
+// from a trace scan with bounded memory, not only from a live session.
+func measureViaScan(acr string, d time.Duration, demand net5g.Demand, seed int64) (*scanSeries, error) {
+	op, err := operators.ByAcronym(acr)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := core.NewSession(op, operators.Stationary(seed))
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	w, err := xcol.NewWriter(&buf, sess.Meta())
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sess.RunIperf(d, demand, w); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return scanTraceSeries(bytes.NewReader(buf.Bytes()), int64(buf.Len()), sess.Link.SlotDuration(), d)
+}
+
+// scanTraceSeries reconstructs the per-step series from a columnar trace.
+// Records carry Time = slot × carrier slot duration; every carrier's slot
+// duration is a power-of-two multiple of the link step, so each record's
+// Time equals the link time of the step that produced it and
+// (Time - start) / step recovers the step index exactly. The first record
+// in block order belongs to the first measured step (the fastest carrier
+// ticks every step), which pins the start offset left behind by warm-up.
+func scanTraceSeries(r io.ReaderAt, size int64, slotDur, d time.Duration) (*scanSeries, error) {
+	steps := int(d / slotDur)
+	out := &scanSeries{
+		SlotDuration:  slotDur,
+		DLBitsPerSlot: make([]float64, steps),
+		MCS:           make([]float64, steps),
+		Rank:          make([]float64, steps),
+		RBs:           make([]float64, steps),
+	}
+	s, err := xcol.NewScanner(r, size)
+	if err != nil {
+		return nil, err
+	}
+	s.SetProjection(xcol.GoodputColumns | 1<<xcol.ColTime)
+
+	start := time.Duration(-1)
+	for {
+		blk, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		// Projected decode: only the requested column slices are
+		// populated, so read them directly rather than through Row.
+		for i := 0; i < blk.Count; i++ {
+			if start < 0 {
+				start = blk.Time[i]
+			}
+			if xcal.RAT(blk.RAT[i]) != xcal.NR || xcal.Direction(blk.Dir[i]) != xcal.DL {
+				continue
+			}
+			step := int((blk.Time[i] - start) / slotDur)
+			if step < 0 || step >= steps {
+				continue
+			}
+			out.DLBitsPerSlot[step] += float64(blk.DeliveredBits[i])
+			if blk.Carrier[i] == 0 {
+				out.MCS[step] = float64(blk.MCS[i])
+				out.Rank[step] = float64(blk.Rank[i])
+				out.RBs[step] = float64(blk.RBs[i])
+			}
+		}
+	}
+	if be := s.Corrupt(); len(be) > 0 {
+		return nil, fmt.Errorf("trace scan skipped %d corrupt block(s); first: %v", len(be), be[0].Err)
+	}
+	return out, nil
+}

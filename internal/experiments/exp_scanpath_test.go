@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"github.com/midband5g/midband/internal/net5g"
+)
+
+// TestScanSeriesMatchesDirect pins the figure-regeneration contract: the
+// series rebuilt from a columnar trace scan must equal the in-memory
+// iperf.Result series exactly — not approximately — so figures generated
+// through the scan path stay byte-identical to the pre-pipeline outputs.
+func TestScanSeriesMatchesDirect(t *testing.T) {
+	const seed = 2024 + 47
+	d := 3 * time.Second
+	demand := net5g.Demand{DL: true}
+
+	direct, err := measure("V_Sp", d, demand, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanned, err := measureViaScan("V_Sp", d, demand, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if scanned.SlotDuration != direct.SlotDuration {
+		t.Fatalf("slot duration %v vs %v", scanned.SlotDuration, direct.SlotDuration)
+	}
+	eq := func(name string, got, want []float64) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d slots scanned vs %d direct", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s[%d]: scanned %v, direct %v", name, i, got[i], want[i])
+			}
+		}
+	}
+	eq("DLBitsPerSlot", scanned.DLBitsPerSlot, direct.DLBitsPerSlot)
+	eq("MCS", scanned.MCS, direct.MCS)
+	eq("Rank", scanned.Rank, direct.Rank)
+	eq("RBs", scanned.RBs, direct.RBs)
+
+	// The derived series the figures actually consume.
+	eq("ThroughputMbpsSeries", scanned.ThroughputMbpsSeries(), direct.ThroughputMbpsSeries())
+	eq("DLThroughputProcess", scanned.DLThroughputProcess(), direct.DLThroughputProcess())
+	eq("FilterDL(MCS)", scanned.FilterDL(scanned.MCS), direct.FilterDL(direct.MCS))
+	eq("FilterDL(Rank)", scanned.FilterDL(scanned.Rank), direct.FilterDL(direct.Rank))
+}

@@ -1,0 +1,162 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// StreamOptions configure one Stream call.
+type StreamOptions struct {
+	// Workers is the pool size; <=0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Window bounds how many results may exist between "produced" and
+	// "emitted" at once; <=0 means 2×workers. Together with workers it
+	// caps Stream's memory at O(window) results regardless of job
+	// count — the property Run, which materializes every result,
+	// cannot give.
+	Window int
+	// Metrics, when non-nil, receives fleet-wide counters.
+	Metrics *Metrics
+}
+
+// Stream executes jobs on a worker pool like Run, but delivers each
+// result to emit in submission order as soon as it and all its
+// predecessors are done, holding at most Window results in flight.
+// Emit calls are serialized on the caller's goroutine ordering
+// (one at a time, ascending index), so emit may touch shared state
+// without locking.
+//
+// Stream fail-fasts: the first job error, or an error returned by
+// emit, cancels the remaining jobs and is returned. Results for jobs
+// cancelled before starting carry the context error and are not
+// emitted. Determinism contract: for a fixed job slice, the emit
+// sequence is identical for any Workers/Window setting.
+func Stream[T any](ctx context.Context, jobs []Job[T], opts StreamOptions, emit func(Result[T]) error) error {
+	if len(jobs) == 0 {
+		return ctx.Err()
+	}
+	workers := EffectiveWorkers(opts.Workers)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	window := opts.Window
+	if window <= 0 {
+		window = 2 * workers
+	}
+	if window < workers {
+		window = workers
+	}
+	if window > len(jobs) {
+		window = len(jobs)
+	}
+	if opts.Metrics != nil {
+		opts.Metrics.JobsTotal.Add(int64(len(jobs)))
+	}
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type slot struct {
+		res   Result[T]
+		ready bool
+	}
+	var (
+		next    atomic.Int64 // index dispenser
+		tickets = make(chan struct{}, window)
+		resCh   = make(chan int, window) // indices of completed jobs
+		ring    = make([]slot, window)   // reorder buffer, slot i%window
+		wg      sync.WaitGroup
+	)
+	for i := 0; i < window; i++ {
+		tickets <- struct{}{}
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// A ticket is held from job start until the consumer has
+				// emitted the result — that is the in-flight bound.
+				select {
+				case <-tickets:
+				case <-ctx.Done():
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					tickets <- struct{}{}
+					return
+				}
+				j := jobs[i]
+				r := Result[T]{Key: j.Key}
+				if err := ctx.Err(); err != nil {
+					r.Err = err
+				} else {
+					r.Value, r.Err = runOne(ctx, j, 0)
+					r.Attempts = 1
+				}
+				if opts.Metrics != nil {
+					opts.Metrics.JobsDone.Add(1)
+				}
+				// The consumer owns slot i%window: the ticket protocol
+				// guarantees no other job with the same residue can start
+				// before this result is emitted.
+				ring[i%window] = slot{res: r, ready: true}
+				select {
+				case resCh <- i:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	var firstErr error
+	pending := make(map[int]bool, window)
+	emitted := 0
+consume:
+	for emitted < len(jobs) {
+		select {
+		case i := <-resCh:
+			pending[i] = true
+		case <-ctx.Done():
+			break consume
+		}
+		for pending[emitted] {
+			delete(pending, emitted)
+			s := &ring[emitted%window]
+			r := s.res
+			*s = slot{}
+			emitted++
+			skip := r.Err != nil && r.Attempts == 0 // cancelled before start
+			if !skip {
+				if err := emit(r); err != nil {
+					firstErr = err
+					cancel()
+					break consume
+				}
+			}
+			if r.Err != nil {
+				// Fail fast, and stop emitting here so the emit sequence
+				// (everything up to and including the first error) does
+				// not depend on scheduling.
+				firstErr = r.Err
+				cancel()
+				break consume
+			}
+			// Returning the ticket only now keeps completed-but-unemitted
+			// results bounded by the window.
+			tickets <- struct{}{}
+		}
+	}
+	cancel()
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	// Only the caller's cancellation is an error; our own cancel above
+	// is just shutdown.
+	return parent.Err()
+}

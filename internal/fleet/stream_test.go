@@ -1,0 +1,178 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func streamJobs(n int) []Job[int] {
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Key: fmt.Sprintf("job-%d", i),
+			Run: func(ctx context.Context) (int, error) {
+				// Finish out of submission order on purpose.
+				time.Sleep(time.Duration((i%7)*137) * time.Microsecond)
+				return i * i, nil
+			},
+		}
+	}
+	return jobs
+}
+
+// TestStreamOrderedEmission: results arrive in submission order no
+// matter how the pool schedules them.
+func TestStreamOrderedEmission(t *testing.T) {
+	jobs := streamJobs(200)
+	for _, workers := range []int{1, 2, 8} {
+		var got []int
+		err := Stream(context.Background(), jobs, StreamOptions{Workers: workers}, func(r Result[int]) error {
+			got = append(got, r.Value)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(jobs) {
+			t.Fatalf("workers=%d: emitted %d results, want %d", workers, len(got), len(jobs))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: position %d got %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestStreamEmitErrorCancels: an error from emit stops the stream,
+// is returned, and cancels jobs that have not started.
+func TestStreamEmitErrorCancels(t *testing.T) {
+	var started atomic.Int64
+	jobs := make([]Job[int], 100)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Key: fmt.Sprintf("j%d", i), Run: func(ctx context.Context) (int, error) {
+			started.Add(1)
+			return i, nil
+		}}
+	}
+	sentinel := errors.New("enough")
+	emitted := 0
+	err := Stream(context.Background(), jobs, StreamOptions{Workers: 2, Window: 4}, func(r Result[int]) error {
+		emitted++
+		if emitted == 5 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want sentinel", err)
+	}
+	if emitted != 5 {
+		t.Fatalf("emit ran %d times after error, want 5", emitted)
+	}
+	if n := started.Load(); n == int64(len(jobs)) {
+		t.Fatalf("all %d jobs ran despite early cancellation", n)
+	}
+}
+
+// TestStreamJobErrorFailFast: the first job error is returned and the
+// emit sequence ends at that job regardless of worker count.
+func TestStreamJobErrorFailFast(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := make([]Job[int], 50)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Key: fmt.Sprintf("j%d", i), Run: func(ctx context.Context) (int, error) {
+			if i == 20 {
+				return 0, boom
+			}
+			return i, nil
+		}}
+	}
+	for _, workers := range []int{1, 4} {
+		var got []int
+		err := Stream(context.Background(), jobs, StreamOptions{Workers: workers}, func(r Result[int]) error {
+			got = append(got, r.Value)
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: got %v, want boom", workers, err)
+		}
+		// Deterministic emission: exactly jobs 0..20 (the failed job is
+		// emitted carrying its error), independent of scheduling.
+		if len(got) != 21 {
+			t.Fatalf("workers=%d: emitted %d results, want 21", workers, len(got))
+		}
+	}
+}
+
+// TestStreamWindowBound: at most Window results exist between
+// production and emission.
+func TestStreamWindowBound(t *testing.T) {
+	const window = 3
+	var inFlight, maxInFlight atomic.Int64
+	jobs := make([]Job[int], 60)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Key: fmt.Sprintf("j%d", i), Run: func(ctx context.Context) (int, error) {
+			n := inFlight.Add(1)
+			for {
+				m := maxInFlight.Load()
+				if n <= m || maxInFlight.CompareAndSwap(m, n) {
+					break
+				}
+			}
+			return i, nil
+		}}
+	}
+	// Workers ≤ Window: Stream clamps the window up to the worker count,
+	// so the bound under test is the window itself only in this regime.
+	err := Stream(context.Background(), jobs, StreamOptions{Workers: 2, Window: window}, func(r Result[int]) error {
+		inFlight.Add(-1)
+		// Slow consumer: forces producers against the window.
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := maxInFlight.Load(); m > window {
+		t.Fatalf("observed %d results in flight, window is %d", m, window)
+	}
+}
+
+// TestStreamContextCancel: caller cancellation surfaces as the
+// context's error.
+func TestStreamContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	jobs := make([]Job[int], 100)
+	for i := range jobs {
+		jobs[i] = Job[int]{Key: fmt.Sprintf("j%d", i), Run: func(c context.Context) (int, error) {
+			select {
+			case <-c.Done():
+				return 0, c.Err()
+			case <-time.After(time.Millisecond):
+				return 0, nil
+			}
+		}}
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- Stream(ctx, jobs, StreamOptions{Workers: 2}, func(r Result[int]) error { return nil })
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream did not return after cancellation")
+	}
+}

@@ -424,3 +424,17 @@ func ExtHandover(w io.Writer, rows []experiments.ExtHandoverRow) {
 		fmt.Fprintf(w, "%-9s %12.1f %15.1f %9.1f%%\n", r.Mobility, r.WithMbps, r.WithoutMbps, r.InterruptionPct)
 	}
 }
+
+// StreamSummary formats one-pass mergeable aggregates (analysis.Accum +
+// analysis.Sketch) in the same five-number layout Summarize uses, so
+// streaming scans of arbitrarily large traces print comparably to
+// in-memory summaries. Min/max come exact from the accumulator; the
+// inner quantiles are sketch estimates within analysis.SketchAlpha
+// relative error.
+func StreamSummary(a analysis.Accum, s *analysis.Sketch) string {
+	if a.N == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.2f [%.2f %.2f %.2f %.2f %.2f]",
+		a.N, a.Mean(), a.Min, s.Quantile(0.25), s.Quantile(0.5), s.Quantile(0.75), a.Max)
+}

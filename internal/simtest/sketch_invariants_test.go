@@ -1,0 +1,176 @@
+package simtest_test
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/midband5g/midband/internal/analysis"
+	"github.com/midband5g/midband/internal/simtest"
+	"github.com/midband5g/midband/internal/xcal"
+	"github.com/midband5g/midband/internal/xcol"
+)
+
+// sketchValues draws the heavy-tailed mixed-sign stream (plus exact
+// zeros, the outage-slot case) the quantile sketch must summarize.
+func sketchValues(rng *rand.Rand, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		x := math.Exp(rng.NormFloat64()*2) * 50
+		if i%3 == 0 {
+			x = -x
+		}
+		if i%500 == 0 {
+			x = 0
+		}
+		xs[i] = x
+	}
+	return xs
+}
+
+// TestSketchMergeInvariants checks that sketch merging is associative
+// and commutative in the strongest useful sense: any sharding of a
+// stream, merged in any order and any grouping, serializes to the byte
+// string of the serial sketch. This is what lets a parallel trace scan
+// reduce per-block sketches without a deterministic merge schedule.
+func TestSketchMergeInvariants(t *testing.T) {
+	simtest.Run(t, "sketch-merge", 6, func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		xs := sketchValues(rng, 10_000+rng.Intn(20_000))
+
+		ref := analysis.NewSketch()
+		for _, x := range xs {
+			ref.Add(x)
+		}
+		want := ref.AppendBinary(nil)
+
+		for _, shards := range []int{2, 3, 7, 16} {
+			parts := make([]*analysis.Sketch, shards)
+			for i := range parts {
+				parts[i] = analysis.NewSketch()
+			}
+			for i, x := range xs {
+				parts[i%shards].Add(x)
+			}
+
+			// Commutativity: a seeded permutation of the merge order.
+			order := rng.Perm(shards)
+			merged := analysis.NewSketch()
+			for _, i := range order {
+				merged.Merge(parts[i])
+			}
+			if got := merged.AppendBinary(nil); !bytes.Equal(got, want) {
+				t.Fatalf("%d shards merged in order %v: digest differs from serial sketch", shards, order)
+			}
+
+			// Associativity: left-fold vs right-fold groupings.
+			left := analysis.NewSketch()
+			for i := 0; i < shards; i++ {
+				left.Merge(parts[i])
+			}
+			right := analysis.NewSketch()
+			for i := shards - 1; i >= 0; i-- {
+				right.Merge(parts[i])
+			}
+			lb, rb := left.AppendBinary(nil), right.AppendBinary(nil)
+			if !bytes.Equal(lb, want) || !bytes.Equal(rb, want) {
+				t.Fatalf("%d shards: fold direction changed the digest", shards)
+			}
+		}
+	})
+}
+
+// TestSketchQuantileErrorBoundSweep sweeps seeds and stream sizes and
+// checks the advertised relative-accuracy guarantee |q̂-q|/|q| ≤ α
+// against exact sorted quantiles.
+func TestSketchQuantileErrorBoundSweep(t *testing.T) {
+	simtest.Run(t, "sketch-quantile", 8, func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5_000 + rng.Intn(45_000)
+		xs := sketchValues(rng, n)
+		s := analysis.NewSketch()
+		for _, x := range xs {
+			s.Add(x)
+		}
+		sort.Float64s(xs)
+		for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			exact := xs[int(q*float64(n-1))]
+			got := s.Quantile(q)
+			if exact == 0 {
+				if got != 0 {
+					t.Errorf("q=%g: got %g, want exact 0", q, got)
+				}
+				continue
+			}
+			if rel := math.Abs(got-exact) / math.Abs(exact); rel > analysis.SketchAlpha {
+				t.Errorf("q=%g: got %g, exact %g, relative error %g > %g",
+					q, got, exact, rel, analysis.SketchAlpha)
+			}
+		}
+	})
+}
+
+// TestScanShardedSketchByteIdentity is the end-to-end worker-count
+// invariant: sketching a columnar trace through the parallel block scan
+// must produce byte-identical digests for workers=1 and workers=N, and
+// both must match a plain sequential pass over the same records. The
+// scan shards the decode, never the statistics.
+func TestScanShardedSketchByteIdentity(t *testing.T) {
+	simtest.Run(t, "scan-sketch", 3, func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		n := xcol.BlockCap*3 + rng.Intn(2*xcol.BlockCap)
+
+		var buf bytes.Buffer
+		w, err := xcol.NewWriter(&buf, xcal.Meta{Operator: "sim", SlotDuration: 500 * time.Microsecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := analysis.NewSketch()
+		for i := 0; i < n; i++ {
+			sinr := float32(rng.NormFloat64()*8 + 15)
+			k := xcal.SlotKPI{
+				Slot:   int64(i),
+				Time:   time.Duration(i) * 500 * time.Microsecond,
+				RAT:    xcal.NR,
+				SINRdB: sinr,
+			}
+			if err := w.WriteKPI(&k); err != nil {
+				t.Fatal(err)
+			}
+			ref.Add(float64(sinr))
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		want := ref.AppendBinary(nil)
+
+		data := bytes.NewReader(buf.Bytes())
+		for _, workers := range []int{1, 4} {
+			s := analysis.NewSketch()
+			stats, err := xcol.ScanBlocks(context.Background(), data, int64(buf.Len()),
+				xcol.ScanOptions{Workers: workers, Columns: 1 << xcol.ColSINRdB},
+				func(b *xcol.Block) error {
+					blockSketch := analysis.NewSketch()
+					for i := 0; i < b.Count; i++ {
+						blockSketch.Add(float64(b.SINRdB[i]))
+					}
+					s.Merge(blockSketch)
+					return nil
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Records != uint64(n) || len(stats.Skipped) != 0 {
+				t.Fatalf("workers=%d: scanned %d/%d records, %d skipped",
+					workers, stats.Records, n, len(stats.Skipped))
+			}
+			if got := s.AppendBinary(nil); !bytes.Equal(got, want) {
+				t.Fatalf("workers=%d: merged digest differs from the sequential sketch", workers)
+			}
+		}
+	})
+}

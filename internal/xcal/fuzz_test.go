@@ -16,7 +16,22 @@ func FuzzDecodeSlotKPI(f *testing.F) {
 	f.Add(make([]byte, SlotKPISize-1))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var out SlotKPI
-		_ = DecodeSlotKPI(data, &out) // must not panic
+		if err := DecodeSlotKPI(data, &out); err == nil {
+			// A successful decode must re-encode losslessly: the frame is
+			// fixed-size with zero padding and no spare flag bits, so the
+			// bytes themselves must round-trip too.
+			enc := out.AppendTo(nil)
+			if !bytes.Equal(enc, data[:SlotKPISize]) {
+				t.Fatalf("SlotKPI re-encode diverged from accepted input:\n in %x\nout %x", data[:SlotKPISize], enc)
+			}
+			var back SlotKPI
+			if err := DecodeSlotKPI(enc, &back); err != nil {
+				t.Fatalf("re-decode of valid SlotKPI failed: %v", err)
+			}
+			if back != out {
+				t.Fatalf("SlotKPI round trip diverged: %+v vs %+v", out, back)
+			}
+		}
 	})
 }
 

@@ -135,10 +135,20 @@ func (k *SlotKPI) AppendTo(buf []byte) []byte {
 	return append(buf, b[:]...)
 }
 
-// DecodeSlotKPI decodes a record from b into k without allocating.
+// DecodeSlotKPI decodes a record from b into k without allocating. It
+// is strict: the payload must be exactly SlotKPISize bytes with zero
+// padding and no unknown flag bits, so every accepted record re-encodes
+// byte-identically via AppendTo — the property format conversions and
+// the fuzz harness rely on.
 func DecodeSlotKPI(b []byte, k *SlotKPI) error {
-	if len(b) < SlotKPISize {
-		return fmt.Errorf("xcal: slot KPI record truncated: %d bytes", len(b))
+	if len(b) != SlotKPISize {
+		return fmt.Errorf("xcal: slot KPI record is %d bytes, want %d", len(b), SlotKPISize)
+	}
+	if b[24]&^(flagACK|flagOutage) != 0 {
+		return fmt.Errorf("xcal: slot KPI record has unknown flag bits %#x", b[24])
+	}
+	if b[25] != 0 || b[30] != 0 || b[31] != 0 {
+		return fmt.Errorf("xcal: slot KPI record has nonzero padding")
 	}
 	k.Slot = int64(binary.LittleEndian.Uint64(b[0:]))
 	k.Time = time.Duration(binary.LittleEndian.Uint64(b[8:]))

@@ -20,6 +20,27 @@ import (
 
 var traceMagic = [8]byte{'X', 'C', 'A', 'L', '5', 'G', 'M', 'B'}
 
+// TraceMagic is the row-container magic, exported so tools can sniff a
+// file's format before choosing a reader.
+var TraceMagic = traceMagic
+
+// TraceWriter is the sink a capture session writes through — KPI
+// records plus control-plane signaling and event annotations. Both the
+// row Writer here and the columnar xcol.Writer implement it, so the
+// simulation core is format-agnostic: campaigns pick the container,
+// sessions just write. Close finalizes the stream (for containers with
+// a footer this is what makes the file complete); Flush only pushes
+// buffered bytes.
+type TraceWriter interface {
+	WriteKPI(k *SlotKPI) error
+	WriteMIB(m *MIB) error
+	WriteSIB1(s *SIB1) error
+	WriteDCI(d *DCI) error
+	WriteEvent(e Event) error
+	Flush() error
+	Close() error
+}
+
 // TraceVersion is the current format version.
 const TraceVersion uint16 = 1
 
@@ -150,6 +171,10 @@ func (w *Writer) Flush() error {
 	}
 	return w.w.Flush()
 }
+
+// Close finalizes the stream. The row container has no footer, so
+// Close is just Flush; it exists to satisfy TraceWriter.
+func (w *Writer) Close() error { return w.Flush() }
 
 // Reader reads a trace stream. Next decodes each frame into storage owned
 // by the Reader; the returned pointers are valid only until the following

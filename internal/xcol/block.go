@@ -1,0 +1,355 @@
+package xcol
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"github.com/midband5g/midband/internal/xcal"
+)
+
+// Block is one decoded batch of KPI records in column (structure-of-
+// arrays) form. Scanners decode into a reusable Block: the slices are
+// owned by the producer and valid only until its next Next/emit call —
+// the same ownership contract as xcal.Reader's frame storage. Columns
+// excluded by a projection have length zero.
+type Block struct {
+	// Count is the number of records in the block.
+	Count int
+	// FirstIndex is the absolute index of the block's first record in
+	// the trace's KPI stream.
+	FirstIndex uint64
+
+	Slot []int64
+	Time []time.Duration
+	// Carrier..HARQRetx mirror the uint8 fields of xcal.SlotKPI; RAT
+	// and Dir hold the numeric xcal.RAT / xcal.Direction codes.
+	Carrier, RAT, Dir, CQI, MCSTable, MCS, Rank, HARQRetx []uint8
+	ACK, Outage                                           []bool
+	RBs, ServingCell                                      []uint16
+	REs, TBSBits, DeliveredBits                           []uint32
+	SINRdB, RSRPdBm, RSRQdB, PosX, PosY                   []float32
+
+	// Const-fill memo: constN[id] > 0 means the column's backing array
+	// holds constN[id] leading copies of the const value whose encoded
+	// payload is constP[id][:constL[id]] — the decode of an identical
+	// const column is then a no-op. Invalidated whenever the array is
+	// reallocated or the column decodes non-const. Well-behaved traces
+	// keep fields like RAT, Dir or MCSTable constant for the whole run,
+	// so this turns their per-block fills into cache hits.
+	constN [numColumns]int32
+	constL [numColumns]int8
+	constP [numColumns][10]byte
+}
+
+func grow[T any](s []T, n int, inval *int32) []T {
+	if cap(s) < n {
+		*inval = 0
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// resize sets every selected column to length n (reusing capacity) and
+// truncates the rest.
+func (b *Block) resize(n int, cols ColumnSet) {
+	b.Count = n
+	size := func(id int) int {
+		if cols.Has(id) {
+			return n
+		}
+		return 0
+	}
+	b.Slot = grow(b.Slot, size(ColSlot), &b.constN[ColSlot])
+	b.Time = grow(b.Time, size(ColTime), &b.constN[ColTime])
+	b.Carrier = grow(b.Carrier, size(ColCarrier), &b.constN[ColCarrier])
+	b.RAT = grow(b.RAT, size(ColRAT), &b.constN[ColRAT])
+	b.Dir = grow(b.Dir, size(ColDir), &b.constN[ColDir])
+	b.CQI = grow(b.CQI, size(ColCQI), &b.constN[ColCQI])
+	b.MCSTable = grow(b.MCSTable, size(ColMCSTable), &b.constN[ColMCSTable])
+	b.MCS = grow(b.MCS, size(ColMCS), &b.constN[ColMCS])
+	b.Rank = grow(b.Rank, size(ColRank), &b.constN[ColRank])
+	b.HARQRetx = grow(b.HARQRetx, size(ColHARQRetx), &b.constN[ColHARQRetx])
+	b.ACK = grow(b.ACK, size(ColACK), &b.constN[ColACK])
+	b.Outage = grow(b.Outage, size(ColOutage), &b.constN[ColOutage])
+	b.RBs = grow(b.RBs, size(ColRBs), &b.constN[ColRBs])
+	b.ServingCell = grow(b.ServingCell, size(ColServingCell), &b.constN[ColServingCell])
+	b.REs = grow(b.REs, size(ColREs), &b.constN[ColREs])
+	b.TBSBits = grow(b.TBSBits, size(ColTBSBits), &b.constN[ColTBSBits])
+	b.DeliveredBits = grow(b.DeliveredBits, size(ColDeliveredBits), &b.constN[ColDeliveredBits])
+	b.SINRdB = grow(b.SINRdB, size(ColSINRdB), &b.constN[ColSINRdB])
+	b.RSRPdBm = grow(b.RSRPdBm, size(ColRSRPdBm), &b.constN[ColRSRPdBm])
+	b.RSRQdB = grow(b.RSRQdB, size(ColRSRQdB), &b.constN[ColRSRQdB])
+	b.PosX = grow(b.PosX, size(ColPosX), &b.constN[ColPosX])
+	b.PosY = grow(b.PosY, size(ColPosY), &b.constN[ColPosY])
+}
+
+// constSkip reports whether decoding column id from payload col can be
+// skipped because the backing array already holds its const fill. A
+// non-const encoding invalidates the memo — the decode about to run
+// will overwrite the array.
+func (b *Block) constSkip(id int, enc uint8, col []byte, n int) bool {
+	if enc != encConst {
+		b.constN[id] = 0
+		return false
+	}
+	return int(b.constN[id]) >= n && int(b.constL[id]) == len(col) &&
+		bytes.Equal(col, b.constP[id][:b.constL[id]])
+}
+
+// noteConst records a successful const decode for constSkip.
+func (b *Block) noteConst(id int, enc uint8, col []byte, n int) {
+	if enc != encConst || len(col) > len(b.constP[id]) {
+		return
+	}
+	b.constN[id] = int32(n)
+	b.constL[id] = int8(len(col))
+	copy(b.constP[id][:], col)
+}
+
+// reset empties the block, keeping capacity.
+func (b *Block) reset() { b.resize(0, AllColumns) }
+
+// appendKPI appends one record to every column (the Writer's builder
+// path).
+func (b *Block) appendKPI(k *xcal.SlotKPI) {
+	b.Count++
+	b.Slot = append(b.Slot, k.Slot)
+	b.Time = append(b.Time, k.Time)
+	b.Carrier = append(b.Carrier, k.Carrier)
+	b.RAT = append(b.RAT, uint8(k.RAT))
+	b.Dir = append(b.Dir, uint8(k.Dir))
+	b.CQI = append(b.CQI, k.CQI)
+	b.MCSTable = append(b.MCSTable, k.MCSTable)
+	b.MCS = append(b.MCS, k.MCS)
+	b.Rank = append(b.Rank, k.Rank)
+	b.HARQRetx = append(b.HARQRetx, k.HARQRetx)
+	b.ACK = append(b.ACK, k.ACK)
+	b.Outage = append(b.Outage, k.Outage)
+	b.RBs = append(b.RBs, k.RBs)
+	b.ServingCell = append(b.ServingCell, k.ServingCell)
+	b.REs = append(b.REs, k.REs)
+	b.TBSBits = append(b.TBSBits, k.TBSBits)
+	b.DeliveredBits = append(b.DeliveredBits, k.DeliveredBits)
+	b.SINRdB = append(b.SINRdB, k.SINRdB)
+	b.RSRPdBm = append(b.RSRPdBm, k.RSRPdBm)
+	b.RSRQdB = append(b.RSRQdB, k.RSRQdB)
+	b.PosX = append(b.PosX, k.PosX)
+	b.PosY = append(b.PosY, k.PosY)
+}
+
+// Row materializes record i into k. It requires a full (unprojected)
+// decode.
+func (b *Block) Row(i int, k *xcal.SlotKPI) {
+	k.Slot = b.Slot[i]
+	k.Time = b.Time[i]
+	k.Carrier = b.Carrier[i]
+	k.RAT = xcal.RAT(b.RAT[i])
+	k.Dir = xcal.Direction(b.Dir[i])
+	k.CQI = b.CQI[i]
+	k.MCSTable = b.MCSTable[i]
+	k.MCS = b.MCS[i]
+	k.Rank = b.Rank[i]
+	k.HARQRetx = b.HARQRetx[i]
+	k.ACK = b.ACK[i]
+	k.Outage = b.Outage[i]
+	k.RBs = b.RBs[i]
+	k.ServingCell = b.ServingCell[i]
+	k.REs = b.REs[i]
+	k.TBSBits = b.TBSBits[i]
+	k.DeliveredBits = b.DeliveredBits[i]
+	k.SINRdB = b.SINRdB[i]
+	k.RSRPdBm = b.RSRPdBm[i]
+	k.RSRQdB = b.RSRQdB[i]
+	k.PosX = b.PosX[i]
+	k.PosY = b.PosY[i]
+}
+
+// AppendRows materializes every record onto dst and returns it.
+func (b *Block) AppendRows(dst []xcal.SlotKPI) []xcal.SlotKPI {
+	var k xcal.SlotKPI
+	for i := 0; i < b.Count; i++ {
+		b.Row(i, &k)
+		dst = append(dst, k)
+	}
+	return dst
+}
+
+// blockEncoder holds the scratch buffer column encoding stages through.
+type blockEncoder struct {
+	scratch []byte
+}
+
+func (e *blockEncoder) col(dst []byte, id int, enc uint8, data []byte) []byte {
+	dst = append(dst, uint8(id), enc)
+	dst = appendUvarintBytes(dst, data)
+	return dst
+}
+
+func appendUvarintBytes(dst, data []byte) []byte {
+	var lenBuf [10]byte
+	n := 0
+	v := uint64(len(data))
+	for v >= 0x80 {
+		lenBuf[n] = byte(v) | 0x80
+		v >>= 7
+		n++
+	}
+	lenBuf[n] = byte(v)
+	dst = append(dst, lenBuf[:n+1]...)
+	return append(dst, data...)
+}
+
+// encodeKPIBlock appends the canonical columnar payload of b: the
+// column count, then every column in ID order as
+// [id u8][enc u8][len uvarint][data]. The encoding is deterministic —
+// identical records always produce identical bytes.
+func (e *blockEncoder) encodeKPIBlock(dst []byte, b *Block) []byte {
+	dst = append(dst, uint8(numColumns))
+	var enc uint8
+	emit := func(dst []byte, id int) []byte { return e.col(dst, id, enc, e.scratch) }
+
+	enc, e.scratch = encodeIntCol(e.scratch[:0], b.Slot, 8)
+	dst = emit(dst, ColSlot)
+	enc, e.scratch = encodeIntCol(e.scratch[:0], b.Time, 8)
+	dst = emit(dst, ColTime)
+	enc, e.scratch = encodeIntCol(e.scratch[:0], b.Carrier, 1)
+	dst = emit(dst, ColCarrier)
+	enc, e.scratch = encodeIntCol(e.scratch[:0], b.RAT, 1)
+	dst = emit(dst, ColRAT)
+	enc, e.scratch = encodeIntCol(e.scratch[:0], b.Dir, 1)
+	dst = emit(dst, ColDir)
+	enc, e.scratch = encodeIntCol(e.scratch[:0], b.CQI, 1)
+	dst = emit(dst, ColCQI)
+	enc, e.scratch = encodeIntCol(e.scratch[:0], b.MCSTable, 1)
+	dst = emit(dst, ColMCSTable)
+	enc, e.scratch = encodeIntCol(e.scratch[:0], b.MCS, 1)
+	dst = emit(dst, ColMCS)
+	enc, e.scratch = encodeIntCol(e.scratch[:0], b.Rank, 1)
+	dst = emit(dst, ColRank)
+	enc, e.scratch = encodeIntCol(e.scratch[:0], b.HARQRetx, 1)
+	dst = emit(dst, ColHARQRetx)
+	enc, e.scratch = encodeBoolCol(e.scratch[:0], b.ACK)
+	dst = emit(dst, ColACK)
+	enc, e.scratch = encodeBoolCol(e.scratch[:0], b.Outage)
+	dst = emit(dst, ColOutage)
+	enc, e.scratch = encodeIntCol(e.scratch[:0], b.RBs, 2)
+	dst = emit(dst, ColRBs)
+	enc, e.scratch = encodeIntCol(e.scratch[:0], b.ServingCell, 2)
+	dst = emit(dst, ColServingCell)
+	enc, e.scratch = encodeIntCol(e.scratch[:0], b.REs, 4)
+	dst = emit(dst, ColREs)
+	enc, e.scratch = encodeIntCol(e.scratch[:0], b.TBSBits, 4)
+	dst = emit(dst, ColTBSBits)
+	enc, e.scratch = encodeIntCol(e.scratch[:0], b.DeliveredBits, 4)
+	dst = emit(dst, ColDeliveredBits)
+	enc, e.scratch = encodeFloatCol(e.scratch[:0], b.SINRdB)
+	dst = emit(dst, ColSINRdB)
+	enc, e.scratch = encodeFloatCol(e.scratch[:0], b.RSRPdBm)
+	dst = emit(dst, ColRSRPdBm)
+	enc, e.scratch = encodeFloatCol(e.scratch[:0], b.RSRQdB)
+	dst = emit(dst, ColRSRQdB)
+	enc, e.scratch = encodeFloatCol(e.scratch[:0], b.PosX)
+	dst = emit(dst, ColPosX)
+	enc, e.scratch = encodeFloatCol(e.scratch[:0], b.PosY)
+	dst = emit(dst, ColPosY)
+	return dst
+}
+
+// decodeKPIBlock decodes a KPI block payload of count records into b,
+// materializing only the selected columns. The input is untrusted:
+// every structural claim is validated and an error is returned instead
+// of panicking or reading out of bounds.
+func decodeKPIBlock(data []byte, count int, b *Block, cols ColumnSet, firstIndex uint64) error {
+	if count < 1 || count > maxBlockRecords {
+		return fmt.Errorf("block count %d out of range", count)
+	}
+	if len(data) < 1 {
+		return fmt.Errorf("empty block payload")
+	}
+	ncols := int(data[0])
+	if ncols != numColumns {
+		return fmt.Errorf("block has %d columns, want %d", ncols, numColumns)
+	}
+	b.resize(count, cols)
+	b.FirstIndex = firstIndex
+	pos := 1
+	prevID := -1
+	for c := 0; c < ncols; c++ {
+		if pos+2 > len(data) {
+			return fmt.Errorf("truncated column header")
+		}
+		id, enc := int(data[pos]), data[pos+1]
+		if id <= prevID || id >= numColumns {
+			return fmt.Errorf("column id %d out of order", id)
+		}
+		prevID = id
+		l, p := uvarint(data, pos+2)
+		if p < 0 || l > uint64(len(data)-p) {
+			return fmt.Errorf("column %d: bad length", id)
+		}
+		col := data[p : p+int(l)]
+		pos = p + int(l)
+		if !cols.Has(id) {
+			continue
+		}
+		if b.constSkip(id, enc, col, count) {
+			continue
+		}
+		var err error
+		switch id {
+		case ColSlot:
+			err = decodeIntCol(col, enc, b.Slot, 8)
+		case ColTime:
+			err = decodeIntCol(col, enc, b.Time, 8)
+		case ColCarrier:
+			err = decodeU8Col(col, enc, b.Carrier)
+		case ColRAT:
+			err = decodeU8Col(col, enc, b.RAT)
+		case ColDir:
+			err = decodeU8Col(col, enc, b.Dir)
+		case ColCQI:
+			err = decodeU8Col(col, enc, b.CQI)
+		case ColMCSTable:
+			err = decodeU8Col(col, enc, b.MCSTable)
+		case ColMCS:
+			err = decodeU8Col(col, enc, b.MCS)
+		case ColRank:
+			err = decodeU8Col(col, enc, b.Rank)
+		case ColHARQRetx:
+			err = decodeU8Col(col, enc, b.HARQRetx)
+		case ColACK:
+			err = decodeBoolCol(col, enc, b.ACK)
+		case ColOutage:
+			err = decodeBoolCol(col, enc, b.Outage)
+		case ColRBs:
+			err = decodeIntCol(col, enc, b.RBs, 2)
+		case ColServingCell:
+			err = decodeIntCol(col, enc, b.ServingCell, 2)
+		case ColREs:
+			err = decodeIntCol(col, enc, b.REs, 4)
+		case ColTBSBits:
+			err = decodeIntCol(col, enc, b.TBSBits, 4)
+		case ColDeliveredBits:
+			err = decodeIntCol(col, enc, b.DeliveredBits, 4)
+		case ColSINRdB:
+			err = decodeFloatCol(col, enc, b.SINRdB)
+		case ColRSRPdBm:
+			err = decodeFloatCol(col, enc, b.RSRPdBm)
+		case ColRSRQdB:
+			err = decodeFloatCol(col, enc, b.RSRQdB)
+		case ColPosX:
+			err = decodeFloatCol(col, enc, b.PosX)
+		case ColPosY:
+			err = decodeFloatCol(col, enc, b.PosY)
+		}
+		if err != nil {
+			return fmt.Errorf("column %d: %w", id, err)
+		}
+		b.noteConst(id, enc, col, count)
+	}
+	if pos != len(data) {
+		return fmt.Errorf("%d trailing bytes after columns", len(data)-pos)
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package xcol
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/midband5g/midband/internal/fleet"
+)
+
+// ScanOptions configure one ScanBlocks call.
+type ScanOptions struct {
+	// Workers is the decode pool size; <=0 means GOMAXPROCS.
+	Workers int
+	// Window bounds decoded-but-unemitted blocks; <=0 means 2×workers.
+	// Peak memory is O(Window × BlockCap) regardless of trace size.
+	Window int
+	// Columns restricts which columns are decoded; zero means all.
+	Columns ColumnSet
+}
+
+// ScanStats summarizes one completed scan.
+type ScanStats struct {
+	// Blocks is the number of KPI blocks delivered.
+	Blocks int
+	// Records is the number of KPI records delivered.
+	Records uint64
+	// Skipped is the provenance of every corrupt block, in file order.
+	Skipped []BlockError
+}
+
+// scanUnit is one pooled decode target: a job reads and decodes into
+// it, the emit path drains it and returns it to the free list, so a
+// scan allocates O(Window) units total.
+type scanUnit struct {
+	buf  []byte
+	blk  Block
+	berr *BlockError
+}
+
+// ScanBlocks streams every KPI block of a columnar trace through emit
+// in file order, decoding blocks in parallel on a bounded window
+// (fleet.Stream). Corrupt blocks are skipped with provenance in
+// Skipped; only I/O and emit errors abort the scan. The *Block passed
+// to emit is pooled — valid only until emit returns.
+//
+// Determinism: for a fixed input the emit sequence and the returned
+// stats are identical for any Workers/Window setting — workers shard
+// the decode, never the semantics.
+func ScanBlocks(ctx context.Context, r io.ReaderAt, size int64, opts ScanOptions, emit func(*Block) error) (*ScanStats, error) {
+	s, err := NewScanner(r, size)
+	if err != nil {
+		return nil, err
+	}
+	s.SetProjection(opts.Columns)
+	stats := &ScanStats{}
+	if s.Sequential() || len(s.kpi) == 0 {
+		// No usable index: the block boundaries are only discoverable by
+		// walking, so decode serially.
+		for {
+			b, err := s.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return stats, err
+			}
+			stats.Blocks++
+			stats.Records += uint64(b.Count)
+			if err := emit(b); err != nil {
+				return stats, err
+			}
+		}
+		stats.Skipped = s.Corrupt()
+		return stats, nil
+	}
+
+	workers := fleet.EffectiveWorkers(opts.Workers)
+	if workers > len(s.kpi) {
+		workers = len(s.kpi)
+	}
+	window := opts.Window
+	if window <= 0 {
+		window = 2 * workers
+	}
+	if window < workers {
+		window = workers
+	}
+	if window > len(s.kpi) {
+		window = len(s.kpi)
+	}
+
+	free := make(chan *scanUnit, window)
+	for i := 0; i < window; i++ {
+		free <- &scanUnit{}
+	}
+	br, _ := r.(ByteRanger)
+	jobs := make([]fleet.Job[*scanUnit], len(s.kpi))
+	for ji, ord := range s.kpi {
+		e := s.index[ord]
+		ord := ord
+		jobs[ji] = fleet.Job[*scanUnit]{
+			Key: fmt.Sprintf("block-%d", ord),
+			Run: func(ctx context.Context) (*scanUnit, error) {
+				// ctx-aware acquire: after a cancel the emit path stops
+				// returning units, and a bare receive would hang the pool.
+				var u *scanUnit
+				select {
+				case u = <-free:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+				u.berr = nil
+				var payload []byte
+				if br != nil {
+					var err error
+					payload, err = br.ByteRange(int64(e.Offset+headerSize), int(e.Len))
+					if err != nil {
+						free <- u
+						return nil, fmt.Errorf("block %d at offset %d: reading payload: %w", ord, e.Offset, err)
+					}
+				} else {
+					if cap(u.buf) < int(e.Len) {
+						u.buf = make([]byte, e.Len)
+					}
+					u.buf = u.buf[:e.Len]
+					if _, err := r.ReadAt(u.buf, int64(e.Offset+headerSize)); err != nil {
+						free <- u
+						return nil, fmt.Errorf("block %d at offset %d: reading payload: %w", ord, e.Offset, err)
+					}
+					payload = u.buf
+				}
+				if checksum(payload) != e.CRC {
+					u.berr = &BlockError{Offset: e.Offset, Kind: e.Kind, Index: ord,
+						Err: errors.New("payload CRC mismatch")}
+					return u, nil
+				}
+				if err := decodeKPIBlock(payload, int(e.Count), &u.blk, opts.Columns, e.First); err != nil {
+					u.berr = &BlockError{Offset: e.Offset, Kind: e.Kind, Index: ord, Err: err}
+					return u, nil
+				}
+				return u, nil
+			},
+		}
+	}
+	streamErr := fleet.Stream(ctx, jobs, fleet.StreamOptions{Workers: workers, Window: window},
+		func(res fleet.Result[*scanUnit]) error {
+			u := res.Value
+			if res.Err != nil || u == nil {
+				return nil // Stream fail-fasts on res.Err itself
+			}
+			defer func() { free <- u }()
+			if u.berr != nil {
+				stats.Skipped = append(stats.Skipped, *u.berr)
+				return nil
+			}
+			stats.Blocks++
+			stats.Records += uint64(u.blk.Count)
+			return emit(&u.blk)
+		})
+	if streamErr != nil {
+		return stats, streamErr
+	}
+	return stats, nil
+}

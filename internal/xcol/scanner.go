@@ -1,0 +1,485 @@
+package xcol
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/midband5g/midband/internal/xcal"
+)
+
+// Scanner reads a columnar trace. With an intact footer it seeks
+// straight to KPI blocks through the index; when the tail or index is
+// damaged it falls back to a sequential walk of the block headers.
+// Either way, a block that fails its CRC or decode is skipped and
+// recorded — Corrupt() returns the provenance in file order — and
+// malformed input produces errors, never panics.
+//
+// Next decodes into a Block owned by the Scanner (preallocated-decode
+// idiom): the returned Block and its column slices are valid only
+// until the next call.
+// ByteRanger is an optional interface an io.ReaderAt may implement to
+// hand out zero-copy views of its bytes. In-memory scans (BytesReaderAt)
+// use it to skip the per-block payload copy entirely.
+type ByteRanger interface {
+	// ByteRange returns a read-only view of n bytes at off, valid for
+	// the life of the ranger.
+	ByteRange(off int64, n int) ([]byte, error)
+}
+
+// BytesReaderAt adapts an in-memory trace to the scanner interfaces
+// with zero-copy reads.
+type BytesReaderAt []byte
+
+// ReadAt implements io.ReaderAt.
+func (b BytesReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off > int64(len(b)) {
+		return 0, fmt.Errorf("xcol: read at %d out of range", off)
+	}
+	n := copy(p, b[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// ByteRange implements ByteRanger.
+func (b BytesReaderAt) ByteRange(off int64, n int) ([]byte, error) {
+	if off < 0 || n < 0 || off+int64(n) > int64(len(b)) {
+		return nil, fmt.Errorf("xcol: range [%d,%d) out of range", off, off+int64(n))
+	}
+	return b[off : off+int64(n)], nil
+}
+
+type Scanner struct {
+	r    io.ReaderAt
+	br   ByteRanger // non-nil when r supports zero-copy views
+	size int64
+
+	meta    xcal.Meta
+	metaRaw []byte
+
+	index    []IndexEntry // nil in sequential mode
+	kpi      []int        // index positions of KPI blocks
+	pos      int          // next kpi entry (indexed) / block ordinal (sequential)
+	seqOff   int64        // next block header offset (sequential)
+	seqStart int64        // offset of the first post-meta block (sequential)
+	seqRecs  uint64       // KPI records decoded so far (sequential)
+	indexErr error        // why the footer was unusable (sequential mode)
+
+	proj    ColumnSet
+	blk     Block
+	buf     []byte
+	corrupt []BlockError
+	done    bool
+}
+
+// NewScanner validates the header, loads the index (or arms the
+// sequential fallback) and reads the metadata block.
+func NewScanner(r io.ReaderAt, size int64) (*Scanner, error) {
+	s := &Scanner{r: r, size: size}
+	if br, ok := r.(ByteRanger); ok {
+		s.br = br
+	}
+	var head [fileHeaderSize]byte
+	if _, err := r.ReadAt(head[:], 0); err != nil {
+		return nil, fmt.Errorf("xcol: reading file header: %w", err)
+	}
+	if [8]byte(head[:8]) != Magic {
+		return nil, errors.New("xcol: bad magic: not a columnar trace")
+	}
+	if v := binary.LittleEndian.Uint16(head[8:]); v != Version {
+		return nil, fmt.Errorf("xcol: unsupported version %d", v)
+	}
+	if err := s.loadIndex(); err != nil {
+		s.indexErr = err
+		s.index = nil
+		s.kpi = nil
+	}
+	if err := s.loadMeta(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenFile opens a columnar trace file for scanning.
+func OpenFile(path string) (*Scanner, *os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	s, err := NewScanner(f, fi.Size())
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return s, f, nil
+}
+
+func (s *Scanner) loadIndex() error {
+	if s.size < fileHeaderSize+tailSize {
+		return errors.New("no footer: file too short")
+	}
+	var tail [tailSize]byte
+	if _, err := s.r.ReadAt(tail[:], s.size-tailSize); err != nil {
+		return fmt.Errorf("reading tail: %w", err)
+	}
+	if [8]byte(tail[16:]) != tailMagic {
+		return errors.New("no tail magic")
+	}
+	off := binary.LittleEndian.Uint64(tail[0:])
+	l := binary.LittleEndian.Uint32(tail[8:])
+	crc := binary.LittleEndian.Uint32(tail[12:])
+	if off < fileHeaderSize || uint64(l) > uint64(s.size-tailSize) ||
+		off+uint64(l) > uint64(s.size-tailSize) {
+		return errors.New("index out of bounds")
+	}
+	payload := make([]byte, l)
+	if _, err := s.r.ReadAt(payload, int64(off)); err != nil {
+		return fmt.Errorf("reading index: %w", err)
+	}
+	if checksum(payload) != crc {
+		return errors.New("index CRC mismatch")
+	}
+	n, pos := uvarint(payload, 0)
+	if pos < 0 || uint64(len(payload)-pos) != n*indexEntrySize {
+		return errors.New("index size mismatch")
+	}
+	index := make([]IndexEntry, 0, n)
+	var kpi []int
+	for i := 0; i < int(n); i++ {
+		e := IndexEntry{
+			Kind:      payload[pos],
+			Offset:    binary.LittleEndian.Uint64(payload[pos+1:]),
+			Len:       binary.LittleEndian.Uint32(payload[pos+9:]),
+			Count:     binary.LittleEndian.Uint32(payload[pos+13:]),
+			First:     binary.LittleEndian.Uint64(payload[pos+17:]),
+			FirstSlot: int64(binary.LittleEndian.Uint64(payload[pos+25:])),
+			CRC:       binary.LittleEndian.Uint32(payload[pos+33:]),
+		}
+		pos += indexEntrySize
+		if e.Kind < kindMeta || e.Kind > kindAux {
+			return fmt.Errorf("index entry %d: bad kind %d", i, e.Kind)
+		}
+		if e.Offset < fileHeaderSize || e.Len > maxBlockBytes ||
+			e.Offset+headerSize+uint64(e.Len) > uint64(s.size) ||
+			e.Count > maxBlockRecords {
+			return fmt.Errorf("index entry %d: out of bounds", i)
+		}
+		if e.Kind == kindKPI {
+			kpi = append(kpi, i)
+		}
+		index = append(index, e)
+	}
+	if len(index) == 0 || index[0].Kind != kindMeta {
+		return errors.New("index missing meta block")
+	}
+	s.index, s.kpi = index, kpi
+	return nil
+}
+
+func (s *Scanner) loadMeta() error {
+	var payload []byte
+	if s.index != nil {
+		e := s.index[0]
+		payload = make([]byte, e.Len)
+		if _, err := s.r.ReadAt(payload, int64(e.Offset+headerSize)); err != nil {
+			return fmt.Errorf("xcol: reading meta: %w", err)
+		}
+		if checksum(payload) != e.CRC {
+			return errors.New("xcol: meta CRC mismatch")
+		}
+	} else {
+		// Sequential mode: read the first block and leave the cursor
+		// positioned after it for Next.
+		s.seqOff = fileHeaderSize
+		kind, _, p, _, err := s.readSeqBlock()
+		if err != nil {
+			return fmt.Errorf("xcol: reading meta block: %w", err)
+		}
+		if kind != kindMeta {
+			return fmt.Errorf("xcol: first block is kind %d, want meta", kind)
+		}
+		payload = append([]byte(nil), p...)
+		s.pos = 1
+		s.seqStart = s.seqOff
+	}
+	if err := json.Unmarshal(payload, &s.meta); err != nil {
+		return fmt.Errorf("xcol: decoding meta: %w", err)
+	}
+	s.metaRaw = payload
+	return nil
+}
+
+// Meta returns the trace metadata.
+func (s *Scanner) Meta() xcal.Meta { return s.meta }
+
+// MetaJSON returns the verbatim metadata payload.
+func (s *Scanner) MetaJSON() []byte { return s.metaRaw }
+
+// Index returns the block index, or nil when the scanner is running on
+// the sequential fallback.
+func (s *Scanner) Index() []IndexEntry { return s.index }
+
+// Sequential reports whether the footer was unusable; Err then reports
+// why.
+func (s *Scanner) Sequential() bool { return s.index == nil }
+
+// IndexErr returns the reason the footer was rejected, or nil.
+func (s *Scanner) IndexErr() error { return s.indexErr }
+
+// NumRecords returns the indexed KPI record count (0 in sequential
+// mode — count by scanning).
+func (s *Scanner) NumRecords() uint64 {
+	var n uint64
+	for _, i := range s.kpi {
+		n += uint64(s.index[i].Count)
+	}
+	return n
+}
+
+// SetProjection restricts which columns Next materializes; zero means
+// all columns.
+func (s *Scanner) SetProjection(cols ColumnSet) { s.proj = cols }
+
+// Corrupt returns the provenance of every block skipped so far, in
+// file order.
+func (s *Scanner) Corrupt() []BlockError { return s.corrupt }
+
+// Reset rewinds the scanner to the first KPI block, reusing its decode
+// buffers. Accumulated corruption provenance is cleared.
+func (s *Scanner) Reset() {
+	s.done = false
+	s.corrupt = s.corrupt[:0]
+	s.seqRecs = 0
+	if s.index != nil {
+		s.pos = 0
+		return
+	}
+	s.pos = 1
+	s.seqOff = s.seqStart
+}
+
+func (s *Scanner) skip(off uint64, kind uint8, idx int, err error) {
+	s.corrupt = append(s.corrupt, BlockError{Offset: off, Kind: kind, Index: idx, Err: err})
+}
+
+// payload returns length bytes at off — a zero-copy view when the
+// source supports it, the scanner's reused buffer otherwise.
+func (s *Scanner) payload(off int64, length int) ([]byte, error) {
+	if s.br != nil {
+		return s.br.ByteRange(off, length)
+	}
+	if cap(s.buf) < length {
+		s.buf = make([]byte, length)
+	}
+	s.buf = s.buf[:length]
+	if _, err := s.r.ReadAt(s.buf, off); err != nil {
+		return nil, err
+	}
+	return s.buf, nil
+}
+
+// readSeqBlock reads the block at seqOff, advancing past it. The
+// returned payload aliases the scanner's buffer.
+func (s *Scanner) readSeqBlock() (kind uint8, count uint32, payload []byte, off uint64, err error) {
+	off = uint64(s.seqOff)
+	if s.seqOff+headerSize > s.size {
+		return 0, 0, nil, off, io.EOF
+	}
+	var head [headerSize]byte
+	if _, err := s.r.ReadAt(head[:], s.seqOff); err != nil {
+		return 0, 0, nil, off, fmt.Errorf("reading block header: %w", err)
+	}
+	kind = head[0]
+	count = binary.LittleEndian.Uint32(head[1:])
+	l := binary.LittleEndian.Uint32(head[5:])
+	crc := binary.LittleEndian.Uint32(head[9:])
+	if kind < kindMeta || kind > kindIndex || l > maxBlockBytes || count > maxBlockRecords {
+		return kind, 0, nil, off, fmt.Errorf("implausible block header (kind %d, %d bytes)", kind, l)
+	}
+	if s.seqOff+headerSize+int64(l) > s.size {
+		return kind, count, nil, off, fmt.Errorf("block truncated: %d payload bytes past end of file", l)
+	}
+	if cap(s.buf) < int(l) {
+		s.buf = make([]byte, l)
+	}
+	s.buf = s.buf[:l]
+	if _, err := s.r.ReadAt(s.buf, s.seqOff+headerSize); err != nil {
+		return kind, count, nil, off, fmt.Errorf("reading block payload: %w", err)
+	}
+	s.seqOff += headerSize + int64(l)
+	if checksum(s.buf) != crc {
+		return kind, count, nil, off, errors.New("payload CRC mismatch")
+	}
+	return kind, count, s.buf, off, nil
+}
+
+// Next returns the next KPI block, skipping non-KPI blocks and
+// recording corrupt ones. It returns io.EOF at end of trace.
+func (s *Scanner) Next() (*Block, error) {
+	if s.done {
+		return nil, io.EOF
+	}
+	if s.index != nil {
+		for s.pos < len(s.kpi) {
+			e := s.index[s.kpi[s.pos]]
+			ord := s.kpi[s.pos]
+			s.pos++
+			payload, err := s.payload(int64(e.Offset+headerSize), int(e.Len))
+			if err != nil {
+				s.skip(e.Offset, e.Kind, ord, fmt.Errorf("reading payload: %w", err))
+				continue
+			}
+			if checksum(payload) != e.CRC {
+				s.skip(e.Offset, e.Kind, ord, errors.New("payload CRC mismatch"))
+				continue
+			}
+			if err := decodeKPIBlock(payload, int(e.Count), &s.blk, s.proj, e.First); err != nil {
+				s.skip(e.Offset, e.Kind, ord, err)
+				continue
+			}
+			return &s.blk, nil
+		}
+		s.done = true
+		return nil, io.EOF
+	}
+	// Sequential fallback: walk headers. A header that fails its
+	// plausibility checks ends the walk — without the index there is
+	// no way to resynchronize past it.
+	for {
+		if s.seqOff == s.size-tailSize || s.seqOff == s.size {
+			s.done = true
+			return nil, io.EOF
+		}
+		kind, count, payload, off, err := s.readSeqBlock()
+		ord := s.pos
+		s.pos++
+		if err == io.EOF {
+			s.done = true
+			return nil, io.EOF
+		}
+		if err != nil {
+			s.skip(off, kind, ord, err)
+			if payload == nil && s.seqOff == int64(off) {
+				// Framing lost: the walk cannot continue.
+				s.done = true
+				return nil, io.EOF
+			}
+			continue
+		}
+		switch kind {
+		case kindKPI:
+			if err := decodeKPIBlock(payload, int(count), &s.blk, s.proj, s.seqRecs); err != nil {
+				s.skip(off, kind, ord, err)
+				s.seqRecs += uint64(count)
+				continue
+			}
+			s.seqRecs += uint64(count)
+			return &s.blk, nil
+		case kindIndex:
+			// The index precedes the tail; nothing but the tail follows.
+			s.done = true
+			return nil, io.EOF
+		default:
+			continue
+		}
+	}
+}
+
+// AuxFrames replays every signaling sub-frame (MIB/SIB1/DCI/Event) in
+// file order, calling fn with the frame type, its position in the KPI
+// stream (the number of KPI records written before it) and its payload.
+// The payload aliases an internal buffer — copy to retain. Corrupt aux
+// blocks are skipped with provenance like KPI blocks.
+func (s *Scanner) AuxFrames(fn func(t xcal.FrameType, pos uint64, payload []byte) error) error {
+	emit := func(payload []byte, count uint32, off uint64, ord int) error {
+		p := 0
+		for i := uint32(0); i < count; i++ {
+			if p >= len(payload) {
+				s.skip(off, kindAux, ord, fmt.Errorf("aux block: truncated at frame %d", i))
+				return nil
+			}
+			t := xcal.FrameType(payload[p])
+			pos, pp := uvarint(payload, p+1)
+			if pp < 0 {
+				s.skip(off, kindAux, ord, fmt.Errorf("aux block: bad position at frame %d", i))
+				return nil
+			}
+			l, pp2 := uvarint(payload, pp)
+			if pp2 < 0 || l > uint64(len(payload)-pp2) {
+				s.skip(off, kindAux, ord, fmt.Errorf("aux block: bad length at frame %d", i))
+				return nil
+			}
+			if err := fn(t, pos, payload[pp2:pp2+int(l)]); err != nil {
+				return err
+			}
+			p = pp2 + int(l)
+		}
+		if p != len(payload) {
+			s.skip(off, kindAux, ord, fmt.Errorf("aux block: %d trailing bytes", len(payload)-p))
+		}
+		return nil
+	}
+	if s.index != nil {
+		for ord, e := range s.index {
+			if e.Kind != kindAux {
+				continue
+			}
+			buf := make([]byte, e.Len)
+			if _, err := s.r.ReadAt(buf, int64(e.Offset+headerSize)); err != nil {
+				s.skip(e.Offset, e.Kind, ord, fmt.Errorf("reading payload: %w", err))
+				continue
+			}
+			if checksum(buf) != e.CRC {
+				s.skip(e.Offset, e.Kind, ord, errors.New("payload CRC mismatch"))
+				continue
+			}
+			if err := emit(buf, e.Count, e.Offset, ord); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Sequential: independent walk from the first block.
+	off := int64(fileHeaderSize)
+	ord := 0
+	for off+headerSize <= s.size && off != s.size-tailSize {
+		var head [headerSize]byte
+		if _, err := s.r.ReadAt(head[:], off); err != nil {
+			return nil
+		}
+		kind := head[0]
+		count := binary.LittleEndian.Uint32(head[1:])
+		l := binary.LittleEndian.Uint32(head[5:])
+		crc := binary.LittleEndian.Uint32(head[9:])
+		if kind < kindMeta || kind > kindIndex || l > maxBlockBytes || count > maxBlockRecords ||
+			off+headerSize+int64(l) > s.size {
+			return nil
+		}
+		if kind == kindAux {
+			buf := make([]byte, l)
+			if _, err := s.r.ReadAt(buf, off+headerSize); err != nil {
+				return nil
+			}
+			if checksum(buf) == crc {
+				if err := emit(buf, count, uint64(off), ord); err != nil {
+					return err
+				}
+			} else {
+				s.skip(uint64(off), kind, ord, errors.New("payload CRC mismatch"))
+			}
+		}
+		off += headerSize + int64(l)
+		ord++
+	}
+	return nil
+}

@@ -8,15 +8,17 @@
 #                                 (fails on >10% ns/op regression)
 #
 # The benchmark set is the per-slot hot path: channel fading step, TBS
-# lookup (direct and memoized), the full carrier scheduler step, and the
-# aggregated link step. Use -count via BENCH_COUNT (default 5) — averaging
-# repeated runs is what makes the 10% gate usable on noisy machines.
+# lookup (direct and memoized), the full carrier scheduler step, the
+# aggregated link step, and the columnar trace pipeline (block encode on
+# the write side, projected block decode on the scan side). Use -count via
+# BENCH_COUNT (default 5) — averaging repeated runs is what makes the 10%
+# gate usable on noisy machines.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${BENCH_COUNT:-5}"
-FILTER='BenchmarkChannelStep|BenchmarkTBS$|BenchmarkTBSCached|BenchmarkCarrierStep|BenchmarkLinkStep'
-PKGS="./internal/channel ./internal/phy ./internal/gnb ."
+FILTER='BenchmarkChannelStep|BenchmarkTBS$|BenchmarkTBSCached|BenchmarkCarrierStep|BenchmarkLinkStep|BenchmarkBlockScan|BenchmarkBlockWrite'
+PKGS="./internal/channel ./internal/phy ./internal/gnb ./internal/xcol ."
 
 run_bench() {
     # -benchtime keeps a 5x run under ~2 minutes while giving stable numbers.
