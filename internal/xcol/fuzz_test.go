@@ -86,6 +86,7 @@ func FuzzDecodeFooter(f *testing.F) {
 	f.Add(footer)
 	f.Add([]byte{})
 	f.Add(footer[:len(footer)/2])
+	f.Add(overflowIndexFooter(uint64(bodyLen)))
 	f.Fuzz(func(t *testing.T, tail []byte) {
 		file := append(append([]byte(nil), body...), tail...)
 		s, err := NewScanner(BytesReaderAt(file), int64(len(file)))

@@ -188,6 +188,99 @@ func TestCorruptIndexFallsBack(t *testing.T) {
 	}
 }
 
+// overflowIndexFooter builds an index payload + tail whose varint entry
+// count n is chosen so n*indexEntrySize wraps modulo 2^64 to exactly the
+// remaining payload length: a size check that multiplies instead of
+// dividing accepts it and then panics in make([]IndexEntry, 0, n). The
+// tail points the index at file offset off with a valid CRC.
+func overflowIndexFooter(off uint64) []byte {
+	// indexEntrySize is odd, so it is invertible mod 2^64; Newton
+	// iteration converges to the inverse in 6 steps.
+	inv := uint64(indexEntrySize)
+	for i := 0; i < 6; i++ {
+		inv *= 2 - uint64(indexEntrySize)*inv
+	}
+	const rem = 10 // not a multiple of indexEntrySize
+	payload := binary.AppendUvarint(nil, rem*inv)
+	payload = append(payload, make([]byte, rem)...)
+	var tail [tailSize]byte
+	binary.LittleEndian.PutUint64(tail[0:], off)
+	binary.LittleEndian.PutUint32(tail[8:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(tail[12:], checksum(payload))
+	copy(tail[16:], tailMagic[:])
+	return append(payload, tail[:]...)
+}
+
+// TestIndexCountOverflowRejected opens a file whose footer carries the
+// overflowing entry count: loadIndex must reject it as malformed (no
+// panic), leaving NewScanner to fail cleanly on the missing meta block.
+func TestIndexCountOverflowRejected(t *testing.T) {
+	file := append([]byte(nil), Magic[:]...)
+	file = binary.LittleEndian.AppendUint16(file, Version)
+	file = append(file, overflowIndexFooter(fileHeaderSize)...)
+
+	if _, err := NewScanner(BytesReaderAt(file), int64(len(file))); err == nil {
+		t.Fatal("scanner accepted a file with an overflowing index count")
+	}
+}
+
+// TestSequentialFirstIndexParityAfterCRCSkip corrupts one KPI block's
+// payload (CRC mismatch) and scans the trace both ways: the sequential
+// walk must report the same FirstIndex for every surviving block as the
+// indexed scan — a skipped block's records still advance the stream
+// position.
+func TestSequentialFirstIndexParityAfterCRCSkip(t *testing.T) {
+	trace, _ := encodeTrace(t, 3*BlockCap)
+	s, err := NewScanner(BytesReaderAt(trace), int64(len(trace)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kpi []IndexEntry
+	for _, e := range s.Index() {
+		if e.Kind == kindKPI {
+			kpi = append(kpi, e)
+		}
+	}
+	mut := append([]byte(nil), trace...)
+	mut[kpi[1].Offset+headerSize] ^= 0x10
+
+	firsts := func(trace []byte) []uint64 {
+		s, err := NewScanner(BytesReaderAt(trace), int64(len(trace)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []uint64
+		for {
+			blk, err := s.Next()
+			if err != nil {
+				break
+			}
+			out = append(out, blk.FirstIndex)
+		}
+		if len(s.Corrupt()) != 1 {
+			t.Fatalf("got %d corrupt blocks, want 1", len(s.Corrupt()))
+		}
+		return out
+	}
+
+	indexed := firsts(mut)
+	seq := append([]byte(nil), mut...)
+	seq[len(seq)-1] ^= 0xff // break tailMagic → sequential walk
+	sequential := firsts(seq)
+
+	if len(indexed) != 2 || indexed[1] != 2*BlockCap {
+		t.Fatalf("indexed FirstIndex = %v, want [0 %d]", indexed, 2*BlockCap)
+	}
+	if len(sequential) != len(indexed) {
+		t.Fatalf("sequential scan returned %d blocks, indexed %d", len(sequential), len(indexed))
+	}
+	for i := range indexed {
+		if sequential[i] != indexed[i] {
+			t.Fatalf("sequential FirstIndex %v diverges from indexed %v", sequential, indexed)
+		}
+	}
+}
+
 // TestCorruptMetaRejected damages the metadata payload: open must fail
 // with an error, not a panic and not a half-initialized scanner.
 func TestCorruptMetaRejected(t *testing.T) {

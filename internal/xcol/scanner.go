@@ -150,7 +150,13 @@ func (s *Scanner) loadIndex() error {
 		return errors.New("index CRC mismatch")
 	}
 	n, pos := uvarint(payload, 0)
-	if pos < 0 || uint64(len(payload)-pos) != n*indexEntrySize {
+	if pos < 0 {
+		return errors.New("index size mismatch")
+	}
+	// Divide instead of multiplying n*indexEntrySize: a crafted varint n
+	// could wrap the product in uint64 and push an absurd cap into make.
+	rem := uint64(len(payload) - pos)
+	if rem%indexEntrySize != 0 || n != rem/indexEntrySize {
 		return errors.New("index size mismatch")
 	}
 	index := make([]IndexEntry, 0, n)
@@ -373,6 +379,12 @@ func (s *Scanner) Next() (*Block, error) {
 				// Framing lost: the walk cannot continue.
 				s.done = true
 				return nil, io.EOF
+			}
+			// The header parsed (count is trustworthy), only the payload
+			// was bad: account for the skipped records so later blocks'
+			// FirstIndex matches indexed-mode semantics.
+			if kind == kindKPI {
+				s.seqRecs += uint64(count)
 			}
 			continue
 		}
