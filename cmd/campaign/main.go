@@ -28,6 +28,14 @@
 //	campaign [-out DIR] [-duration 10s] [-seed N] [-ops V_Sp,Tmb_US]
 //	         [-parallel N] [-obs-listen :9090] [-progress 2s]
 //	         [-faults rlf=2e-4,abort=0.05,trace=1e-3,seed=7]
+//	         [-ues-per-cell 4] [-cell-policy pf]
+//
+// Multi-UE contention: -ues-per-cell N (N > 1) appends a shared-cell arm
+// after the per-session measurements — each operator's primary carrier
+// runs as one cell with N contending UEs under -cell-policy (pf, rr, mt
+// or eq), reporting per-UE goodput shares and Jain fairness. The default
+// (1) is byte-identical to the legacy single-UE campaign, including the
+// manifest's config digest.
 package main
 
 import (
@@ -42,6 +50,7 @@ import (
 	"github.com/midband5g/midband/internal/core"
 	"github.com/midband5g/midband/internal/fault"
 	"github.com/midband5g/midband/internal/fleet"
+	"github.com/midband5g/midband/internal/gnb"
 	"github.com/midband5g/midband/internal/obs"
 	"github.com/midband5g/midband/internal/operators"
 	"github.com/midband5g/midband/internal/report"
@@ -58,6 +67,11 @@ type manifestConfig struct {
 	// Faults is the -faults spec verbatim; omitted when empty so
 	// fault-free manifests keep their historical config digest.
 	Faults string `json:"faults,omitempty"`
+	// UEsPerCell and CellPolicy describe the multi-UE contention arm;
+	// both are omitted for single-UE campaigns (-ues-per-cell <= 1) so
+	// legacy manifests keep their historical config digest.
+	UEsPerCell int    `json:"ues_per_cell,omitempty"`
+	CellPolicy string `json:"cell_policy,omitempty"`
 }
 
 func main() {
@@ -72,6 +86,8 @@ func main() {
 	obsListen := flag.String("obs-listen", "", "serve /metrics, /debug/pprof and /debug/vars on this address during the run (\":0\" picks a port)")
 	progress := flag.Duration("progress", 0, "interval between stderr progress snapshots (0 disables)")
 	faults := flag.String("faults", "", "fault-injection spec, e.g. rlf=2e-4,blackout=1e-4,trace=1e-3,abort=0.05,panic=0.02,attempts=3,seed=7 (empty disables)")
+	uesPerCell := flag.Int("ues-per-cell", 1, "attached UEs contending per cell; >1 appends a multi-UE contention arm (see docs/SIMULATION-MODEL.md)")
+	cellPolicy := flag.String("cell-policy", "pf", "multi-UE scheduler: pf, rr, mt or eq (used with -ues-per-cell > 1)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -147,12 +163,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	manifest, err := obs.NewManifest("campaign", manifestConfig{
+	policy, err := gnb.ParsePolicy(*cellPolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mc := manifestConfig{
 		Operators:       opNames,
 		DurationSeconds: duration.Seconds(),
 		Seed:            *seed,
 		Faults:          *faults,
-	})
+	}
+	if *uesPerCell > 1 {
+		mc.UEsPerCell = *uesPerCell
+		mc.CellPolicy = policy.String()
+	}
+	manifest, err := obs.NewManifest("campaign", mc)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -167,6 +192,8 @@ func main() {
 		Seed:            *seed,
 		Workers:         *parallel,
 		Faults:          sched,
+		UEsPerCell:      *uesPerCell,
+		CellPolicy:      policy,
 		Metrics:         &m,
 		Progress: func(done, total int, key string) {
 			fmt.Fprintf(os.Stderr, "campaign: [%d/%d] %s (%.1fs)\n", done, total, key, time.Since(t0).Seconds()) //detlint:allow walltime stderr progress line, not part of campaign output
@@ -213,5 +240,6 @@ func main() {
 	fmt.Fprintf(os.Stderr, "campaign: %d sessions, %.2fM slots (%.2fM slots/s), %.1f KB traces, %.1fs wall\n",
 		m.JobsDone.Load(), slots/1e6, slots/1e6/elapsed, float64(m.TraceBytes.Load())/1e3, elapsed)
 	report.Table1(os.Stdout, stats)
+	report.MultiUE(os.Stdout, stats.MultiUE)
 	fmt.Printf("\n%d traces written to %s (manifest: %s)\n", stats.TraceFiles, *out, manifestPath)
 }

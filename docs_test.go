@@ -89,6 +89,36 @@ func TestEveryPackageHasDocComment(t *testing.T) {
 
 var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
 
+// codeSpan captures inline code spans; codePath matches the repo paths
+// (package dirs or files) they may name.
+var (
+	codeSpan = regexp.MustCompile("`([^`]+)`")
+	codePath = regexp.MustCompile(`^(?:internal|cmd|examples)(?:/[A-Za-z0-9_.\-]+)*$`)
+)
+
+// The simulation-model and architecture docs map paper concepts to
+// packages and files via inline code spans; every such path must exist,
+// so the mapping cannot silently rot when code moves.
+func TestSimulationModelPathsResolve(t *testing.T) {
+	for _, md := range []string{"docs/SIMULATION-MODEL.md", "docs/ARCHITECTURE.md"} {
+		b, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range codeSpan.FindAllStringSubmatch(string(b), -1) {
+			// A span like `cmd/campaign -ues-per-cell 4` names the path
+			// in its first token.
+			target := strings.Fields(m[1])
+			if len(target) == 0 || !codePath.MatchString(target[0]) {
+				continue
+			}
+			if _, err := os.Stat(target[0]); err != nil {
+				t.Errorf("%s: code path %q does not exist", md, target[0])
+			}
+		}
+	}
+}
+
 // Every relative markdown link must point at an existing file.
 func TestMarkdownLinksResolve(t *testing.T) {
 	var mdFiles []string

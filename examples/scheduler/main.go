@@ -3,6 +3,11 @@
 // paper's Fig. 14 finding — sharing halves per-UE resources but leaves the
 // channel variability of each location untouched — and what changes when
 // the scheduler is not the equal-share one the paper observed.
+//
+// This is a multi-UE run on the legacy share-model cell (midband.NewCell):
+// per-slot fractional RB splits, no HARQ, full-buffer UEs. For the full
+// contention model — per-UE HARQ and RLC buffers, integer-RB grants,
+// load-coupled interference — see examples/multiue.
 package main
 
 import (

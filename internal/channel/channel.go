@@ -293,6 +293,32 @@ func New(cfg Config) (*Channel, error) {
 // Slot returns the index of the next sample to be produced.
 func (c *Channel) Slot() int64 { return c.slot }
 
+// SetNeighborLoad retunes the neighbor-cell activity factor mid-session.
+// The multi-UE contention cell calls this to replace the fixed
+// statistical load with its own measured RB utilization (neighbor sites
+// are assumed to carry a similar load), making interference — and
+// therefore SINR and throughput — load-dependent. Negative loads and
+// channels built with DisableNeighborLoad are ignored; RSRQ keeps its
+// own fixed measurement load (see rsrqLoad). Draws no randomness and
+// allocates nothing, so it is safe on the zero-alloc slot path and
+// cannot perturb the fading processes.
+func (c *Channel) SetNeighborLoad(load float64) {
+	if c.cfg.DisableNeighborLoad || load < 0 {
+		return
+	}
+	if math.Float64bits(load) == math.Float64bits(c.cfg.NeighborLoad) {
+		return
+	}
+	c.cfg.NeighborLoad = load
+	if c.staticGeo {
+		interfData := c.geoInterf*load + c.floorMW
+		c.geoDataDB = 10 * math.Log10(c.noiseMW+interfData)
+	}
+}
+
+// NeighborLoad reports the activity factor currently in effect.
+func (c *Channel) NeighborLoad() float64 { return c.cfg.NeighborLoad }
+
 // position is Route.Position with the segment lengths precomputed at
 // construction; the arithmetic mirrors Route.Position exactly.
 func (c *Channel) position(tSec float64) Point {

@@ -13,6 +13,7 @@ import (
 	"github.com/midband5g/midband/internal/bands"
 	"github.com/midband5g/midband/internal/fault"
 	"github.com/midband5g/midband/internal/fleet"
+	"github.com/midband5g/midband/internal/gnb"
 	"github.com/midband5g/midband/internal/iperf"
 	"github.com/midband5g/midband/internal/net5g"
 	"github.com/midband5g/midband/internal/obs"
@@ -68,6 +69,16 @@ type CampaignConfig struct {
 	Metrics *fleet.Metrics
 	// Progress, when non-nil, is called after each session completes.
 	Progress func(done, total int, key string)
+	// UEsPerCell, when > 1, appends a multi-UE contention arm after the
+	// per-session measurements: each operator's primary carrier re-runs
+	// as one shared cell with this many contending UEs under CellPolicy
+	// (see RunMultiUEContext). 0 or 1 keeps the campaign — stats,
+	// traces and manifest digest — byte-identical to the legacy
+	// single-UE path.
+	UEsPerCell int
+	// CellPolicy is the multi-UE scheduler (zero value: equal share).
+	// Only consulted when UEsPerCell > 1.
+	CellPolicy gnb.SchedulerPolicy
 }
 
 // SessionReport is the outcome of one operator's session.
@@ -122,6 +133,9 @@ type CampaignStats struct {
 	Failures []SessionFailure
 	// BackoffSim is the total simulated retry backoff (never slept).
 	BackoffSim time.Duration
+	// MultiUE holds the contention-arm reports, in registry order.
+	// Empty unless CampaignConfig.UEsPerCell > 1.
+	MultiUE []MultiUEReport
 }
 
 // sessionOutcome is what one fleet job (one operator session) produces.
@@ -437,6 +451,21 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignStats
 	}
 	stats.Operators = len(ops)
 	stats.BackoffSim = clock.Now()
+	if cfg.UEsPerCell > 1 {
+		mu, err := RunMultiUEContext(ctx, MultiUEConfig{
+			Operators:  ops,
+			UEsPerCell: cfg.UEsPerCell,
+			Policy:     cfg.CellPolicy,
+			Duration:   cfg.SessionDuration,
+			Seed:       cfg.Seed,
+			Workers:    cfg.Workers,
+			Metrics:    cfg.Metrics,
+		})
+		if err != nil {
+			return nil, err
+		}
+		stats.MultiUE = mu
+	}
 	return stats, nil
 }
 

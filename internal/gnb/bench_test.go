@@ -64,6 +64,29 @@ func TestCarrierStepAllocs(t *testing.T) {
 	}
 }
 
+// BenchmarkCellMultiUE is the contention-model slot path with four UEs on
+// one cell under proportional fair: per-UE channel + CSI steps, HARQ
+// queues, integer-RB PF split, TB sizing and delivery.
+func BenchmarkCellMultiUE(b *testing.B) {
+	cell, err := NewCell(CellConfig{
+		Carrier: benchCarrierConfig(),
+		UEs:     []channel.Point{{X: 120}, {X: 300}, {X: 480}, {X: 650}},
+		Policy:  SchedulerProportionalFair,
+		Model:   CellModelContention,
+		Seed:    31,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink CellSlot
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = cell.Step()
+	}
+	_ = sink
+}
+
 // TestCellStepAllocs pins the multi-UE scheduler's steady-state slot loop
 // at zero allocations, across all three policies.
 func TestCellStepAllocs(t *testing.T) {
@@ -86,6 +109,38 @@ func TestCellStepAllocs(t *testing.T) {
 			})
 			if allocs > 0 {
 				t.Errorf("Cell.Step (%v) allocates %.3f objects/slot in steady state, want 0", policy, allocs)
+			}
+		})
+	}
+}
+
+// TestCellContentionStepAllocs pins the contention model's steady-state
+// slot loop at zero allocations across all four policies. HARQ queues and
+// scratch slices reach their working size during warm-up; after that a
+// slot must not touch the allocator.
+func TestCellContentionStepAllocs(t *testing.T) {
+	for _, policy := range []SchedulerPolicy{
+		SchedulerEqualShare, SchedulerProportionalFair, SchedulerMaxRate, SchedulerRoundRobin,
+	} {
+		t.Run(policy.String(), func(t *testing.T) {
+			cell, err := NewCell(CellConfig{
+				Carrier: benchCarrierConfig(),
+				UEs:     []channel.Point{{X: 120}, {X: 300}, {X: 480}, {X: 650}},
+				Policy:  policy,
+				Model:   CellModelContention,
+				Seed:    31,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 20_000; i++ {
+				cell.Step()
+			}
+			allocs := testing.AllocsPerRun(5000, func() {
+				cell.Step()
+			})
+			if allocs > 0 {
+				t.Errorf("Cell.Step contention (%v) allocates %.3f objects/slot in steady state, want 0", policy, allocs)
 			}
 		})
 	}

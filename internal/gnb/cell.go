@@ -8,6 +8,7 @@ import (
 
 	"github.com/midband5g/midband/internal/channel"
 	"github.com/midband5g/midband/internal/fleet"
+	"github.com/midband5g/midband/internal/obs"
 	"github.com/midband5g/midband/internal/phy"
 	"github.com/midband5g/midband/internal/ue"
 )
@@ -34,6 +35,10 @@ const (
 	// SchedulerMaxRate gives the whole slot to the UE with the best
 	// instantaneous spectral efficiency (throughput-optimal, unfair).
 	SchedulerMaxRate
+	// SchedulerRoundRobin rotates whole slots over the backlogged UEs in
+	// index order (time-domain TDM: equal slot share regardless of
+	// channel quality).
+	SchedulerRoundRobin
 )
 
 func (p SchedulerPolicy) String() string {
@@ -42,6 +47,8 @@ func (p SchedulerPolicy) String() string {
 		return "proportional-fair"
 	case SchedulerMaxRate:
 		return "max-rate"
+	case SchedulerRoundRobin:
+		return "round-robin"
 	default:
 		return "equal-share"
 	}
@@ -61,6 +68,20 @@ type CellConfig struct {
 	PFWindowSlots int
 	// Seed drives per-UE randomness.
 	Seed int64
+	// Model selects the scheduling fidelity. The zero value keeps the
+	// legacy per-slot fractional-share model bit-identical to earlier
+	// releases; CellModelContention enables per-UE HARQ, RLC-style
+	// buffers, integer-RB grants and load-coupled interference (see
+	// multiue.go).
+	Model CellModel
+	// Traffic optionally bounds each UE's offered load, index-matched
+	// with UEs (nil, or a zero entry, is a full-buffer UE). Contention
+	// model only.
+	Traffic []UETraffic
+	// DisableLoadCoupling keeps the statistical NeighborLoad
+	// interference even when real co-UEs share the cell (ablation;
+	// contention model only).
+	DisableLoadCoupling bool
 }
 
 // Validate checks the configuration.
@@ -68,16 +89,27 @@ func (c CellConfig) Validate() error {
 	if len(c.UEs) == 0 {
 		return fmt.Errorf("gnb: cell needs at least one UE")
 	}
+	if c.Traffic != nil && len(c.Traffic) != len(c.UEs) {
+		return fmt.Errorf("gnb: cell has %d UEs but %d traffic entries", len(c.UEs), len(c.Traffic))
+	}
+	if c.Model == CellModelShare && c.Traffic != nil {
+		return fmt.Errorf("gnb: finite per-UE traffic requires CellModelContention (the share model is full-buffer)")
+	}
 	return c.Carrier.Validate()
 }
 
-// cellUE is the per-UE state inside a cell.
+// cellUE is the per-UE state inside a cell. The harq queue and buf are
+// used by the contention model only (see multiue.go); the share model
+// keeps them zero so its behavior — and RNG draw sequence — is
+// bit-identical to before they existed.
 type cellUE struct {
 	ch     *channel.Channel
 	csi    *ue.CSI
 	olla   float64
 	served float64 // PF-smoothed served rate (bits/slot)
 	rng    *rand.Rand
+	harq   []harqJob
+	buf    ue.Buffer
 }
 
 // ueState is one UE's per-slot scheduling input.
@@ -120,6 +152,13 @@ type Cell struct {
 	scores    []pfScore
 	servedNow []float64
 	allocs    []UEAlloc
+
+	// Contention-model state (multiue.go): round-robin cursor, smoothed
+	// RB-utilization for load coupling, and the per-slot scheduled set.
+	rr        int
+	loadEMA   float64
+	scheduled []bool
+	rbAlloc   []int
 }
 
 // UEAlloc is one UE's outcome in a slot.
@@ -184,13 +223,34 @@ func NewCell(cfg CellConfig) (*Cell, error) {
 	cell.scores = make([]pfScore, 0, n)
 	cell.servedNow = make([]float64, n)
 	cell.allocs = make([]UEAlloc, 0, n)
+	if cfg.Model == CellModelContention {
+		cell.scheduled = make([]bool, n)
+		cell.rbAlloc = make([]int, 0, n)
+		for i, u := range cell.ues {
+			offered := 0.0
+			if cfg.Traffic != nil {
+				offered = cfg.Traffic[i].OfferedMbps
+			}
+			u.buf = ue.NewBuffer(offered, cell.slotDur)
+			u.harq = make([]harqJob, 0, 8)
+		}
+	}
+	// Observability only: record the cell's attached-UE population.
+	if obs.Enabled() {
+		obs.Sim.CellAttachedUEs.Set(float64(n))
+	}
 	return cell, nil
 }
 
 // Step advances one slot with all UEs backlogged on the downlink. The
 // returned CellSlot's Allocs slice is owned by the Cell and valid until
-// the next Step call.
+// the next Step call. Under CellModelContention the slot instead runs
+// the full shared-resource loop in multiue.go (HARQ first, then fresh
+// grants, with per-UE buffers gating eligibility).
 func (c *Cell) Step() CellSlot {
+	if c.cfg.Model == CellModelContention {
+		return c.stepContention()
+	}
 	slot := c.slot
 	c.slot++
 	res := CellSlot{Slot: slot, Time: time.Duration(slot) * c.slotDur}
@@ -237,6 +297,17 @@ func (c *Cell) Step() CellSlot {
 			}
 		}
 		grants = append(grants, grant{best.idx, 1})
+	case SchedulerRoundRobin:
+		// Whole-slot rotation over backlogged UEs (time-domain TDM).
+		n := len(c.ues)
+		for off := 0; off < n; off++ {
+			cand := (c.rr + off) % n
+			if states[cand].ready {
+				grants = append(grants, grant{cand, 1})
+				c.rr = (cand + 1) % n
+				break
+			}
+		}
 	case SchedulerProportionalFair:
 		// Rank by PF metric; split the slot between the top two
 		// proportionally to their metrics.
@@ -284,13 +355,20 @@ func (c *Cell) Step() CellSlot {
 	if len(res.Allocs) == 0 {
 		res.Allocs = nil // keep the no-traffic result shape of the old API
 	}
-	// PF window update (also decays unserved UEs).
+	c.updatePFWindow(res.Allocs)
+	return res
+}
+
+// updatePFWindow folds one slot's delivered bits into every UE's
+// PF-smoothed served rate (also decaying unserved UEs), clamped ≥ 1 so
+// the PF metric can never divide by zero.
+func (c *Cell) updatePFWindow(allocs []UEAlloc) {
 	w := float64(c.cfg.PFWindowSlots)
 	servedNow := c.servedNow
 	for i := range servedNow {
 		servedNow[i] = 0
 	}
-	for _, a := range res.Allocs {
+	for _, a := range allocs {
 		servedNow[a.UE] = float64(a.Alloc.DeliveredBits)
 	}
 	for i, u := range c.ues {
@@ -299,7 +377,6 @@ func (c *Cell) Step() CellSlot {
 			u.served = 1
 		}
 	}
-	return res
 }
 
 func (c *Cell) dlSymbols(slot int64) int {
@@ -369,6 +446,10 @@ func (c *Cell) transmitUE(u *cellUE, report ue.Report, sample channel.Sample, sy
 }
 
 // SlotDuration returns the cell's slot length.
+// Config returns the cell's effective configuration, with carrier and
+// PF-window defaults applied.
+func (c *Cell) Config() CellConfig { return c.cfg }
+
 func (c *Cell) SlotDuration() time.Duration {
 	return c.slotDur
 }

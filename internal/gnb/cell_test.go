@@ -157,7 +157,8 @@ func TestCellTDDGating(t *testing.T) {
 func TestSchedulerPolicyString(t *testing.T) {
 	if SchedulerEqualShare.String() != "equal-share" ||
 		SchedulerProportionalFair.String() != "proportional-fair" ||
-		SchedulerMaxRate.String() != "max-rate" {
+		SchedulerMaxRate.String() != "max-rate" ||
+		SchedulerRoundRobin.String() != "round-robin" {
 		t.Error("policy strings wrong")
 	}
 }

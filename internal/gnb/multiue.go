@@ -1,0 +1,396 @@
+package gnb
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"github.com/midband5g/midband/internal/obs"
+	"github.com/midband5g/midband/internal/phy"
+	"github.com/midband5g/midband/internal/ue"
+)
+
+// This file is the full multi-UE contention model behind CellModelContention:
+// per-UE HARQ processes and RLC-style buffers, integer-RB schedulers that
+// allocate the carrier's NRB across the whole contending set, and
+// load-coupled interference (the cell's own RB utilization replaces the
+// statistical channel.Config.NeighborLoad). The legacy share model in
+// cell.go stays bit-identical — the checked-in figures depend on it — so
+// everything here is opt-in via CellConfig.Model.
+
+// CellModel selects the cell's scheduling fidelity.
+type CellModel uint8
+
+const (
+	// CellModelShare is the legacy model: per-slot fractional RB splits
+	// with no HARQ and full-buffer UEs. The zero value, bit-identical to
+	// earlier releases (the extd figure arm depends on that).
+	CellModelShare CellModel = iota
+	// CellModelContention is the full shared-resource model: per-UE HARQ
+	// and RLC-style buffers, integer-RB grants across the contending UE
+	// set, and load-dependent interference.
+	CellModelContention
+)
+
+func (m CellModel) String() string {
+	if m == CellModelContention {
+		return "contention"
+	}
+	return "share"
+}
+
+// UETraffic is one UE's offered downlink load in a contention cell.
+type UETraffic struct {
+	// OfferedMbps bounds the UE's arrival rate; 0 (or negative) is a
+	// saturating full-buffer UE.
+	OfferedMbps float64
+}
+
+// ParsePolicy resolves a scheduler-policy name (long form or the usual
+// two-letter abbreviation) for CLI flags.
+func ParsePolicy(s string) (SchedulerPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "eq", "equal", "equal-share":
+		return SchedulerEqualShare, nil
+	case "pf", "proportional-fair":
+		return SchedulerProportionalFair, nil
+	case "mt", "mr", "max-rate":
+		return SchedulerMaxRate, nil
+	case "rr", "round-robin":
+		return SchedulerRoundRobin, nil
+	}
+	return 0, fmt.Errorf("gnb: unknown scheduler policy %q (want eq, pf, mt or rr)", s)
+}
+
+const (
+	// loadEMAWindow smooths the cell's RB utilization into the neighbor
+	// activity factor (DL-capable slots only — neighbors on the same
+	// synchronized TDD frame interfere during DL slots, so UL slots say
+	// nothing about DL activity; ~128 ms at 30 kHz SCS).
+	loadEMAWindow = 256
+	// loadPushPeriod is how often the smoothed utilization is pushed
+	// into the UEs' channels. Pushing every slot would recompute the
+	// static-geometry noise term per slot for no modeling gain.
+	loadPushPeriod = 64
+)
+
+// stepContention is Step for CellModelContention. Scheduling order within
+// a slot: HARQ retransmissions first (in UE-index order, each keeping its
+// original RB footprint), then fresh transport blocks for the remaining
+// backlogged UEs under the configured policy, all within the carrier's
+// NRB budget. The returned Allocs slice is owned by the Cell.
+func (c *Cell) stepContention() CellSlot {
+	slot := c.slot
+	c.slot++
+	res := CellSlot{Slot: slot, Time: time.Duration(slot) * c.slotDur}
+
+	states := c.states[:0]
+	for i, u := range c.ues {
+		s := u.ch.Step()
+		u.csi.Observe(slot, s.SINRdB)
+		u.buf.Arrive()
+		rep, ok := u.csi.Current()
+		st := ueState{idx: i, sample: s, report: rep,
+			ready: ok && rep.CQI > 0 && !s.Outage && u.buf.Backlogged()}
+		if st.ready {
+			row, err := c.csiCfg.Table.Lookup(rep.CQI)
+			if err == nil {
+				st.instSE = row.Efficiency * float64(rep.RI)
+			}
+		}
+		states = append(states, st)
+	}
+	c.states = states
+
+	dlSym := c.dlSymbols(slot)
+	if dlSym == 0 {
+		return res
+	}
+
+	budget := c.cfg.Carrier.NRB
+	res.Allocs = c.allocs[:0]
+	sched := c.scheduled
+	for i := range sched {
+		sched[i] = false
+	}
+
+	// HARQ retransmissions preempt fresh data: a pending TB is re-sent as
+	// soon as its RTT elapses and its original RB footprint fits the
+	// remaining budget. Retransmissions need no fresh CQI (they were
+	// sized by an earlier report) but do need a link (no outage).
+	for i, u := range c.ues {
+		if budget < 1 {
+			break
+		}
+		if states[i].sample.Outage {
+			continue
+		}
+		job, ok := popReadyFit(&u.harq, slot, budget)
+		if !ok {
+			continue
+		}
+		budget -= job.rbs
+		sched[i] = true
+		if a, ok := c.deliver(slot, u, job, states[i].sample.SINRdB); ok {
+			res.Allocs = append(res.Allocs, UEAlloc{
+				UE: i, Alloc: a, SINRdB: states[i].sample.SINRdB, CQI: states[i].report.CQI,
+			})
+		}
+	}
+
+	// Fresh grants for the backlogged UEs that did not retransmit.
+	ready := c.ready[:0]
+	for _, st := range states {
+		if st.ready && !sched[st.idx] {
+			ready = append(ready, st)
+		}
+	}
+	c.ready = ready
+	if budget > 0 && len(ready) > 0 {
+		rb := c.rbAlloc[:0]
+		switch c.cfg.Policy {
+		case SchedulerMaxRate:
+			// Whole remaining budget to the best instantaneous spectral
+			// efficiency (ties break on the lower UE index).
+			best := 0
+			for i, st := range ready[1:] {
+				if st.instSE > ready[best].instSE {
+					best = i + 1
+				}
+			}
+			for i := range ready {
+				w := 0
+				if i == best {
+					w = budget
+				}
+				rb = append(rb, w)
+			}
+		case SchedulerRoundRobin:
+			// Whole-slot time-domain rotation over backlogged UEs: the
+			// cursor remembers who is next, so every contender gets the
+			// same share of slots regardless of channel quality.
+			n := len(c.ues)
+			chosen := -1
+			for off := 0; off < n && chosen < 0; off++ {
+				cand := (c.rr + off) % n
+				if states[cand].ready && !sched[cand] {
+					chosen = cand
+				}
+			}
+			c.rr = (chosen + 1) % n
+			for i := range ready {
+				w := 0
+				if ready[i].idx == chosen {
+					w = budget
+				}
+				rb = append(rb, w)
+			}
+		case SchedulerProportionalFair:
+			// Frequency-domain PF across the whole ready set: each UE's
+			// integer RB share is proportional to its PF metric
+			// (instantaneous rate over window-smoothed served rate), with
+			// the rounding remainder going to the highest metrics. The
+			// served-rate window below is what makes this fair over time.
+			// ready is reordered by descending metric so the remainder
+			// pass is a prefix walk.
+			ss := c.scores[:0]
+			total := 0.0
+			for _, st := range ready {
+				m := st.instSE / c.ues[st.idx].served
+				ss = append(ss, pfScore{st.idx, m})
+				total += m
+			}
+			c.scores = ss
+			for i := 1; i < len(ss); i++ {
+				for j := i; j > 0 && ss[j].metric > ss[j-1].metric; j-- {
+					ss[j], ss[j-1] = ss[j-1], ss[j]
+					ready[j], ready[j-1] = ready[j-1], ready[j]
+				}
+			}
+			left := budget
+			for _, s := range ss {
+				w := 0
+				if total > 0 {
+					w = int(float64(budget) * s.metric / total)
+				}
+				rb = append(rb, w)
+				left -= w
+			}
+			// Σ⌊x⌋ > budget − n, so one descending prefix pass places the
+			// remainder (at most one extra RB per UE).
+			for i := 0; i < len(rb) && left > 0; i++ {
+				rb[i]++
+				left--
+			}
+		default: // equal share
+			q, r := budget/len(ready), budget%len(ready)
+			for i := range ready {
+				w := q
+				if i < r {
+					w++
+				}
+				rb = append(rb, w)
+			}
+		}
+		c.rbAlloc = rb
+
+		for i, st := range ready {
+			rbs := rb[i]
+			if rbs < 1 {
+				continue
+			}
+			u := c.ues[st.idx]
+			job, ok := c.newContentionTB(slot, u, st.report, dlSym, rbs)
+			if !ok {
+				continue
+			}
+			if a, ok := c.deliver(slot, u, job, st.sample.SINRdB); ok {
+				res.Allocs = append(res.Allocs, UEAlloc{
+					UE: st.idx, Alloc: a, SINRdB: st.sample.SINRdB, CQI: st.report.CQI,
+				})
+			}
+		}
+	}
+
+	c.allocs = res.Allocs
+	if len(res.Allocs) == 0 {
+		res.Allocs = nil
+	}
+	c.updatePFWindow(res.Allocs)
+
+	// Load coupling: fold this slot's RB utilization into the EMA and
+	// periodically mirror it into each UE's channel as the neighbor
+	// activity factor. Real co-UEs thus replace the statistical
+	// NeighborLoad: a saturated cell sees saturated neighbors.
+	granted := 0
+	for _, a := range res.Allocs {
+		granted += a.Alloc.RBs
+	}
+	util := float64(granted) / float64(c.cfg.Carrier.NRB)
+	c.loadEMA += (util - c.loadEMA) / loadEMAWindow
+	if !c.cfg.DisableLoadCoupling && len(c.ues) > 1 && slot%loadPushPeriod == loadPushPeriod-1 {
+		for _, u := range c.ues {
+			u.ch.SetNeighborLoad(c.loadEMA)
+		}
+	}
+	return res
+}
+
+// newContentionTB sizes a fresh transport block for an integer RB grant,
+// mirroring the share model's CQI→efficiency→OLLA→MCS chain (no RB
+// jitter: the scheduler's split already decides the exact footprint).
+func (c *Cell) newContentionTB(slot int64, u *cellUE, report ue.Report, symbols, rbs int) (harqJob, bool) {
+	cfg := c.cfg.Carrier
+	row, err := c.csiCfg.Table.Lookup(report.CQI)
+	if err != nil {
+		return harqJob{}, false
+	}
+	eff := row.Efficiency * math.Pow(10, u.olla/10)
+	mcs := cfg.MCSTable.HighestMCSForEfficiency(eff)
+	tbs, err := c.tbs.TBS(symbols, rbs, mcs, report.RI)
+	if err != nil {
+		return harqJob{}, false
+	}
+	// A finite-traffic UE does not need its whole policy share for the
+	// last TB of a burst: shrink the grant to the backlog (BSR-style),
+	// leaving the unused RBs idle this slot — which is exactly the
+	// load-dependent utilization the coupling below mirrors out.
+	if need := u.buf.BacklogBits(); !u.buf.Full() && need < float64(tbs) && rbs > 1 {
+		shrunk := int(math.Ceil(float64(rbs) * need / float64(tbs)))
+		if shrunk < 1 {
+			shrunk = 1
+		}
+		if shrunk < rbs {
+			if t2, err := c.tbs.TBS(symbols, shrunk, mcs, report.RI); err == nil {
+				rbs, tbs = shrunk, t2
+			}
+		}
+	}
+	dmrs := cfg.DMRSPerPRB
+	if m := phy.SubcarriersPerRB * symbols; dmrs > m {
+		dmrs = m
+	}
+	params := phy.TBSParams{
+		Symbols: symbols, DMRSPerPRB: dmrs, PRBs: rbs, Layers: report.RI,
+	}
+	return harqJob{
+		readySlot: slot,
+		rank:      report.RI,
+		table:     cfg.MCSTable,
+		mcs:       mcs,
+		rbs:       rbs,
+		res:       params.REs(),
+		tbs:       tbs,
+	}, true
+}
+
+// deliver decodes one TB (fresh or retransmission) at the UE's current
+// channel state, updating its OLLA offset, HARQ queue and RLC buffer.
+func (c *Cell) deliver(slot int64, u *cellUE, job harqJob, sinrDB float64) (Alloc, bool) {
+	cfg := c.cfg.Carrier
+	perLayer := sinrDB - c.amc.layerPenalty(c.csiCfg.LayerPenaltyExp, job.rank)
+	perLayer += harqCombineGainDB * float64(job.retx)
+	req, err := job.table.RequiredSINRdB(job.mcs)
+	if err != nil {
+		return Alloc{}, false
+	}
+	p := bler(perLayer, req)
+	ack := u.rng.Float64() >= p
+	if !cfg.DisableOLLA {
+		if ack {
+			u.olla += 0.05 * cfg.TargetBLER / (1 - cfg.TargetBLER)
+		} else {
+			u.olla -= 0.05
+		}
+		u.olla = math.Max(-6, math.Min(3, u.olla))
+	}
+	delivered := 0
+	if ack {
+		delivered = u.buf.Drain(job.tbs)
+	} else if !cfg.DisableHARQ && int(job.retx) < cfg.MaxHARQRetx {
+		u.harq = append(u.harq, harqJob{
+			readySlot: slot + int64(cfg.HARQRTTSlots),
+			retx:      job.retx + 1,
+			rank:      job.rank,
+			table:     job.table,
+			mcs:       job.mcs,
+			rbs:       job.rbs,
+			res:       job.res,
+			tbs:       job.tbs,
+		})
+	}
+	if obs.Enabled() {
+		obs.Sim.MCS.Observe(float64(job.mcs))
+		obs.Sim.Rank.Observe(float64(job.rank))
+		obs.Sim.HARQRetx.Observe(float64(job.retx))
+		if ack {
+			obs.Sim.TBAcks.Inc()
+		} else {
+			obs.Sim.TBNacks.Inc()
+		}
+	}
+	return Alloc{
+		RBs: job.rbs, REs: job.res, Table: job.table, MCS: job.mcs,
+		Rank: job.rank, TBSBits: job.tbs, HARQRetx: job.retx, ACK: ack,
+		DeliveredBits: delivered,
+	}, true
+}
+
+// popReadyFit pops the first queued job that is both RTT-ready and fits
+// the remaining RB budget. Jobs too large for this slot's leftovers stay
+// queued — next slot's budget starts fresh at NRB, so they always fit
+// eventually (rbs ≤ NRB by construction).
+func popReadyFit(queue *[]harqJob, slot int64, maxRBs int) (harqJob, bool) {
+	for i, j := range *queue {
+		if j.readySlot <= slot && j.rbs <= maxRBs {
+			*queue = append((*queue)[:i], (*queue)[i+1:]...)
+			return j, true
+		}
+	}
+	return harqJob{}, false
+}
+
+// LoadEMA returns the smoothed RB-utilization the load coupling mirrors
+// into the UEs' channels (0 until traffic flows).
+func (c *Cell) LoadEMA() float64 { return c.loadEMA }

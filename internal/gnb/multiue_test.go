@@ -1,0 +1,203 @@
+package gnb
+
+import (
+	"testing"
+
+	"github.com/midband5g/midband/internal/channel"
+)
+
+// contentionConfig is testCellConfig with the full contention model armed.
+func contentionConfig(t *testing.T, policy SchedulerPolicy, ues []channel.Point) CellConfig {
+	t.Helper()
+	cfg := testCellConfig(t, policy, ues)
+	cfg.Model = CellModelContention
+	return cfg
+}
+
+func TestContentionDeterminism(t *testing.T) {
+	ues := []channel.Point{{X: 0, Y: 45}, {X: 0, Y: 90}, {X: 0, Y: 117}, {X: 0, Y: 150}}
+	run := func() []CellSlot {
+		cell, err := NewCell(contentionConfig(t, SchedulerProportionalFair, ues))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]CellSlot, 0, 4000)
+		for i := 0; i < 4000; i++ {
+			res := cell.Step()
+			// Deep-copy the allocs: the slice is owned by the cell.
+			res.Allocs = append([]UEAlloc(nil), res.Allocs...)
+			out = append(out, res)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if len(a[i].Allocs) != len(b[i].Allocs) {
+			t.Fatalf("slot %d: %d vs %d allocs", i, len(a[i].Allocs), len(b[i].Allocs))
+		}
+		for j := range a[i].Allocs {
+			if a[i].Allocs[j] != b[i].Allocs[j] {
+				t.Fatalf("slot %d alloc %d: %+v vs %+v", i, j, a[i].Allocs[j], b[i].Allocs[j])
+			}
+		}
+	}
+}
+
+func TestContentionHARQRecovers(t *testing.T) {
+	// A far UE with a marginal link NACKs often enough that HARQ
+	// retransmissions must both occur and succeed.
+	ues := []channel.Point{{X: 0, Y: 45}, {X: 0, Y: 160}}
+	cell, err := NewCell(contentionConfig(t, SchedulerProportionalFair, ues))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var retxSent, retxDelivered int
+	for i := 0; i < 40000; i++ {
+		for _, a := range cell.Step().Allocs {
+			if int(a.Alloc.HARQRetx) > cell.cfg.Carrier.MaxHARQRetx {
+				t.Fatalf("slot %d: retx %d exceeds cap %d", i, a.Alloc.HARQRetx, cell.cfg.Carrier.MaxHARQRetx)
+			}
+			if a.Alloc.HARQRetx > 0 {
+				retxSent++
+				if a.Alloc.ACK {
+					retxDelivered++
+				}
+			}
+		}
+	}
+	if retxSent == 0 {
+		t.Fatal("no HARQ retransmissions in 40000 slots; link should NACK sometimes")
+	}
+	if retxDelivered == 0 {
+		t.Error("HARQ retransmissions never delivered; combining gain should help")
+	}
+}
+
+func TestContentionRoundRobinRotates(t *testing.T) {
+	// Four equidistant full-buffer UEs: RR must hand each the same share
+	// of scheduled slots (and therefore roughly the same RB count).
+	ues := []channel.Point{{X: 0, Y: 90}, {X: 90, Y: 0}, {X: 0, Y: -90}, {X: -90, Y: 0}}
+	cell, err := NewCell(contentionConfig(t, SchedulerRoundRobin, ues))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := make([]float64, len(ues))
+	for i := 0; i < 40000; i++ {
+		for _, a := range cell.Step().Allocs {
+			if a.Alloc.HARQRetx == 0 {
+				slots[a.UE]++
+			}
+		}
+	}
+	var total float64
+	for _, s := range slots {
+		total += s
+	}
+	for i, s := range slots {
+		share := s / total
+		if share < 0.2 || share > 0.3 {
+			t.Errorf("UE %d fresh-grant share %.3f, want ≈ 0.25", i, share)
+		}
+	}
+}
+
+func TestContentionLoadCoupling(t *testing.T) {
+	// A saturated cell should push its own RB utilization into the UEs'
+	// channels as the neighbor activity factor, raising interference
+	// above the statistical default (0.1) and costing goodput.
+	ues := []channel.Point{{X: 0, Y: 45}, {X: 0, Y: 117}}
+	run := func(disable bool) (bits float64, load float64) {
+		cfg := contentionConfig(t, SchedulerProportionalFair, ues)
+		cfg.DisableLoadCoupling = disable
+		// testCellConfig has no neighbor sites, so the activity factor
+		// would have nothing to scale; give the UEs two real neighbors.
+		cfg.Carrier.Channel.Deployment.Sites = []channel.Point{{}, {X: 500}, {X: -500}}
+		cell, err := NewCell(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 40000; i++ {
+			for _, a := range cell.Step().Allocs {
+				bits += float64(a.Alloc.DeliveredBits)
+			}
+		}
+		return bits, cell.ues[0].ch.NeighborLoad()
+	}
+	coupled, coupledLoad := run(false)
+	isolated, isolatedLoad := run(true)
+	if coupledLoad <= 0.1 {
+		t.Errorf("coupled neighbor load = %.3f, want > statistical default 0.1", coupledLoad)
+	}
+	if isolatedLoad != 0.1 {
+		t.Errorf("DisableLoadCoupling left neighbor load at %.3f, want untouched 0.1", isolatedLoad)
+	}
+	if coupled >= isolated {
+		t.Errorf("load coupling should cost goodput: coupled %.0f ≥ isolated %.0f bits", coupled, isolated)
+	}
+}
+
+func TestContentionFiniteTraffic(t *testing.T) {
+	// A lightly loaded UE must be served ≈ its offered rate while the
+	// full-buffer co-UE absorbs the slack.
+	const offeredMbps = 5.0
+	ues := []channel.Point{{X: 0, Y: 45}, {X: 0, Y: 60}}
+	cfg := contentionConfig(t, SchedulerProportionalFair, ues)
+	cfg.Traffic = []UETraffic{{OfferedMbps: offeredMbps}, {}}
+	cell, err := NewCell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const slots = 40000
+	bits := make([]float64, len(ues))
+	for i := 0; i < slots; i++ {
+		for _, a := range cell.Step().Allocs {
+			bits[a.UE] += float64(a.Alloc.DeliveredBits)
+		}
+	}
+	secs := float64(slots) * cell.SlotDuration().Seconds()
+	lightMbps := bits[0] / secs / 1e6
+	if lightMbps < 0.7*offeredMbps || lightMbps > 1.1*offeredMbps {
+		t.Errorf("finite-traffic UE served %.1f Mbps, want ≈ offered %.1f", lightMbps, offeredMbps)
+	}
+	if bits[1] < 5*bits[0] {
+		t.Errorf("full-buffer co-UE should absorb the slack: %.0f vs %.0f bits", bits[1], bits[0])
+	}
+}
+
+func TestContentionTrafficValidation(t *testing.T) {
+	ues := []channel.Point{{X: 0, Y: 45}, {X: 0, Y: 60}}
+	cfg := contentionConfig(t, SchedulerProportionalFair, ues)
+	cfg.Traffic = []UETraffic{{OfferedMbps: 5}}
+	if _, err := NewCell(cfg); err == nil {
+		t.Error("traffic/UE length mismatch should fail")
+	}
+	cfg = testCellConfig(t, SchedulerProportionalFair, ues)
+	cfg.Traffic = []UETraffic{{OfferedMbps: 5}, {}}
+	if _, err := NewCell(cfg); err == nil {
+		t.Error("traffic on the share model should fail")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]SchedulerPolicy{
+		"eq": SchedulerEqualShare, "equal-share": SchedulerEqualShare,
+		"pf": SchedulerProportionalFair, "Proportional-Fair": SchedulerProportionalFair,
+		"mt": SchedulerMaxRate, "mr": SchedulerMaxRate, "max-rate": SchedulerMaxRate,
+		"rr": SchedulerRoundRobin, "round-robin": SchedulerRoundRobin,
+	}
+	for in, want := range cases {
+		got, err := ParsePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParsePolicy("wfq"); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}
+
+func TestCellModelString(t *testing.T) {
+	if CellModelShare.String() != "share" || CellModelContention.String() != "contention" {
+		t.Error("cell model strings wrong")
+	}
+}

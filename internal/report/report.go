@@ -39,6 +39,24 @@ func Table1(w io.Writer, s *core.CampaignStats) {
 	}
 }
 
+// MultiUE renders the shared-cell contention arm: per-operator aggregate
+// goodput, Jain fairness, converged load and the per-UE goodput shares.
+func MultiUE(w io.Writer, reports []core.MultiUEReport) {
+	if len(reports) == 0 {
+		return
+	}
+	Section(w, "Multi-UE", fmt.Sprintf("Shared-cell contention, %d UEs per cell (%s)",
+		reports[0].UEs, reports[0].Policy))
+	fmt.Fprintf(w, "%-9s %12s %8s %8s  %s\n", "operator", "cell Mbps", "Jain", "load", "per-UE share")
+	for _, r := range reports {
+		fmt.Fprintf(w, "%-9s %12.1f %8.3f %8.2f ", r.Operator, r.CellMbps, r.JainIndex, r.LoadEMA)
+		for _, u := range r.PerUE {
+			fmt.Fprintf(w, " %5.1f%%", 100*u.Share)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
 func keys(m map[string]bool) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {

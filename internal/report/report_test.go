@@ -45,6 +45,27 @@ func TestTable1Rendering(t *testing.T) {
 	}
 }
 
+func TestMultiUERendering(t *testing.T) {
+	reports := []core.MultiUEReport{{
+		Operator: "V_Sp", Policy: "proportional-fair", UEs: 2,
+		CellMbps: 426.3, JainIndex: 0.684, LoadEMA: 0.97,
+		PerUE: []core.UEShare{
+			{UE: 0, Mbps: 39.6, Share: 0.093, ScheduledSlots: 9000},
+			{UE: 1, Mbps: 386.7, Share: 0.907, ScheduledSlots: 31000},
+		},
+	}}
+	out := render(func(w *strings.Builder) { MultiUE(w, reports) })
+	for _, want := range []string{"proportional-fair", "2 UEs per cell", "V_Sp", "426.3", "0.684", "9.3%", "90.7%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("MultiUE output missing %q:\n%s", want, out)
+		}
+	}
+	// An empty arm renders nothing — single-UE campaign output is frozen.
+	if got := render(func(w *strings.Builder) { MultiUE(w, nil) }); got != "" {
+		t.Errorf("MultiUE(nil) rendered %q, want empty", got)
+	}
+}
+
 func TestTables23Rendering(t *testing.T) {
 	rows := []experiments.ConfigRow{{
 		Operator: "Tmb_US", Country: "USA", CA: true,

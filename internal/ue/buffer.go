@@ -1,0 +1,70 @@
+package ue
+
+import "time"
+
+// Buffer is a minimal RLC-style downlink buffer for one UE: traffic
+// arrives at a configured offered rate, transport blocks drain it, and
+// the scheduler asks Backlogged before granting. The zero value (and any
+// non-positive offered rate) is a full buffer — always backlogged, never
+// drained — which is the saturating iperf load the paper's bulk
+// transfers apply. A finite offered rate makes the UE an intermittent
+// contender: it empties its backlog in TB-sized bursts and goes quiet
+// until arrivals refill it, which is what gives multi-UE cells their
+// load-dependent RB utilization.
+type Buffer struct {
+	// arrivalBits is the per-slot arrival volume; negative marks the
+	// full-buffer (saturating) mode.
+	arrivalBits float64
+	backlog     float64
+}
+
+// NewBuffer builds a buffer fed at offeredMbps with the given slot
+// duration. offeredMbps <= 0 selects the full-buffer mode.
+func NewBuffer(offeredMbps float64, slot time.Duration) Buffer {
+	if offeredMbps <= 0 {
+		return Buffer{arrivalBits: -1}
+	}
+	return Buffer{arrivalBits: offeredMbps * 1e6 * slot.Seconds()}
+}
+
+// Full reports whether the buffer is in the saturating full-buffer mode.
+func (b *Buffer) Full() bool { return b.arrivalBits < 0 }
+
+// Arrive credits one slot's worth of traffic. A no-op in full-buffer
+// mode (the backlog is conceptually infinite).
+func (b *Buffer) Arrive() {
+	if b.arrivalBits > 0 {
+		b.backlog += b.arrivalBits
+	}
+}
+
+// Backlogged reports whether the UE has at least one bit to send — the
+// scheduler's eligibility test.
+func (b *Buffer) Backlogged() bool {
+	return b.arrivalBits < 0 || b.backlog >= 1
+}
+
+// BacklogBits returns the queued volume (0 in full-buffer mode, whose
+// backlog is unbounded by definition).
+func (b *Buffer) BacklogBits() float64 {
+	if b.arrivalBits < 0 {
+		return 0
+	}
+	return b.backlog
+}
+
+// Drain removes a delivered transport block from the backlog and returns
+// the payload it actually carried: the full TB in full-buffer mode, at
+// most the backlog otherwise (the final TB of a burst carries padding,
+// which is not goodput).
+func (b *Buffer) Drain(bits int) int {
+	if b.arrivalBits < 0 {
+		return bits
+	}
+	p := float64(bits)
+	if p > b.backlog {
+		p = b.backlog
+	}
+	b.backlog -= p
+	return int(p)
+}

@@ -186,6 +186,7 @@ const (
 	SchedulerEqualShare       = gnb.SchedulerEqualShare
 	SchedulerProportionalFair = gnb.SchedulerProportionalFair
 	SchedulerMaxRate          = gnb.SchedulerMaxRate
+	SchedulerRoundRobin       = gnb.SchedulerRoundRobin
 )
 
 // UEPosition is a UE location in the cell's coordinate system (meters;
@@ -193,7 +194,9 @@ const (
 type UEPosition = channel.Point
 
 // NewCell builds a multi-UE cell on the operator's primary carrier with
-// one UE per position.
+// one UE per position, using the legacy share model (per-slot fractional
+// RB splits, no HARQ, full-buffer UEs). For the full contention model
+// use NewContentionCell.
 func NewCell(op Operator, sc Scenario, policy SchedulerPolicy, ues []UEPosition) (*Cell, error) {
 	cc, err := op.CarrierConfig(0, sc)
 	if err != nil {
@@ -205,4 +208,30 @@ func NewCell(op Operator, sc Scenario, policy SchedulerPolicy, ues []UEPosition)
 		Policy:  policy,
 		Seed:    sc.Seed,
 	})
+}
+
+// NewContentionCell builds a multi-UE cell with the full shared-resource
+// model: per-UE HARQ processes and RLC-style buffers, integer-RB grants
+// across the contending UE set, and load-coupled interference (the
+// cell's own RB utilization replaces the statistical neighbor load).
+// See docs/SIMULATION-MODEL.md for how the pieces map to the paper.
+func NewContentionCell(op Operator, sc Scenario, policy SchedulerPolicy, ues []UEPosition) (*Cell, error) {
+	cc, err := op.CarrierConfig(0, sc)
+	if err != nil {
+		return nil, err
+	}
+	return gnb.NewCell(gnb.CellConfig{
+		Carrier: cc,
+		UEs:     ues,
+		Policy:  policy,
+		Model:   gnb.CellModelContention,
+		Seed:    sc.Seed,
+	})
+}
+
+// UEPositions derives n deterministic UE positions around the serving
+// site from a seed; position i is independent of n, so growing the
+// population never moves existing UEs.
+func UEPositions(seed int64, n int) []UEPosition {
+	return core.UEPositions(seed, n)
 }

@@ -9,15 +9,16 @@
 #
 # The benchmark set is the per-slot hot path: channel fading step, TBS
 # lookup (direct and memoized), the full carrier scheduler step, the
-# aggregated link step, and the columnar trace pipeline (block encode on
-# the write side, projected block decode on the scan side). Use -count via
+# multi-UE contention cell step, the aggregated link step, and the
+# columnar trace pipeline (block encode on the write side, projected
+# block decode on the scan side). Use -count via
 # BENCH_COUNT (default 5) — averaging repeated runs is what makes the 10%
 # gate usable on noisy machines.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${BENCH_COUNT:-5}"
-FILTER='BenchmarkChannelStep|BenchmarkTBS$|BenchmarkTBSCached|BenchmarkCarrierStep|BenchmarkLinkStep|BenchmarkBlockScan|BenchmarkBlockWrite'
+FILTER='BenchmarkChannelStep|BenchmarkTBS$|BenchmarkTBSCached|BenchmarkCarrierStep|BenchmarkCellMultiUE|BenchmarkLinkStep|BenchmarkBlockScan|BenchmarkBlockWrite'
 PKGS="./internal/channel ./internal/phy ./internal/gnb ./internal/xcol ."
 
 run_bench() {
