@@ -106,10 +106,25 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	Standard                  map[string]bool
 	SucceedOnTypecheckFailure bool
 	VetxOnly                  bool
 	VetxOutput                string
+}
+
+// modulePrefix scopes fact collection: only this module's packages
+// export ownership facts, so VetxOnly dependency units outside it
+// (the standard library) skip type-checking entirely.
+const modulePrefix = "github.com/midband5g/midband"
+
+// inModule reports whether the unit's import path belongs to this
+// module, ignoring the " [pkg.test]" variant suffix.
+func inModule(importPath string) bool {
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		importPath = importPath[:i]
+	}
+	return importPath == modulePrefix || strings.HasPrefix(importPath, modulePrefix+"/")
 }
 
 // checkUnit analyzes one vet unit and returns rendered diagnostics.
@@ -123,15 +138,16 @@ func checkUnit(cfgPath string) ([]string, error) {
 		return nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
 	}
 
-	// The go command expects a facts file for every unit. The suite
-	// exports no facts, so dependencies (VetxOnly units) need no
-	// analysis at all — just the (empty) facts file.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			return nil, err
+	// The go command expects a facts file for every unit. Packages in
+	// this module export ownership facts (detlint.Facts) consumed by
+	// the bufown analyzer; everything else (the standard library) needs
+	// no analysis at all — just an empty facts file.
+	if cfg.VetxOnly && !inModule(cfg.ImportPath) {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				return nil, err
+			}
 		}
-	}
-	if cfg.VetxOnly {
 		return nil, nil
 	}
 
@@ -141,7 +157,7 @@ func checkUnit(cfgPath string) ([]string, error) {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return nil, nil
+				return nil, writeFacts(cfg.VetxOutput, nil)
 			}
 			return nil, err
 		}
@@ -177,14 +193,66 @@ func checkUnit(cfgPath string) ([]string, error) {
 	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return nil, nil
+			return nil, writeFacts(cfg.VetxOutput, nil)
 		}
 		return nil, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
 	}
 
+	// Export this unit's facts (test files excluded, matching the
+	// analysis scope) for downstream units, whether or not this unit is
+	// itself analyzed.
+	var factFiles []*ast.File
+	for _, f := range files {
+		if !strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+			factFiles = append(factFiles, f)
+		}
+	}
+	if err := writeFacts(cfg.VetxOutput, detlint.CollectFacts(fset, factFiles, info)); err != nil {
+		return nil, err
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
 	var out []string
-	for _, d := range detlint.RunAnalyzers(fset, files, pkg, info, detlint.Suite()) {
+	for _, d := range detlint.RunAnalyzersWithFacts(fset, files, pkg, info, detlint.Suite(), readDepFacts(cfg)) {
 		out = append(out, fmt.Sprintf("%s: %s", fset.Position(d.Pos), d.Message))
 	}
 	return out, nil
+}
+
+// writeFacts serializes the unit's facts to its .vetx file. The go
+// command requires the file to exist even when there is nothing to
+// say; empty facts are written as zero bytes.
+func writeFacts(path string, facts *detlint.Facts) error {
+	if path == "" {
+		return nil
+	}
+	if facts.Empty() {
+		return os.WriteFile(path, []byte{}, 0o666)
+	}
+	data, err := json.Marshal(facts)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o666)
+}
+
+// readDepFacts loads the facts files of the unit's dependencies, keyed
+// by import path. Missing, empty, or unparseable files (a stale cache
+// from an older tool version) degrade to no facts for that dependency.
+func readDepFacts(cfg vetConfig) map[string]*detlint.Facts {
+	depFacts := map[string]*detlint.Facts{}
+	for path, file := range cfg.PackageVetx {
+		data, err := os.ReadFile(file)
+		if err != nil || len(data) == 0 {
+			continue
+		}
+		var facts detlint.Facts
+		if err := json.Unmarshal(data, &facts); err != nil {
+			continue
+		}
+		depFacts[path] = &facts
+	}
+	return depFacts
 }

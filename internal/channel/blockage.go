@@ -67,6 +67,8 @@ func newBlockageState(cfg BlockageConfig, rng *rand.Rand) *blockageState {
 
 // step advances the chain by dt seconds at the given UE speed and returns
 // (los, outage, lossDB).
+//
+//detlint:zeroalloc
 func (b *blockageState) step(dt, speed float64) (los, outage bool, lossDB float64) {
 	mob := 1 + b.cfg.SpeedFactor*speed
 	switch b.state {

@@ -230,15 +230,15 @@ type Channel struct {
 	// Route geometry: segment lengths are fixed, and for a stationary UE
 	// the whole site scan (serving cell, RSRP, interference and the two
 	// noise+interference log terms) is a session constant.
-	segs      []float64 // per-segment lengths of the route polyline
-	segTotal  float64
-	staticGeo bool
-	geoCell   int
-	geoRSRP   float64
-	geoInterf float64
-	geoDataDB float64 // 10·log10(noiseMW + data interference)
-	geoRSRQDB float64 // 10·log10(noiseMW + RSRQ interference)
-	powers    []float64
+	segs       []float64 // per-segment lengths of the route polyline
+	segTotal   float64
+	staticGeo  bool
+	geoCell    int
+	geoRSRP    float64
+	geoInterf  float64
+	geoDataDBm float64 // 10·log10(noiseMW + data interference)
+	geoRSRQDBm float64 // 10·log10(noiseMW + RSRQ interference)
+	powers     []float64
 }
 
 // New creates a channel process.
@@ -283,9 +283,9 @@ func New(cfg Config) (*Channel, error) {
 		ch.geoCell, ch.geoRSRP, ch.geoInterf =
 			cfg.Deployment.strongestSite(pos, cfg.CarrierFreqMHz, ch.powers)
 		interfData := ch.geoInterf*cfg.NeighborLoad + ch.floorMW
-		ch.geoDataDB = 10 * math.Log10(ch.noiseMW+interfData)
+		ch.geoDataDBm = 10 * math.Log10(ch.noiseMW+interfData)
 		interfRSRQ := ch.geoInterf*rsrqLoad + ch.floorMW
-		ch.geoRSRQDB = 10 * math.Log10(ch.noiseMW+interfRSRQ)
+		ch.geoRSRQDBm = 10 * math.Log10(ch.noiseMW+interfRSRQ)
 	}
 	return ch, nil
 }
@@ -312,7 +312,7 @@ func (c *Channel) SetNeighborLoad(load float64) {
 	c.cfg.NeighborLoad = load
 	if c.staticGeo {
 		interfData := c.geoInterf*load + c.floorMW
-		c.geoDataDB = 10 * math.Log10(c.noiseMW+interfData)
+		c.geoDataDBm = 10 * math.Log10(c.noiseMW+interfData)
 	}
 }
 
@@ -347,6 +347,8 @@ func (c *Channel) position(tSec float64) Point {
 }
 
 // Step advances one slot and returns the new radio sample.
+//
+//detlint:zeroalloc
 func (c *Channel) Step() Sample {
 	dt := c.dt
 	tSec := float64(c.slot) * dt
@@ -366,6 +368,7 @@ func (c *Channel) Step() Sample {
 	}
 
 	var cell int
+	//detlint:unit dBm
 	var rsrp, interfMW float64
 	if c.staticGeo {
 		cell, rsrp, interfMW = c.geoCell, c.geoRSRP, c.geoInterf
@@ -391,19 +394,19 @@ func (c *Channel) Step() Sample {
 		}
 	}
 
-	var noiseDataDB, noiseRSRQDB float64
+	var noiseDataDBm, noiseRSRQDBm float64
 	if c.staticGeo {
-		noiseDataDB, noiseRSRQDB = c.geoDataDB, c.geoRSRQDB
+		noiseDataDBm, noiseRSRQDBm = c.geoDataDBm, c.geoRSRQDBm
 	} else {
 		interfData := interfMW*c.cfg.NeighborLoad + c.floorMW
-		noiseDataDB = 10 * math.Log10(c.noiseMW+interfData)
+		noiseDataDBm = 10 * math.Log10(c.noiseMW+interfData)
 		// RSRQ is measured against a busier RSSI than the data SINR
 		// sees (see rsrqLoad).
 		interfRSRQ := interfMW*rsrqLoad + c.floorMW
-		noiseRSRQDB = 10 * math.Log10(c.noiseMW+interfRSRQ)
+		noiseRSRQDBm = 10 * math.Log10(c.noiseMW+interfRSRQ)
 	}
-	sinrDB := rsrp - blockLossDB + c.fastDB + c.slowDB + c.cfg.SINRBiasDB - noiseDataDB
-	sinrRSRQ := rsrp - blockLossDB + c.slowDB + c.cfg.SINRBiasDB - noiseRSRQDB
+	sinrDB := rsrp - blockLossDB + c.fastDB + c.slowDB + c.cfg.SINRBiasDB - noiseDataDBm
+	sinrRSRQ := rsrp - blockLossDB + c.slowDB + c.cfg.SINRBiasDB - noiseRSRQDBm
 	if outage {
 		sinrDB = math.Inf(-1)
 		sinrRSRQ = math.Inf(-1)

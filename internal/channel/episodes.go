@@ -45,6 +45,8 @@ func newEpisodeState(cfg EpisodeConfig, rng *rand.Rand) *episodeState {
 }
 
 // step advances dt seconds and returns the current degradation in dB (≥ 0).
+//
+//detlint:zeroalloc
 func (e *episodeState) step(dt float64) float64 {
 	if e.remaining <= 0 {
 		if e.rng.Float64() < e.cfg.RatePerSec*dt {

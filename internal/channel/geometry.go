@@ -116,6 +116,8 @@ func (d Deployment) StrongestSite(p Point, fcMHz float64) (idx int, rsrpDBm floa
 
 // strongestSite is StrongestSite with a caller-provided scratch slice
 // (len ≥ len(d.Sites)) so the per-slot hot path allocates nothing.
+//
+//detlint:zeroalloc
 func (d Deployment) strongestSite(p Point, fcMHz float64, powers []float64) (idx int, rsrpDBm float64, interfMW float64) {
 	best := math.Inf(-1)
 	idx = -1

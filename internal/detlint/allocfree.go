@@ -1,0 +1,438 @@
+package detlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AllocFree statically forbids allocation sources inside functions
+// marked //detlint:zeroalloc. The slot path is pinned at runtime by
+// testing.AllocsPerRun benchmarks (gnb, channel, net5g, ue, xcol);
+// those pins fail only when the benchmark runs, while this analyzer
+// fails `go vet` the moment an allocating construct is written into an
+// annotated function.
+//
+// The directive sits in the function's doc comment:
+//
+//	// Step advances one slot.
+//	//
+//	//detlint:zeroalloc
+//	func (c *Cell) Step(...) ...
+//
+// Flagged inside a marked function:
+//
+//   - make, new, map/slice literals, and &T{...} (heap composite);
+//   - append whose destination is a plain local not traceable to a
+//     reused buffer (a parameter, a struct field, or a reslice of one —
+//     the `buf := c.buf[:0]` idiom stays silent);
+//   - fmt calls and variadic-interface argument boxing;
+//   - string concatenation and string↔[]byte/[]rune conversions;
+//   - closures capturing outer variables, and go statements.
+//
+// One carve-out: `return fmt.Errorf(...)` is exempt — error returns
+// are the cold path out of the steady state, and the AllocsPerRun pins
+// never execute them. Plain struct literals (harqJob{...}) do not allocate
+// and stay silent. A genuinely cold allocation elsewhere carries a
+// //detlint:allow allocfree <reason>.
+var AllocFree = &Analyzer{
+	Name: "allocfree",
+	Doc:  "forbid allocation sources inside functions marked //detlint:zeroalloc",
+	Run:  runAllocFree,
+}
+
+// zeroallocDirective is the marker, placed in a function's doc comment.
+const zeroallocDirective = "//detlint:zeroalloc"
+
+func runAllocFree(pass *Pass) {
+	for _, f := range pass.Files {
+		attached := map[*ast.Comment]bool{}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			marked := false
+			for _, c := range fd.Doc.List {
+				if strings.TrimSpace(c.Text) == zeroallocDirective {
+					attached[c] = true
+					marked = true
+				}
+			}
+			if marked {
+				checkZeroAlloc(pass, fd)
+			}
+		}
+		// A zeroalloc directive outside a function's doc comment marks
+		// nothing; report it so the annotation cannot silently rot.
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.TrimSpace(c.Text) == zeroallocDirective && !attached[c] {
+					pass.Report(c.Pos(),
+						"allocfree: //detlint:zeroalloc is not part of a function's doc comment — attach it to the declaration it should mark")
+				}
+			}
+		}
+	}
+}
+
+// sliceOrigin classifies an append destination.
+type sliceOrigin uint8
+
+const (
+	originUnknown sliceOrigin = iota
+	originReused              // parameter, field alias, or reslice of one
+	originFresh               // nil/declared/make/literal local
+)
+
+// checkZeroAlloc walks one marked function and reports every
+// allocation source.
+func checkZeroAlloc(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	origins := sliceOrigins(pass, fd)
+	exemptReturns := returnExemptCalls(pass, fd)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Report(n.Pos(), "allocfree: go statement in a zeroalloc function; spawning a goroutine allocates")
+		case *ast.FuncLit:
+			if captures(pass, fd, n) {
+				pass.Report(n.Pos(), "allocfree: closure captures outer variables in a zeroalloc function; the closure and its captures escape to the heap")
+			}
+			return false // the literal's own body runs outside the marked frame
+		case *ast.CompositeLit:
+			switch pass.Info.Types[n].Type.Underlying().(type) {
+			case *types.Map:
+				pass.Report(n.Pos(), "allocfree: map literal allocates in a zeroalloc function")
+			case *types.Slice:
+				pass.Report(n.Pos(), "allocfree: slice literal allocates in a zeroalloc function")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Report(n.Pos(), "allocfree: &T{...} escapes to the heap in a zeroalloc function; reuse a preallocated value")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(pass.Info.Types[n].Type) && pass.Info.Types[n].Value == nil {
+				pass.Report(n.OpPos, "allocfree: string concatenation allocates in a zeroalloc function")
+			}
+		case *ast.CallExpr:
+			checkZeroAllocCall(pass, n, origins, exemptReturns)
+		}
+		return true
+	})
+}
+
+// checkZeroAllocCall applies the call-site rules: builtins, fmt,
+// conversions, and interface boxing.
+func checkZeroAllocCall(pass *Pass, call *ast.CallExpr, origins map[types.Object]sliceOrigin, exempt map[*ast.CallExpr]bool) {
+	if exempt[call] {
+		return
+	}
+	// Builtins.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				pass.Report(call.Pos(), "allocfree: make allocates in a zeroalloc function; preallocate in the constructor and reuse")
+			case "new":
+				pass.Report(call.Pos(), "allocfree: new allocates in a zeroalloc function; reuse a preallocated value")
+			case "append":
+				checkZeroAllocAppend(pass, call, origins)
+			}
+			return
+		}
+	}
+	// Conversions: string↔[]byte/[]rune copy their input.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := tv.Type, pass.Info.Types[call.Args[0]].Type
+		if (isStringType(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isStringType(from)) {
+			pass.Report(call.Pos(), "allocfree: string conversion copies its input in a zeroalloc function")
+		}
+		return
+	}
+	// fmt always formats through interfaces.
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && pkgPathOf(pass.Info, sel.X) == "fmt" {
+		pass.Report(call.Pos(), fmt.Sprintf(
+			"allocfree: fmt.%s formats through interfaces and allocates in a zeroalloc function", sel.Sel.Name))
+		return
+	}
+	// Boxing: concrete values passed to an ...interface{} tail.
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !sig.Variadic() || call.Ellipsis.IsValid() {
+		return
+	}
+	last := sig.Params().At(sig.Params().Len() - 1)
+	elem, ok := last.Type().(*types.Slice)
+	if !ok {
+		return
+	}
+	if _, isIface := elem.Elem().Underlying().(*types.Interface); !isIface {
+		return
+	}
+	for _, arg := range call.Args[sig.Params().Len()-1:] {
+		at := pass.Info.Types[arg].Type
+		if at == nil {
+			continue
+		}
+		if _, isIface := at.Underlying().(*types.Interface); isIface {
+			continue // already an interface: no new box
+		}
+		if _, isPtr := at.Underlying().(*types.Pointer); isPtr {
+			continue // pointers box without copying the pointee
+		}
+		pass.Report(arg.Pos(), fmt.Sprintf(
+			"allocfree: argument boxes a concrete value into %s's variadic interface parameter in a zeroalloc function", fn.Name()))
+	}
+}
+
+// checkZeroAllocAppend flags appends whose destination cannot be traced
+// to a reused buffer.
+func checkZeroAllocAppend(pass *Pass, call *ast.CallExpr, origins map[types.Object]sliceOrigin) {
+	if len(call.Args) == 0 {
+		return
+	}
+	switch dst := unparen(call.Args[0]).(type) {
+	case *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return // field, pointer target, or element: long-lived storage the caller owns
+	case *ast.SliceExpr:
+		// Appending into a reslice of long-lived storage — the in-place
+		// compaction idiom *q = append((*q)[:i], (*q)[i+1:]...) — reuses
+		// the backing array; only a reslice of a fresh local is suspect.
+		switch base := unparen(dst.X).(type) {
+		case *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+			return
+		case *ast.Ident:
+			obj := pass.Info.Uses[base]
+			if obj == nil {
+				obj = pass.Info.Defs[base]
+			}
+			if origins[obj] != originFresh {
+				return
+			}
+			pass.Report(call.Pos(), fmt.Sprintf(
+				"allocfree: append to a reslice of %s, a fresh local slice, allocates when it grows; reslice a reusable buffer instead", base.Name))
+			return
+		}
+		pass.Report(call.Pos(), "allocfree: append destination is not traceable to a reused buffer in a zeroalloc function")
+	case *ast.Ident:
+		obj := pass.Info.Uses[dst]
+		if obj == nil {
+			obj = pass.Info.Defs[dst]
+		}
+		switch origins[obj] {
+		case originReused:
+			return
+		case originFresh:
+			pass.Report(call.Pos(), fmt.Sprintf(
+				"allocfree: append to %s, a fresh local slice, allocates when it grows; reslice a reusable buffer (buf := c.buf[:0]) instead", dst.Name))
+		default:
+			pass.Report(call.Pos(), fmt.Sprintf(
+				"allocfree: append to %s, which is not traceable to a reused buffer, may allocate in a zeroalloc function", dst.Name))
+		}
+	default:
+		pass.Report(call.Pos(), "allocfree: append destination is not traceable to a reused buffer in a zeroalloc function")
+	}
+}
+
+// sliceOrigins classifies every local slice variable in fd: parameters
+// and reslices/aliases of fields or parameters are reused; slices born
+// from nil, make, or literals are fresh.
+func sliceOrigins(pass *Pass, fd *ast.FuncDecl) map[types.Object]sliceOrigin {
+	origins := map[types.Object]sliceOrigin{}
+	markParams := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					origins[obj] = originReused
+				}
+			}
+		}
+	}
+	markParams(fd.Recv)
+	markParams(fd.Type.Params)
+
+	classify := func(rhs ast.Expr) sliceOrigin {
+		switch rhs := unparen(rhs).(type) {
+		case *ast.SliceExpr:
+			switch base := unparen(rhs.X).(type) {
+			case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+				return originReused
+			case *ast.Ident:
+				obj := pass.Info.Uses[base]
+				if obj == nil {
+					obj = pass.Info.Defs[base]
+				}
+				return origins[obj]
+			}
+			return originUnknown
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			return originReused // alias of long-lived storage
+		case *ast.CompositeLit:
+			return originFresh
+		case *ast.CallExpr:
+			if id, ok := unparen(rhs.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					switch id.Name {
+					case "make":
+						return originFresh
+					case "append":
+						return originUnknown // keeps the destination's prior class
+					}
+				}
+			}
+			return originUnknown
+		case *ast.Ident:
+			if rhs.Name == "nil" {
+				return originFresh
+			}
+			obj := pass.Info.Uses[rhs]
+			if obj == nil {
+				obj = pass.Info.Defs[rhs]
+			}
+			return origins[obj]
+		}
+		return originUnknown
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					obj = pass.Info.Uses[id]
+				}
+				if obj == nil || !isSliceType(obj.Type()) {
+					continue
+				}
+				if o := classify(n.Rhs[i]); o != originUnknown {
+					origins[obj] = o
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					obj := pass.Info.Defs[name]
+					if obj == nil || !isSliceType(obj.Type()) {
+						continue
+					}
+					if len(vs.Values) == 0 {
+						origins[obj] = originFresh // var s []T: nil slice
+					} else if i < len(vs.Values) {
+						if o := classify(vs.Values[i]); o != originUnknown {
+							origins[obj] = o
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return origins
+}
+
+// returnExemptCalls collects fmt.Errorf calls nested in return
+// statements — the cold error-return path the steady-state pins never
+// execute. Other allocations in returns stay flagged.
+func returnExemptCalls(pass *Pass, fd *ast.FuncDecl) map[*ast.CallExpr]bool {
+	exempt := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			ast.Inspect(res, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok &&
+					sel.Sel.Name == "Errorf" && pkgPathOf(pass.Info, sel.X) == "fmt" {
+					exempt[call] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return exempt
+}
+
+// captures reports whether the literal references a variable declared
+// in the enclosing function outside the literal itself.
+func captures(pass *Pass, fd *ast.FuncDecl, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured {
+			return !captured
+		}
+		v, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if v.Pos() >= fd.Pos() && v.Pos() < fd.End() && (v.Pos() < lit.Pos() || v.Pos() >= lit.End()) {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isSliceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}

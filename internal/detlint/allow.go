@@ -34,52 +34,67 @@ type Allow struct {
 // parseAllows extracts //detlint:allow directives from a file.
 // Malformed directives — unknown analyzer name, missing reason — are
 // returned as diagnostics; a malformed directive never suppresses
-// anything.
+// anything. One comment may carry several directives back to back
+// (`//detlint:allow floatcmp <reason> //detlint:allow maprange
+// <reason>`) so a single line can except more than one analyzer; each
+// is parsed and judged independently.
 func parseAllows(fset *token.FileSet, file *ast.File, known map[string]bool) ([]*Allow, []Diagnostic) {
 	var allows []*Allow
 	var diags []Diagnostic
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
-			text, ok := strings.CutPrefix(c.Text, "//"+allowPrefix)
-			if !ok || (text != "" && text[0] != ' ' && text[0] != '\t') {
+			rest, ok := strings.CutPrefix(c.Text, "//"+allowPrefix)
+			if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
 				continue
 			}
-			fields := strings.Fields(text)
-			if len(fields) == 0 {
-				diags = append(diags, Diagnostic{
-					Pos:      c.Pos(),
-					Analyzer: "allow",
-					Message:  "malformed //detlint:allow: missing analyzer name",
-				})
-				continue
+			for _, text := range strings.Split(rest, "//"+allowPrefix) {
+				a, d := parseOneAllow(fset, c.Pos(), text, known)
+				if a != nil {
+					allows = append(allows, a)
+				}
+				if d != nil {
+					diags = append(diags, *d)
+				}
 			}
-			name := fields[0]
-			if !known[name] {
-				diags = append(diags, Diagnostic{
-					Pos:      c.Pos(),
-					Analyzer: "allow",
-					Message: fmt.Sprintf("unknown analyzer %q in //detlint:allow (known: %s)",
-						name, strings.Join(knownNames(known), ", ")),
-				})
-				continue
-			}
-			if len(fields) < 2 {
-				diags = append(diags, Diagnostic{
-					Pos:      c.Pos(),
-					Analyzer: "allow",
-					Message:  fmt.Sprintf("//detlint:allow %s: missing reason — say why this site is exempt", name),
-				})
-				continue
-			}
-			allows = append(allows, &Allow{
-				Analyzer: name,
-				Reason:   strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), name)),
-				Line:     fset.Position(c.Pos()).Line,
-				Pos:      c.Pos(),
-			})
 		}
 	}
 	return allows, diags
+}
+
+// parseOneAllow parses the body of a single //detlint:allow directive
+// (the text after the marker) into an Allow or a malformed-directive
+// diagnostic.
+func parseOneAllow(fset *token.FileSet, pos token.Pos, text string, known map[string]bool) (*Allow, *Diagnostic) {
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return nil, &Diagnostic{
+			Pos:      pos,
+			Analyzer: "allow",
+			Message:  "malformed //detlint:allow: missing analyzer name",
+		}
+	}
+	name := fields[0]
+	if !known[name] {
+		return nil, &Diagnostic{
+			Pos:      pos,
+			Analyzer: "allow",
+			Message: fmt.Sprintf("unknown analyzer %q in //detlint:allow (known: %s)",
+				name, strings.Join(knownNames(known), ", ")),
+		}
+	}
+	if len(fields) < 2 {
+		return nil, &Diagnostic{
+			Pos:      pos,
+			Analyzer: "allow",
+			Message:  fmt.Sprintf("//detlint:allow %s: missing reason — say why this site is exempt", name),
+		}
+	}
+	return &Allow{
+		Analyzer: name,
+		Reason:   strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), name)),
+		Line:     fset.Position(pos).Line,
+		Pos:      pos,
+	}, nil
 }
 
 // knownNames returns the sorted analyzer names for error messages.

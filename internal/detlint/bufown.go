@@ -1,0 +1,278 @@
+package detlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// BufOwn flags retention of results returned by Step/Scan-style
+// methods documented as owned by the receiver until the next call. The
+// slot path reuses its result buffers (gnb.Cell.Step's Allocs,
+// net5g.Link.Step's KPI slices, xcol.Scanner.Next's Block), so a caller
+// that stores such a result in a field or global, sends it on a
+// channel, or captures it in a goroutine is reading memory the next
+// Step call will overwrite.
+//
+// Ownership is a fact, not a heuristic at the call site: CollectFacts
+// exports the set of owned methods per package (detected from the doc
+// comment contract "owned by the ... until the next"), the vet driver
+// threads each unit its dependencies' facts, and this analyzer resolves
+// the callee against that set. Within one package the facts are
+// computed directly.
+//
+// Results are tainted through local assignments and field reads; a
+// sink fires only when the escaping value's type still holds
+// references (a slice, pointer, or map — copying a float out of an
+// owned struct is fine). Laundering through an explicit copy
+// (append([]T(nil), s...), copy into an owned buffer) clears the
+// taint: builtin results are never tainted.
+var BufOwn = &Analyzer{
+	Name: "bufown",
+	Doc:  "flag retention of buffers returned by methods documented owned-until-next-call",
+	Run:  runBufOwn,
+}
+
+func runBufOwn(pass *Pass) {
+	owned := map[string]bool{}
+	for _, facts := range pass.DepFacts {
+		for _, m := range facts.OwnedMethods {
+			owned[m] = true
+		}
+	}
+	for _, m := range CollectFacts(pass.Fset, pass.Files, pass.Info).OwnedMethods {
+		owned[m] = true
+	}
+	if len(owned) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBufOwnFunc(pass, fd, owned)
+		}
+	}
+}
+
+// checkBufOwnFunc taints owned results inside one function and reports
+// the escapes.
+func checkBufOwnFunc(pass *Pass, fd *ast.FuncDecl, owned map[string]bool) {
+	// Receiver and parameters: storing into them escapes the frame.
+	boundary := map[types.Object]bool{}
+	markBoundary := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					boundary[obj] = true
+				}
+			}
+		}
+	}
+	markBoundary(fd.Recv)
+	markBoundary(fd.Type.Params)
+
+	tainted := map[types.Object]string{} // local var -> owning method name
+
+	// ownedCall returns the owned method's display name when call
+	// resolves to one.
+	ownedCall := func(x ast.Expr) (string, bool) {
+		call, ok := unparen(x).(*ast.CallExpr)
+		if !ok {
+			return "", false
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || !owned[fn.FullName()] {
+			return "", false
+		}
+		return fn.Name(), true
+	}
+
+	// taintedExpr resolves an expression to the owning method when the
+	// expression reads an owned result (directly or through a local).
+	var taintedExpr func(x ast.Expr) (string, bool)
+	taintedExpr = func(x ast.Expr) (string, bool) {
+		switch x := unparen(x).(type) {
+		case *ast.Ident:
+			obj := pass.Info.Uses[x]
+			if obj == nil {
+				obj = pass.Info.Defs[x]
+			}
+			if m, ok := tainted[obj]; ok {
+				return m, true
+			}
+			return "", false
+		case *ast.SelectorExpr:
+			return taintedExpr(x.X)
+		case *ast.IndexExpr:
+			return taintedExpr(x.X)
+		case *ast.StarExpr:
+			return taintedExpr(x.X)
+		case *ast.SliceExpr:
+			return taintedExpr(x.X)
+		case *ast.UnaryExpr:
+			return taintedExpr(x.X)
+		case *ast.CallExpr:
+			return ownedCall(x)
+		}
+		return "", false
+	}
+
+	// escapes reports whether storing through lhs leaves the frame: a
+	// package-level variable, or anything rooted at the receiver or a
+	// parameter.
+	var rootObj func(x ast.Expr) types.Object
+	rootObj = func(x ast.Expr) types.Object {
+		switch x := unparen(x).(type) {
+		case *ast.Ident:
+			obj := pass.Info.Uses[x]
+			if obj == nil {
+				obj = pass.Info.Defs[x]
+			}
+			return obj
+		case *ast.SelectorExpr:
+			return rootObj(x.X)
+		case *ast.IndexExpr:
+			return rootObj(x.X)
+		case *ast.StarExpr:
+			return rootObj(x.X)
+		}
+		return nil
+	}
+	escapes := func(lhs ast.Expr) bool {
+		obj := rootObj(lhs)
+		if obj == nil {
+			return false
+		}
+		if boundary[obj] {
+			// Plain reassignment of a parameter local stays in-frame;
+			// only stores *through* it (x.f, x[i], *x) escape.
+			if _, isIdent := unparen(lhs).(*ast.Ident); isIdent {
+				return false
+			}
+			return true
+		}
+		return obj.Parent() == pass.Pkg.Scope() // package-level var
+	}
+
+	report := func(pos ast.Node, method, how string) {
+		pass.Report(pos.Pos(), fmt.Sprintf(
+			"bufown: result of %s is owned by its receiver until the next call; %s retains the buffer — copy what outlives the call", method, how))
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Taint LHS locals whose RHS reads an owned result.
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					m, isTainted := taintedExpr(n.Rhs[i])
+					if !isTainted {
+						continue
+					}
+					if !holdsRefs(pass.Info.Types[n.Rhs[i]].Type) {
+						continue // copying a scalar out is safe
+					}
+					if escapes(n.Lhs[i]) {
+						report(n.Rhs[i], m, "storing it in a field or global")
+						continue
+					}
+					if id, ok := unparen(n.Lhs[i]).(*ast.Ident); ok {
+						obj := pass.Info.Defs[id]
+						if obj == nil {
+							obj = pass.Info.Uses[id]
+						}
+						if obj != nil {
+							tainted[obj] = m
+						}
+					}
+				}
+			} else if len(n.Rhs) == 1 {
+				// Multi-value: x, ok := s.Next() — taint every LHS that
+				// holds references.
+				if m, ok := ownedCall(n.Rhs[0]); ok {
+					for _, lhs := range n.Lhs {
+						id, ok := unparen(lhs).(*ast.Ident)
+						if !ok {
+							continue
+						}
+						obj := pass.Info.Defs[id]
+						if obj == nil {
+							obj = pass.Info.Uses[id]
+						}
+						if obj == nil || !holdsRefs(obj.Type()) {
+							continue
+						}
+						if escapes(lhs) {
+							report(lhs, m, "storing it in a field or global")
+							continue
+						}
+						tainted[obj] = m
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if m, ok := taintedExpr(n.Value); ok && holdsRefs(pass.Info.Types[n.Value].Type) {
+				report(n.Value, m, "sending it on a channel")
+			}
+		case *ast.GoStmt:
+			if m, ok := goCaptures(pass, n, tainted); ok {
+				report(n, m, "capturing it in a goroutine")
+			}
+		}
+		return true
+	})
+}
+
+// goCaptures reports whether the go statement's function or arguments
+// reference a tainted value.
+func goCaptures(pass *Pass, g *ast.GoStmt, tainted map[types.Object]string) (string, bool) {
+	method := ""
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || method != "" {
+			return method == ""
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if m, ok := tainted[obj]; ok {
+			method = m
+		}
+		return true
+	})
+	return method, method != ""
+}
+
+// holdsRefs reports whether values of t carry references into the
+// owned buffer: slices, pointers, maps, channels, interfaces, or
+// structs/arrays containing any of those.
+func holdsRefs(t types.Type) bool {
+	return holdsRefsDepth(t, 0, map[types.Type]bool{})
+}
+
+func holdsRefsDepth(t types.Type, depth int, seen map[types.Type]bool) bool {
+	if t == nil || depth > 10 || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Pointer, *types.Map, *types.Chan, *types.Interface, *types.Signature:
+		return true
+	case *types.Array:
+		return holdsRefsDepth(u.Elem(), depth+1, seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if holdsRefsDepth(u.Field(i).Type(), depth+1, seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

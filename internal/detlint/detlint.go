@@ -7,7 +7,7 @@
 // RNG call, a wall-clock read, an unsorted map walk into a CSV — before
 // it ever runs.
 //
-// Five analyzers make up the suite:
+// Nine analyzers make up the suite:
 //
 //   - globalrand: simulation packages must not call math/rand's
 //     package-level functions (or rand.Seed); randomness flows through a
@@ -22,6 +22,22 @@
 //     them back, so instrumentation cannot feed into results.
 //   - floatcmp: == / != between floating-point operands outside _test.go
 //     files is flagged; exact equality is representation-dependent.
+//   - unitflow: a units-of-measure dataflow check seeded by the naming
+//     convention (...dB, ...dBm, ...mW, ...Hz/kHz/MHz, ...Lin) and the
+//     //detlint:unit <dim> directive; flags log/linear mixing, dBm↔dB
+//     comparison and assignment, frequency-scale mismatches, and
+//     double-applied 10^(x/10) conversions.
+//   - allocfree: forbids allocation sources (make, map/slice literals,
+//     closure captures, fmt, interface boxing, string conversion, append
+//     to a non-reused slice) inside functions marked //detlint:zeroalloc
+//     — the Step chains pinned by testing.AllocsPerRun.
+//   - bufown: flags retention (field/global stores, channel sends,
+//     goroutine captures) of results returned by methods documented
+//     "owned ... until the next" call, using a small ownership fact
+//     exported per package.
+//   - seedflow: RNG constructions in simulation packages must derive
+//     their seed through fleet.SplitSeed (or a config field/parameter) —
+//     no literal seeds and no raw seed arithmetic.
 //
 // A site that is genuinely exempt carries a trailing
 //
@@ -71,6 +87,10 @@ type Pass struct {
 	Pkg *types.Package
 	// Info holds the type-checker's results for Files.
 	Info *types.Info
+	// DepFacts maps dependency package paths to the facts they export
+	// (see Facts). Nil when the driver carries no facts; analyzers that
+	// consume facts must then fall back to intra-package information.
+	DepFacts map[string]*Facts
 	// Report records a diagnostic at pos.
 	Report func(pos token.Pos, message string)
 }
@@ -86,7 +106,7 @@ type Diagnostic struct {
 	Message string
 }
 
-// Suite returns the five determinism analyzers in reporting order.
+// Suite returns the nine determinism analyzers in reporting order.
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		GlobalRand,
@@ -94,6 +114,10 @@ func Suite() []*Analyzer {
 		MapRange,
 		ObsWriteOnly,
 		FloatCmp,
+		UnitFlow,
+		AllocFree,
+		BufOwn,
+		SeedFlow,
 	}
 }
 

@@ -34,10 +34,61 @@ func TestFloatCmp(t *testing.T) {
 }
 
 // TestAllowDirectives drives the directive parser end to end: a used
-// directive suppresses, unknown names and missing reasons are reported,
-// and a directive covering no diagnostic is stale.
+// directive suppresses (trailing or on the line above), several
+// directives may share one comment, unknown names and missing reasons
+// are reported, and a directive covering no diagnostic is stale.
 func TestAllowDirectives(t *testing.T) {
 	dettest.Run(t, "testdata", "allowfix", detlint.WallTime)
+}
+
+func TestUnitFlow(t *testing.T) {
+	dettest.Run(t, "testdata", "unitflow", detlint.UnitFlow)
+}
+
+func TestAllocFree(t *testing.T) {
+	dettest.Run(t, "testdata", "allocfree", detlint.AllocFree)
+}
+
+// TestBufOwn exercises the ownership facts end to end: package stepper
+// exports the owned-method fact from its doc comment, and the consumer
+// package is checked against it.
+func TestBufOwn(t *testing.T) {
+	dettest.Run(t, "testdata", "bufown/consumer", detlint.BufOwn)
+}
+
+// TestBufOwnDefiningPackage runs the analyzer over the package that
+// exports the fact: reusing its own buffer is not retention.
+func TestBufOwnDefiningPackage(t *testing.T) {
+	dettest.Run(t, "testdata", "bufown/stepper", detlint.BufOwn)
+}
+
+func TestSeedFlow(t *testing.T) {
+	dettest.Run(t, "testdata", "sim/internal/fault", detlint.SeedFlow)
+}
+
+// TestSeedFlowScopedToSimPackages checks that fixed seeds outside the
+// simulation core are not flagged (tooling carries no determinism
+// contract).
+func TestSeedFlowScopedToSimPackages(t *testing.T) {
+	dettest.Run(t, "testdata", "tools/shuffle", detlint.SeedFlow)
+}
+
+// TestFixtureCoverage asserts every analyzer in the suite has at least
+// one caught and one allowed fixture, so an analyzer cannot land
+// without tests for both sides of its contract.
+func TestFixtureCoverage(t *testing.T) {
+	inv, err := dettest.ScanFixtures("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range detlint.Suite() {
+		if inv.Caught[a.Name] == 0 {
+			t.Errorf("analyzer %s has no caught fixture (no want %q annotation)", a.Name, a.Name+": ...")
+		}
+		if inv.Allowed[a.Name] == 0 {
+			t.Errorf("analyzer %s has no allowed fixture (no //detlint:allow %s directive)", a.Name, a.Name)
+		}
+	}
 }
 
 // TestGlobalRandScopedToSimPackages checks that the same global-rand

@@ -48,7 +48,18 @@ func Run(t *testing.T, dir, pkgPath string, analyzers ...*detlint.Analyzer) {
 		t.Fatalf("loading fixture %s: %v", pkgPath, err)
 	}
 
-	diags := detlint.RunAnalyzers(fset, lp.files, lp.pkg, lp.info, analyzers)
+	// Fixture dependencies export facts exactly like real dependencies
+	// do through the vet driver, so cross-package analyzers (bufown)
+	// are exercised end to end.
+	depFacts := map[string]*detlint.Facts{}
+	for path, dep := range ld.pkgs {
+		if path == pkgPath {
+			continue
+		}
+		depFacts[path] = detlint.CollectFacts(fset, dep.files, dep.info)
+	}
+
+	diags := detlint.RunAnalyzersWithFacts(fset, lp.files, lp.pkg, lp.info, analyzers, depFacts)
 	checkExpectations(t, fset, lp.files, diags)
 }
 
@@ -173,6 +184,10 @@ func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, dia
 		}
 	}
 
+	// Collect every mismatch on both sides before failing, so one run
+	// shows the full diff — all unexpected diagnostics and all missed
+	// positions, not just the first.
+	var unexpected []string
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
 		matched := false
@@ -184,7 +199,7 @@ func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, dia
 			}
 		}
 		if !matched {
-			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+			unexpected = append(unexpected, fmt.Sprintf("%s:%d: %s", pos.Filename, pos.Line, d.Message))
 		}
 	}
 	sort.Slice(wants, func(i, j int) bool {
@@ -193,9 +208,16 @@ func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, dia
 		}
 		return wants[i].line < wants[j].line
 	})
+	var missed []string
 	for _, w := range wants {
 		if !w.met {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+			missed = append(missed, fmt.Sprintf("%s:%d: want %q", w.file, w.line, w.re))
 		}
+	}
+	if len(unexpected) > 0 {
+		t.Errorf("%d unexpected diagnostic(s):\n  %s", len(unexpected), strings.Join(unexpected, "\n  "))
+	}
+	if len(missed) > 0 {
+		t.Errorf("%d expected diagnostic(s) not reported:\n  %s", len(missed), strings.Join(missed, "\n  "))
 	}
 }

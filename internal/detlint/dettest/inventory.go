@@ -1,0 +1,58 @@
+package dettest
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// Inventory summarizes the fixture tree's coverage per analyzer: how
+// many caught cases (want annotations whose pattern names the
+// analyzer) and how many allowed cases (//detlint:allow directives
+// naming it) exist. The shared coverage test asserts every analyzer in
+// the suite has at least one of each, so a new analyzer cannot land
+// without fixtures for both sides of its contract.
+type Inventory struct {
+	// Caught counts want annotations per analyzer name.
+	Caught map[string]int
+	// Allowed counts //detlint:allow directives per analyzer name.
+	Allowed map[string]int
+}
+
+// wantNameRE extracts the leading analyzer name from a want pattern;
+// diagnostic messages are prefixed "analyzer:" by convention, and the
+// directive-machinery diagnostics ("unknown analyzer", "stale",
+// "missing reason") match no name.
+var wantNameRE = regexp.MustCompile(`want "([a-z]+):`)
+
+// allowNameRE extracts the analyzer name from an allow directive.
+var allowNameRE = regexp.MustCompile(`//detlint:allow ([a-z]+)`)
+
+// ScanFixtures walks every fixture file under dir (the testdata root)
+// and tallies caught and allowed cases per analyzer.
+func ScanFixtures(dir string) (*Inventory, error) {
+	inv := &Inventory{Caught: map[string]int{}, Allowed: map[string]int{}}
+	root := filepath.Join(dir, "src")
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range wantNameRE.FindAllStringSubmatch(string(src), -1) {
+			inv.Caught[m[1]]++
+		}
+		for _, m := range allowNameRE.FindAllStringSubmatch(string(src), -1) {
+			inv.Allowed[m[1]]++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return inv, nil
+}

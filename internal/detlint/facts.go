@@ -1,0 +1,66 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Facts is the cross-package information detlint exports for one
+// package. The vet driver (cmd/detlint) serializes it to the unit's
+// .vetx file and feeds each unit the facts of its dependencies, so an
+// analyzer can reason about a method defined in another package without
+// re-reading that package's source.
+//
+// The only fact today is buffer ownership: which methods return storage
+// that the receiver reuses on the next call (the "owned until the next
+// Step" contract from docs/ARCHITECTURE.md).
+type Facts struct {
+	// OwnedMethods lists methods whose results are owned by the
+	// receiver until the next call, keyed by types.Func.FullName(),
+	// e.g. "(*github.com/midband5g/midband/internal/gnb.Cell).Step".
+	OwnedMethods []string `json:"owned_methods,omitempty"`
+}
+
+// Empty reports whether the facts carry no information, so drivers can
+// skip serializing them.
+func (f *Facts) Empty() bool {
+	return f == nil || len(f.OwnedMethods) == 0
+}
+
+// ownedDoc reports whether a method's doc comment declares the
+// owned-buffer contract. The codebase phrases it consistently: the
+// returned storage "is owned by the <receiver> ... until the next
+// <method> call" (gnb.Cell.Step, gnb.Carrier.Step, net5g.Link.Step,
+// xcol.Scanner.Next). Both fragments must appear so prose that merely
+// mentions ownership in passing does not export a fact.
+func ownedDoc(doc string) bool {
+	lower := strings.ToLower(doc)
+	return strings.Contains(lower, "owned by the") && strings.Contains(lower, "until the next")
+}
+
+// CollectFacts scans one type-checked package's files and returns the
+// facts it exports: every method whose doc comment declares the
+// owned-buffer contract. Callers filter test files first, matching
+// RunAnalyzers.
+func CollectFacts(fset *token.FileSet, files []*ast.File, info *types.Info) *Facts {
+	facts := &Facts{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Doc == nil {
+				continue
+			}
+			if !ownedDoc(fd.Doc.Text()) {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			facts.OwnedMethods = append(facts.OwnedMethods, fn.FullName())
+		}
+	}
+	return facts
+}

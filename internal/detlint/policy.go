@@ -4,9 +4,11 @@ import "strings"
 
 // simCore names the internal packages that form the deterministic
 // simulation core: every byte they emit must be reproducible from the
-// campaign seed alone. The scoped analyzers (globalrand, obswriteonly)
-// apply only here; the module-wide analyzers (walltime, maprange,
-// floatcmp) apply everywhere but tests.
+// campaign seed alone. The scoped analyzers (globalrand, obswriteonly,
+// seedflow) apply only here; the module-wide analyzers (walltime,
+// maprange, floatcmp, unitflow) apply everywhere but tests, and the
+// directive/fact-gated ones (allocfree, bufown) fire wherever a
+// //detlint:zeroalloc annotation or an ownership fact reaches.
 //
 // fleet and obs are deliberately absent: fleet owns the wall-clock
 // job timings and obs *is* the instrumentation layer, so both read the

@@ -22,6 +22,15 @@ import (
 // analyzer outside the running subset are left unjudged (their verdict
 // would need that analyzer's diagnostics).
 func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
+	return RunAnalyzersWithFacts(fset, files, pkg, info, analyzers, nil)
+}
+
+// RunAnalyzersWithFacts is RunAnalyzers with cross-package facts: the
+// driver hands each analyzer the Facts exported by the unit's
+// dependencies (keyed by package path). cmd/detlint threads these
+// through the vet .vetx files; dettest recomputes them from the fixture
+// tree. A nil map degrades gracefully to intra-package analysis.
+func RunAnalyzersWithFacts(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, depFacts map[string]*Facts) []Diagnostic {
 	var checked []*ast.File
 	for _, f := range files {
 		name := fset.Position(f.Pos()).Filename
@@ -53,6 +62,7 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 			Files:    checked,
 			Pkg:      pkg,
 			Info:     info,
+			DepFacts: depFacts,
 			Report: func(pos token.Pos, message string) {
 				line := fset.Position(pos).Line
 				for _, al := range allows {

@@ -1,0 +1,144 @@
+// Package allocfree is an allocfree fixture: functions marked
+// //detlint:zeroalloc must not contain allocation sources; the
+// reslice-and-reuse idiom of the slot path stays silent, and unmarked
+// functions are never checked.
+package allocfree
+
+import "fmt"
+
+// Buf is a reusable container in the style of the slot path.
+type Buf struct {
+	vals  []float64
+	names []string
+	n     int
+}
+
+// Step reuses its own storage — the annotated steady-state idiom.
+//
+//detlint:zeroalloc
+func (b *Buf) Step(xs []float64) []float64 {
+	vals := b.vals[:0]
+	for _, x := range xs {
+		vals = append(vals, x*2)
+	}
+	b.vals = vals
+	return vals
+}
+
+// Fill appends through a pointer parameter — the caller owns the
+// backing array, so the append is allowed.
+//
+//detlint:zeroalloc
+func Fill(dst *[]float64, x float64) {
+	*dst = append(*dst, x)
+}
+
+// BadMake allocates a fresh slice every call and grows it.
+//
+//detlint:zeroalloc
+func (b *Buf) BadMake(n int) []float64 {
+	out := make([]float64, 0, n) // want "allocfree: make allocates"
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i)) // want "allocfree: append to out, a fresh local slice"
+	}
+	return out
+}
+
+// BadMap builds a map literal per call.
+//
+//detlint:zeroalloc
+func (b *Buf) BadMap() map[string]int {
+	return map[string]int{"a": 1} // want "allocfree: map literal allocates"
+}
+
+// BadFmt formats through interfaces on the hot path.
+//
+//detlint:zeroalloc
+func (b *Buf) BadFmt(x float64) {
+	fmt.Println(x) // want "allocfree: fmt.Println formats through interfaces"
+}
+
+// BadClosure captures local state, forcing a heap closure.
+//
+//detlint:zeroalloc
+func (b *Buf) BadClosure(x float64) func() float64 {
+	return func() float64 { return x } // want "allocfree: closure captures outer variables"
+}
+
+// BadConcat builds a string per call.
+//
+//detlint:zeroalloc
+func (b *Buf) BadConcat(name string) string {
+	return "ue-" + name // want "allocfree: string concatenation allocates"
+}
+
+// BadPointer escapes a fresh composite to the heap.
+//
+//detlint:zeroalloc
+func (b *Buf) BadPointer() *Buf {
+	return &Buf{} // want "escapes to the heap in a zeroalloc function"
+}
+
+// BadConvert copies the string into a fresh byte slice.
+//
+//detlint:zeroalloc
+func (b *Buf) BadConvert(name string) []byte {
+	return []byte(name) // want "allocfree: string conversion copies its input"
+}
+
+// GoodCompact pops element i in place: appending into a prefix reslice
+// of the caller's queue reuses the backing array.
+//
+//detlint:zeroalloc
+func GoodCompact(queue *[]float64, i int) float64 {
+	x := (*queue)[i]
+	*queue = append((*queue)[:i], (*queue)[i+1:]...)
+	return x
+}
+
+// BadCompactFresh reslices a fresh local, which still grows on append.
+//
+//detlint:zeroalloc
+func BadCompactFresh(n int) []float64 {
+	tmp := make([]float64, 0, n) // want "allocfree: make allocates"
+	return append(tmp[:0], 1, 2) // want "allocfree: append to a reslice of tmp, a fresh local slice"
+}
+
+// GoodErrorReturn exercises the carve-out: return fmt.Errorf is the
+// cold path out of the steady state and is exempt.
+//
+//detlint:zeroalloc
+func (b *Buf) GoodErrorReturn(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative count %d", n)
+	}
+	b.n = n
+	return nil
+}
+
+// GoodUnmarked allocates freely: only annotated functions are checked.
+func (b *Buf) GoodUnmarked() []float64 {
+	return make([]float64, 8)
+}
+
+// AllowedWarm carries a reviewed allow for a deliberately cold
+// allocation inside a marked function.
+//
+//detlint:zeroalloc
+func (b *Buf) AllowedWarm(name string) {
+	b.names = append(b.names, "ue-"+name) //detlint:allow allocfree fixture: rare admission event, not steady-state
+}
+
+// GoodStaleAllow is covered by a directive that suppresses nothing.
+//
+//detlint:zeroalloc
+func (b *Buf) GoodStaleAllow(x float64) float64 {
+	// want "stale //detlint:allow allocfree"
+	//detlint:allow allocfree there is no allocation here
+	return x * 2
+}
+
+// want "allocfree: //detlint:zeroalloc is not part of a function's doc comment"
+//detlint:zeroalloc
+
+var sink []float64

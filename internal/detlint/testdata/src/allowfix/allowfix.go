@@ -30,3 +30,24 @@ func stale() int {
 	//detlint:allow walltime there is no wall-clock read here
 	return 1
 }
+
+// usedAbove places the directive on its own line above the read — the
+// other accepted placement besides trailing.
+func usedAbove() time.Time {
+	//detlint:allow walltime fixture for the line-above form
+	return time.Now()
+}
+
+// multi carries two directives in one comment: the first suppresses
+// the walltime read here; the second names an analyzer outside the
+// running subset and is left unjudged.
+func multi() time.Time {
+	return time.Now() //detlint:allow walltime fixture first of two //detlint:allow maprange fixture second directive parses too
+}
+
+// multiBad: the second directive in a shared comment is validated
+// independently of the first.
+func multiBad() time.Time {
+	// want "unknown analyzer \"notreal\""
+	return time.Now() //detlint:allow walltime fixture first of two //detlint:allow notreal reason
+}

@@ -1,0 +1,85 @@
+// Package consumer is a bufown fixture: retaining a Step result — in a
+// field, a global, a channel, or a goroutine — is flagged through the
+// ownership fact exported by package stepper; consuming it before the
+// next Step, or copying it, is not.
+package consumer
+
+import "bufown/stepper"
+
+// Cache wrongly retains owned buffers.
+type Cache struct {
+	last []float64
+	n    int
+}
+
+var global []float64
+
+// BadField stores the owned slice in a field: the next Step call
+// overwrites it under the cache.
+func (c *Cache) BadField(s *stepper.Source) {
+	c.last = s.Step() // want "bufown: result of Step is owned by its receiver"
+}
+
+// BadGlobal stores it in a package-level variable.
+func BadGlobal(s *stepper.Source) {
+	global = s.Step() // want "bufown: result of Step is owned"
+}
+
+// BadSend hands the owned slice to another goroutine's timeline.
+func BadSend(s *stepper.Source, ch chan []float64) {
+	v := s.Step()
+	ch <- v // want "bufown: result of Step .* sending it on a channel"
+}
+
+// BadGo captures the owned slice in a goroutine.
+func BadGo(s *stepper.Source, f func([]float64)) {
+	v := s.Step()
+	go f(v) // want "bufown: result of Step .* capturing it in a goroutine"
+}
+
+// BadViaLocal taints through a local alias and a reslice.
+func (c *Cache) BadViaLocal(s *stepper.Source) {
+	v := s.Step()
+	w := v[1:]
+	c.last = w // want "bufown: result of Step is owned"
+}
+
+// GoodLocal consumes the buffer before the next call — the intended
+// use.
+func GoodLocal(s *stepper.Source) float64 {
+	sum := 0.0
+	for _, x := range s.Step() {
+		sum += x
+	}
+	return sum
+}
+
+// GoodScalar copies a scalar out of the owned result; scalars carry no
+// reference into the buffer.
+func (c *Cache) GoodScalar(s *stepper.Source) {
+	c.n = len(s.Step())
+}
+
+// GoodCopy launders through an explicit copy, which owns its own
+// backing array.
+func (c *Cache) GoodCopy(s *stepper.Source) {
+	c.last = append(c.last[:0], s.Step()...)
+}
+
+// GoodPeek retains a result with no ownership contract.
+func (c *Cache) GoodPeek(s *stepper.Source) {
+	c.last = s.Peek()
+}
+
+// AllowedRetain carries a reviewed allow: the cache is invalidated
+// before the next Step by construction.
+func (c *Cache) AllowedRetain(s *stepper.Source) {
+	c.last = s.Step() //detlint:allow bufown fixture: cache is dropped before the next Step by construction
+}
+
+// GoodStaleAllow is covered by a directive that suppresses nothing.
+func GoodStaleAllow(s *stepper.Source) int {
+	// want "stale //detlint:allow bufown"
+	//detlint:allow bufown nothing is retained here
+	return len(s.Step())
+}

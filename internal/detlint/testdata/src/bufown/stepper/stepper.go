@@ -1,0 +1,25 @@
+// Package stepper defines an owned-buffer Step method in the style of
+// the slot path: the doc-comment contract exports a bufown ownership
+// fact that consuming packages are checked against.
+package stepper
+
+// Source produces per-tick samples into a reused buffer.
+type Source struct {
+	buf []float64
+}
+
+// Step advances one tick. The returned slice is owned by the Source
+// and valid until the next Step call.
+func (s *Source) Step() []float64 {
+	s.buf = s.buf[:0]
+	s.buf = append(s.buf, 1, 2, 3)
+	return s.buf
+}
+
+// Peek returns a fresh copy each call — no ownership contract, so
+// retaining its result is fine.
+func (s *Source) Peek() []float64 {
+	out := make([]float64, len(s.buf))
+	copy(out, s.buf)
+	return out
+}

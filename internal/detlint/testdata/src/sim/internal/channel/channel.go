@@ -28,3 +28,8 @@ func Bad(n int) int {
 	x := rand.Intn(n) // want "globalrand: rand.Intn draws from the process-global source"
 	return x
 }
+
+// AllowedWarmup draws from the global source behind a reviewed allow.
+func AllowedWarmup(n int) int {
+	return rand.Intn(n) //detlint:allow globalrand fixture: warmup outside the deterministic phase
+}

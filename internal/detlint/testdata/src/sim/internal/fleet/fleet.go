@@ -1,0 +1,13 @@
+// Package fleet is a miniature stand-in for the real internal/fleet so
+// the seedflow fixture can route seeds through SplitSeed.
+package fleet
+
+// SplitSeed derives an uncorrelated child seed from a base seed, a
+// domain label, and an index.
+func SplitSeed(base int64, domain string, index int) int64 {
+	h := base
+	for _, c := range domain {
+		h = h*31 + int64(c)
+	}
+	return h + int64(index)
+}

@@ -18,6 +18,11 @@ func BadThrottle() bool {
 	return obs.Slots.Load() > 10 // want "obswriteonly: .*Counter.Load reads an internal/obs metric"
 }
 
+// AllowedSelfCheck reads a metric behind a reviewed allow.
+func AllowedSelfCheck() bool {
+	return obs.Slots.Load() >= 0 //detlint:allow obswriteonly fixture: startup self-check outside the hot path
+}
+
 // BadMean derives simulation input from a recorded distribution.
 func BadMean() float64 {
 	if obs.Goodput.Count() == 0 { // want "obswriteonly: .*Histogram.Count reads an internal/obs metric"

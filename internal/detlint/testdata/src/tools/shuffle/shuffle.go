@@ -8,3 +8,9 @@ import "math/rand"
 func Pick(n int) int {
 	return rand.Intn(n)
 }
+
+// Deck builds a fixed-seed generator; seedflow does not apply outside
+// the simulation core.
+func Deck() *rand.Rand {
+	return rand.New(rand.NewSource(7))
+}

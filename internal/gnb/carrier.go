@@ -405,6 +405,8 @@ const ulBackoffDB = 1.0
 
 // Step simulates one slot. The returned SlotResult's DL/UL pointers are
 // owned by the Carrier and valid until the next Step call.
+//
+//detlint:zeroalloc
 func (c *Carrier) Step(dl, ul Demand) SlotResult {
 	slot := c.slot
 	c.slot++
@@ -456,6 +458,8 @@ func (c *Carrier) Step(dl, ul Demand) SlotResult {
 }
 
 // transmit schedules one TB (new or HARQ retransmission) in this slot.
+//
+//detlint:zeroalloc
 func (c *Carrier) transmit(store *Alloc, queue *[]harqJob, slot int64, symbols int,
 	share float64, report ue.Report, sample channel.Sample, uplink bool) *Alloc {
 
@@ -535,6 +539,8 @@ func (c *Carrier) transmit(store *Alloc, queue *[]harqJob, slot int64, symbols i
 }
 
 // newTB builds a fresh transport block from the CSI in effect.
+//
+//detlint:zeroalloc
 func (c *Carrier) newTB(slot int64, symbols int, share float64, report ue.Report, uplink bool) harqJob {
 	rank := report.RI
 	cqi := report.CQI
@@ -623,6 +629,7 @@ func (c *Carrier) newTB(slot int64, symbols int, share float64, report ue.Report
 	}
 }
 
+//detlint:zeroalloc
 func popReady(queue *[]harqJob, slot int64) (harqJob, bool) {
 	for i, j := range *queue {
 		if j.readySlot <= slot {

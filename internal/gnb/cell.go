@@ -105,7 +105,7 @@ func (c CellConfig) Validate() error {
 type cellUE struct {
 	ch     *channel.Channel
 	csi    *ue.CSI
-	olla   float64
+	ollaDB float64
 	served float64 // PF-smoothed served rate (bits/slot)
 	rng    *rand.Rand
 	harq   []harqJob
@@ -247,6 +247,8 @@ func NewCell(cfg CellConfig) (*Cell, error) {
 // the next Step call. Under CellModelContention the slot instead runs
 // the full shared-resource loop in multiue.go (HARQ first, then fresh
 // grants, with per-UE buffers gating eligibility).
+//
+//detlint:zeroalloc
 func (c *Cell) Step() CellSlot {
 	if c.cfg.Model == CellModelContention {
 		return c.stepContention()
@@ -362,6 +364,8 @@ func (c *Cell) Step() CellSlot {
 // updatePFWindow folds one slot's delivered bits into every UE's
 // PF-smoothed served rate (also decaying unserved UEs), clamped ≥ 1 so
 // the PF metric can never divide by zero.
+//
+//detlint:zeroalloc
 func (c *Cell) updatePFWindow(allocs []UEAlloc) {
 	w := float64(c.cfg.PFWindowSlots)
 	servedNow := c.servedNow
@@ -397,13 +401,15 @@ func (c *Cell) dlSymbols(slot int64) int {
 // transmitUE schedules one TB for a UE with the given RB fraction,
 // mirroring Carrier.transmit's AMC/OLLA/BLER behaviour (without HARQ —
 // multi-UE HARQ bookkeeping adds little to the Fig. 14 questions).
+//
+//detlint:zeroalloc
 func (c *Cell) transmitUE(u *cellUE, report ue.Report, sample channel.Sample, symbols int, frac float64) (Alloc, bool) {
 	cfg := c.cfg.Carrier
 	row, err := c.csiCfg.Table.Lookup(report.CQI)
 	if err != nil {
 		return Alloc{}, false
 	}
-	eff := row.Efficiency * math.Pow(10, u.olla/10)
+	eff := row.Efficiency * math.Pow(10, u.ollaDB/10)
 	mcs := cfg.MCSTable.HighestMCSForEfficiency(eff)
 	rbs := int(float64(cfg.NRB) * frac * (1 - cfg.RBJitterFrac*u.rng.Float64()))
 	if rbs < 1 {
@@ -430,11 +436,11 @@ func (c *Cell) transmitUE(u *cellUE, report ue.Report, sample channel.Sample, sy
 	p := bler(perLayer, req)
 	ack := u.rng.Float64() >= p
 	if ack {
-		u.olla += 0.05 * cfg.TargetBLER / (1 - cfg.TargetBLER)
+		u.ollaDB += 0.05 * cfg.TargetBLER / (1 - cfg.TargetBLER)
 	} else {
-		u.olla -= 0.05
+		u.ollaDB -= 0.05
 	}
-	u.olla = math.Max(-6, math.Min(3, u.olla))
+	u.ollaDB = math.Max(-6, math.Min(3, u.ollaDB))
 	delivered := 0
 	if ack {
 		delivered = tbs

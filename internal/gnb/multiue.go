@@ -80,6 +80,8 @@ const (
 // original RB footprint), then fresh transport blocks for the remaining
 // backlogged UEs under the configured policy, all within the carrier's
 // NRB budget. The returned Allocs slice is owned by the Cell.
+//
+//detlint:zeroalloc
 func (c *Cell) stepContention() CellSlot {
 	slot := c.slot
 	c.slot++
@@ -280,13 +282,15 @@ func (c *Cell) stepContention() CellSlot {
 // newContentionTB sizes a fresh transport block for an integer RB grant,
 // mirroring the share model's CQI→efficiency→OLLA→MCS chain (no RB
 // jitter: the scheduler's split already decides the exact footprint).
+//
+//detlint:zeroalloc
 func (c *Cell) newContentionTB(slot int64, u *cellUE, report ue.Report, symbols, rbs int) (harqJob, bool) {
 	cfg := c.cfg.Carrier
 	row, err := c.csiCfg.Table.Lookup(report.CQI)
 	if err != nil {
 		return harqJob{}, false
 	}
-	eff := row.Efficiency * math.Pow(10, u.olla/10)
+	eff := row.Efficiency * math.Pow(10, u.ollaDB/10)
 	mcs := cfg.MCSTable.HighestMCSForEfficiency(eff)
 	tbs, err := c.tbs.TBS(symbols, rbs, mcs, report.RI)
 	if err != nil {
@@ -327,6 +331,8 @@ func (c *Cell) newContentionTB(slot int64, u *cellUE, report ue.Report, symbols,
 
 // deliver decodes one TB (fresh or retransmission) at the UE's current
 // channel state, updating its OLLA offset, HARQ queue and RLC buffer.
+//
+//detlint:zeroalloc
 func (c *Cell) deliver(slot int64, u *cellUE, job harqJob, sinrDB float64) (Alloc, bool) {
 	cfg := c.cfg.Carrier
 	perLayer := sinrDB - c.amc.layerPenalty(c.csiCfg.LayerPenaltyExp, job.rank)
@@ -339,11 +345,11 @@ func (c *Cell) deliver(slot int64, u *cellUE, job harqJob, sinrDB float64) (Allo
 	ack := u.rng.Float64() >= p
 	if !cfg.DisableOLLA {
 		if ack {
-			u.olla += 0.05 * cfg.TargetBLER / (1 - cfg.TargetBLER)
+			u.ollaDB += 0.05 * cfg.TargetBLER / (1 - cfg.TargetBLER)
 		} else {
-			u.olla -= 0.05
+			u.ollaDB -= 0.05
 		}
-		u.olla = math.Max(-6, math.Min(3, u.olla))
+		u.ollaDB = math.Max(-6, math.Min(3, u.ollaDB))
 	}
 	delivered := 0
 	if ack {
@@ -381,6 +387,8 @@ func (c *Cell) deliver(slot int64, u *cellUE, job harqJob, sinrDB float64) (Allo
 // the remaining RB budget. Jobs too large for this slot's leftovers stay
 // queued — next slot's budget starts fresh at NRB, so they always fit
 // eventually (rbs ≤ NRB by construction).
+//
+//detlint:zeroalloc
 func popReadyFit(queue *[]harqJob, slot int64, maxRBs int) (harqJob, bool) {
 	for i, j := range *queue {
 		if j.readySlot <= slot && j.rbs <= maxRBs {

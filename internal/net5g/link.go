@@ -140,6 +140,8 @@ var Saturate = Demand{DL: true, UL: true, Share: 1}
 // Step advances the link by one step and returns what was delivered. The
 // returned slices and the LTE pointer are owned by the Link and valid
 // until the next Step.
+//
+//detlint:zeroalloc
 func (l *Link) Step(d Demand) StepResult {
 	if d.Share == 0 {
 		d.Share = 1
@@ -172,7 +174,7 @@ func (l *Link) Step(d Demand) StepResult {
 		dl := gnb.Demand{Active: d.DL, Share: d.Share}
 		ul := gnb.Demand{Active: nrUL && i == 0, Share: d.Share} // UL rides the PCell
 		r := c.Step(dl, ul)
-		l.results[i] = r
+		l.results[i] = r //detlint:allow bufown carrier result cached for one step only; overwritten before this carrier re-steps
 		res.NRTicked[i] = true
 		if i == 0 {
 			l.lastPcellSINR = r.Sample.SINRdB
@@ -188,7 +190,7 @@ func (l *Link) Step(d Demand) StepResult {
 	}
 	if l.anchor != nil && l.now >= l.lteTick {
 		l.lteTick += l.anchor.SlotDuration()
-		l.lteRes = l.anchor.Step(gnb.Demand{}, gnb.Demand{Active: lteUL, Share: d.Share})
+		l.lteRes = l.anchor.Step(gnb.Demand{}, gnb.Demand{Active: lteUL, Share: d.Share}) //detlint:allow bufown anchor result cached for one step only; overwritten before the anchor re-steps
 		res.LTE = &l.lteRes
 		if ul := l.lteRes.UL; ul != nil {
 			res.ULBits += ul.DeliveredBits

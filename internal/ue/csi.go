@@ -127,6 +127,8 @@ func (c *CSI) Config() CSIConfig { return c.cfg }
 
 // rankFor picks the reported rank from the instantaneous SINR with
 // hysteresis around the previous rank's threshold.
+//
+//detlint:zeroalloc
 func (c *CSI) rankFor(sinrDB float64) int {
 	jitter := c.rng.NormFloat64() * 0.5
 	s := sinrDB + jitter
@@ -151,6 +153,8 @@ func (c *CSI) rankFor(sinrDB float64) int {
 
 // Observe feeds one slot's SINR into the loop. On reporting slots a new
 // report is generated; reports become visible to Current after DelaySlots.
+//
+//detlint:zeroalloc
 func (c *CSI) Observe(slot int64, sinrDB float64) {
 	// Promote matured reports, compacting the queue in place so its
 	// backing array is reused (re-slicing from the front would leak
@@ -191,6 +195,8 @@ func (c *CSI) Observe(slot int64, sinrDB float64) {
 
 // Current returns the report in effect at the gNB, and false if no report
 // has matured yet.
+//
+//detlint:zeroalloc
 func (c *CSI) Current() (Report, bool) {
 	return c.current, c.primed
 }
@@ -203,6 +209,8 @@ func (c *CSI) Current() (Report, bool) {
 // Current reports true again. Reset draws no randomness and keeps the
 // pending queue's backing array, so it is safe on the zero-alloc slot
 // path.
+//
+//detlint:zeroalloc
 func (c *CSI) Reset() {
 	c.pending = c.pending[:0]
 	c.current = Report{}

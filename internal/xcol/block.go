@@ -260,6 +260,8 @@ func (e *blockEncoder) encodeKPIBlock(dst []byte, b *Block) []byte {
 // materializing only the selected columns. The input is untrusted:
 // every structural claim is validated and an error is returned instead
 // of panicking or reading out of bounds.
+//
+//detlint:zeroalloc
 func decodeKPIBlock(data []byte, count int, b *Block, cols ColumnSet, firstIndex uint64) error {
 	if count < 1 || count > maxBlockRecords {
 		return fmt.Errorf("block count %d out of range", count)

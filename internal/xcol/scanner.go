@@ -331,6 +331,8 @@ func (s *Scanner) readSeqBlock() (kind uint8, count uint32, payload []byte, off 
 
 // Next returns the next KPI block, skipping non-KPI blocks and
 // recording corrupt ones. It returns io.EOF at end of trace.
+//
+//detlint:zeroalloc
 func (s *Scanner) Next() (*Block, error) {
 	if s.done {
 		return nil, io.EOF
@@ -342,7 +344,7 @@ func (s *Scanner) Next() (*Block, error) {
 			s.pos++
 			payload, err := s.payload(int64(e.Offset+headerSize), int(e.Len))
 			if err != nil {
-				s.skip(e.Offset, e.Kind, ord, fmt.Errorf("reading payload: %w", err))
+				s.skip(e.Offset, e.Kind, ord, fmt.Errorf("reading payload: %w", err)) //detlint:allow allocfree corrupt-block cold path; steady-state scans never reach it
 				continue
 			}
 			if checksum(payload) != e.CRC {
