@@ -15,15 +15,24 @@
 //
 //	benchgate compare [-max-regress 0.10] old new
 //	    Parse both inputs (raw bench text or wrapped JSON, detected
-//	    automatically), take the fastest ns/op per benchmark name (the
-//	    minimum across -count repeats — robust to scheduler noise), and exit
-//	    non-zero if any benchmark present in both is slower in new by
-//	    more than the allowed fraction. Benchmarks present on only one
-//	    side are reported but never fail the gate, so adding or renaming
-//	    benchmarks does not break CI.
+//	    automatically), take the best value per benchmark name and metric
+//	    (the minimum across -count repeats — robust to scheduler noise),
+//	    and exit non-zero if any benchmark present in both regressed.
+//	    Benchmarks present on only one side are reported but never fail
+//	    the gate, so adding or renaming benchmarks does not break CI.
 //
-// The gate compares ns/op only: allocation counts are pinned exactly by
-// testing.AllocsPerRun tests, which are stricter than any ratio check.
+// The gate covers two metric families:
+//
+//   - Time-like metrics — ns/op and any custom ns/* metric a benchmark
+//     reports via b.ReportMetric (ns/record for the columnar scan,
+//     ns/UE-slot for the multi-UE population curve) — fail when new is
+//     slower than old by more than the allowed fraction.
+//   - allocs/op fails on ANY increase. The hot paths pin allocations at
+//     zero with testing.AllocsPerRun tests; the gate backstops the
+//     benchmarks those tests do not cover, and a 0 → 1 regression is
+//     exactly the case a ratio check cannot see.
+//
+// B/op is parsed but informational: it moves iff allocs/op moves.
 package main
 
 import (
@@ -136,13 +145,19 @@ func readEnvelope(path string) (envelope, error) {
 	return env, nil
 }
 
+// benchMetrics maps a metric unit (ns/op, allocs/op, ns/record, …) to its
+// best value across repeated runs.
+type benchMetrics map[string]float64
+
 // loadBench reads a benchmark corpus from either a wrapped JSON baseline
-// or raw `go test -bench` text, keyed by benchmark name with the
-// MINIMUM ns/op across repeated runs (-count=N emits one line per run).
-// The minimum, not the mean: scheduler noise on a contended machine only
-// ever adds time, so the fastest of N runs is the best estimate of the
-// code's true cost and is far more stable than the average.
-func loadBench(path string) (map[string]float64, error) {
+// or raw `go test -bench` text, keyed by benchmark name, with every
+// reported metric at its MINIMUM across repeated runs (-count=N emits one
+// line per run). The minimum, not the mean: scheduler noise on a
+// contended machine only ever adds time, so the fastest of N runs is the
+// best estimate of the code's true cost and is far more stable than the
+// average. For allocs/op the runs agree anyway — a steady-state slot loop
+// allocates deterministically.
+func loadBench(path string) (map[string]benchMetrics, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -155,30 +170,39 @@ func loadBench(path string) (map[string]float64, error) {
 		}
 		text = env.Bench
 	}
-	best := map[string]float64{}
+	best := map[string]benchMetrics{}
 	for _, line := range strings.Split(text, "\n") {
 		fields := strings.Fields(line)
 		// Benchmark lines look like:
-		//   BenchmarkFoo/case-8   12345   987.6 ns/op   0 B/op   0 allocs/op
+		//   BenchmarkFoo/case-8  12345  987.6 ns/op  12.3 ns/record  0 B/op  0 allocs/op
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
 		name := trimProcSuffix(fields[0])
 		for i := 2; i+1 < len(fields); i += 2 {
-			if fields[i+1] != "ns/op" {
-				continue
-			}
+			unit := fields[i+1]
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
-				return nil, fmt.Errorf("%s: bad ns/op on line %q: %w", path, line, err)
+				return nil, fmt.Errorf("%s: bad %s on line %q: %w", path, unit, line, err)
 			}
-			if cur, ok := best[name]; !ok || v < cur {
-				best[name] = v
+			m := best[name]
+			if m == nil {
+				m = benchMetrics{}
+				best[name] = m
 			}
-			break
+			if cur, ok := m[unit]; !ok || v < cur {
+				m[unit] = v
+			}
 		}
 	}
 	return best, nil
+}
+
+// gatedUnit reports whether a metric participates in the pass/fail
+// decision: all time-like metrics (ns/op and custom ns/* sub-metrics)
+// plus allocs/op. B/op and free-form operator counts are informational.
+func gatedUnit(unit string) bool {
+	return strings.HasPrefix(unit, "ns/") || unit == "allocs/op"
 }
 
 // trimProcSuffix drops the trailing -N GOMAXPROCS marker so baselines
@@ -220,19 +244,49 @@ func compare(args []string) error {
 
 	var failures []string
 	compared := 0
-	fmt.Printf("%-55s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	fmt.Printf("%-46s %-12s %12s %12s %8s\n", "benchmark", "metric", "old", "new", "delta")
 	for _, name := range names {
-		now, ok := cur[name]
+		nowM, ok := cur[name]
 		if !ok {
-			fmt.Printf("%-55s %12.1f %12s %8s\n", name, old[name], "-", "gone")
+			fmt.Printf("%-46s %-12s %12.1f %12s %8s\n", name, "ns/op", old[name]["ns/op"], "-", "gone")
 			continue
 		}
-		compared++
-		delta := (now - old[name]) / old[name]
-		fmt.Printf("%-55s %12.1f %12.1f %+7.1f%%\n", name, old[name], now, 100*delta)
-		if delta > *maxRegress {
-			failures = append(failures, fmt.Sprintf("%s: %.1f -> %.1f ns/op (%+.1f%% > %+.1f%% allowed)",
-				name, old[name], now, 100*delta, 100**maxRegress))
+		units := make([]string, 0, len(old[name]))
+		for unit := range old[name] {
+			if gatedUnit(unit) {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		matched := false
+		for _, unit := range units {
+			was := old[name][unit]
+			now, ok := nowM[unit]
+			if !ok {
+				fmt.Printf("%-46s %-12s %12.1f %12s %8s\n", name, unit, was, "-", "gone")
+				continue
+			}
+			matched = true
+			switch {
+			case unit == "allocs/op":
+				delta := "ok"
+				if now > was {
+					delta = "FAIL"
+					failures = append(failures, fmt.Sprintf("%s: %g -> %g allocs/op (any increase fails)",
+						name, was, now))
+				}
+				fmt.Printf("%-46s %-12s %12g %12g %8s\n", name, unit, was, now, delta)
+			default: // ns/op and custom ns/* sub-metrics
+				delta := (now - was) / was
+				fmt.Printf("%-46s %-12s %12.1f %12.1f %+7.1f%%\n", name, unit, was, now, 100*delta)
+				if delta > *maxRegress {
+					failures = append(failures, fmt.Sprintf("%s: %.1f -> %.1f %s (%+.1f%% > %+.1f%% allowed)",
+						name, was, now, unit, 100*delta, 100**maxRegress))
+				}
+			}
+		}
+		if matched {
+			compared++
 		}
 	}
 	var added []string
@@ -243,7 +297,7 @@ func compare(args []string) error {
 	}
 	sort.Strings(added)
 	for _, name := range added {
-		fmt.Printf("%-55s %12s %12.1f %8s\n", name, "-", cur[name], "new")
+		fmt.Printf("%-46s %-12s %12s %12.1f %8s\n", name, "ns/op", "-", cur[name]["ns/op"], "new")
 	}
 	if compared == 0 {
 		return fmt.Errorf("compare: no benchmarks in common between %s and %s", fs.Arg(0), fs.Arg(1))
@@ -251,6 +305,6 @@ func compare(args []string) error {
 	if len(failures) > 0 {
 		return fmt.Errorf("performance regression:\n  %s", strings.Join(failures, "\n  "))
 	}
-	fmt.Printf("ok: %d benchmarks within %.0f%% of baseline\n", compared, 100**maxRegress)
+	fmt.Printf("ok: %d benchmarks gated (time within %.0f%%, allocs not increased)\n", compared, 100**maxRegress)
 	return nil
 }

@@ -8,14 +8,14 @@ import (
 
 const oldBench = `goos: linux
 goarch: amd64
-BenchmarkFoo-8          1000    100.0 ns/op    0 B/op   0 allocs/op
-BenchmarkFoo-8          1000    120.0 ns/op    0 B/op   0 allocs/op
+BenchmarkFoo-8          1000    100.0 ns/op    7.5 ns/record    0 B/op   0 allocs/op
+BenchmarkFoo-8          1000    120.0 ns/op    9.0 ns/record    0 B/op   0 allocs/op
 BenchmarkBar/case-8     2000     50.0 ns/op
 BenchmarkGone-8          500    900.0 ns/op
 PASS
 `
 
-const newBench = `BenchmarkFoo-16         1000    115.0 ns/op
+const newBench = `BenchmarkFoo-16         1000    115.0 ns/op    8.0 ns/record    0 B/op   0 allocs/op
 BenchmarkBar/case-16    2000     80.0 ns/op
 BenchmarkAdded-16       1000     10.0 ns/op
 `
@@ -34,10 +34,16 @@ func TestLoadBenchTakesMinAndStripsProcSuffix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got["BenchmarkFoo"] != 100.0 {
-		t.Errorf("BenchmarkFoo min = %v, want 100", got["BenchmarkFoo"])
+	if got["BenchmarkFoo"]["ns/op"] != 100.0 {
+		t.Errorf("BenchmarkFoo ns/op min = %v, want 100", got["BenchmarkFoo"])
 	}
-	if got["BenchmarkBar/case"] != 50.0 {
+	if got["BenchmarkFoo"]["ns/record"] != 7.5 {
+		t.Errorf("BenchmarkFoo ns/record min = %v, want 7.5", got["BenchmarkFoo"])
+	}
+	if got["BenchmarkFoo"]["allocs/op"] != 0 {
+		t.Errorf("BenchmarkFoo allocs/op = %v, want 0", got["BenchmarkFoo"])
+	}
+	if got["BenchmarkBar/case"]["ns/op"] != 50.0 {
 		t.Errorf("BenchmarkBar/case = %v, want 50", got["BenchmarkBar/case"])
 	}
 	if len(got) != 3 {
@@ -59,7 +65,7 @@ func TestLoadBenchReadsWrappedJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(fromJSON) != len(fromText) || fromJSON["BenchmarkFoo"] != fromText["BenchmarkFoo"] {
+	if len(fromJSON) != len(fromText) || fromJSON["BenchmarkFoo"]["ns/op"] != fromText["BenchmarkFoo"]["ns/op"] {
 		t.Errorf("wrapped parse %v != raw parse %v", fromJSON, fromText)
 	}
 }
@@ -79,6 +85,37 @@ func TestCompareGate(t *testing.T) {
 	empty := writeTemp(t, "none.txt", "BenchmarkOther-8 10 1.0 ns/op\n")
 	if err := compare([]string{old, empty}); err == nil {
 		t.Error("disjoint benchmark sets should fail")
+	}
+}
+
+func TestCompareGatesCustomSubMetrics(t *testing.T) {
+	old := writeTemp(t, "old.txt", "BenchmarkScan-8 100 1000.0 ns/op 10.0 ns/record\n")
+	// ns/op improves but the per-record sub-metric regresses 10 -> 20: the
+	// gate must look past the headline number.
+	cur := writeTemp(t, "new.txt", "BenchmarkScan-8 100 900.0 ns/op 20.0 ns/record\n")
+	if err := compare([]string{old, cur}); err == nil {
+		t.Error("100% ns/record regression passed the gate")
+	}
+	ok := writeTemp(t, "ok.txt", "BenchmarkScan-8 100 990.0 ns/op 10.2 ns/record\n")
+	if err := compare([]string{old, ok}); err != nil {
+		t.Errorf("2%% ns/record drift should pass: %v", err)
+	}
+}
+
+func TestCompareFailsAllocRegressionFromZero(t *testing.T) {
+	old := writeTemp(t, "old.txt", "BenchmarkStep-8 100 100.0 ns/op 0 B/op 0 allocs/op\n")
+	// One allocation appears on a previously allocation-free path: a ratio
+	// gate sees 0 -> 1 as infinite but a mean-based one could round it
+	// away; the allocs rule fails on any increase.
+	cur := writeTemp(t, "new.txt", "BenchmarkStep-8 100 101.0 ns/op 16 B/op 1 allocs/op\n")
+	if err := compare([]string{old, cur}); err == nil {
+		t.Error("allocs/op 0 -> 1 regression passed the gate")
+	}
+	// An allocation count going DOWN is fine.
+	better := writeTemp(t, "better.txt", "BenchmarkStep-8 100 100.0 ns/op 0 B/op 0 allocs/op\n")
+	old2 := writeTemp(t, "old2.txt", "BenchmarkStep-8 100 100.0 ns/op 16 B/op 1 allocs/op\n")
+	if err := compare([]string{old2, better}); err != nil {
+		t.Errorf("alloc improvement should pass: %v", err)
 	}
 }
 

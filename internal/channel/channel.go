@@ -239,6 +239,13 @@ type Channel struct {
 	geoDataDBm float64 // 10·log10(noiseMW + data interference)
 	geoRSRQDBm float64 // 10·log10(noiseMW + RSRQ interference)
 	powers     []float64
+
+	// skipRSRQ, when set via SetRSRQNeeded(false), elides the RSRQ
+	// conversion (a pow and a log per slot) and reports Sample.RSRQdB as
+	// 0. Callers that consume nothing but SINR/outage — warm-up sessions,
+	// secondary carriers outside trace captures — toggle this; it touches
+	// no RNG stream, so every other field stays bit-identical.
+	skipRSRQ bool
 }
 
 // New creates a channel process.
@@ -319,6 +326,13 @@ func (c *Channel) SetNeighborLoad(load float64) {
 // NeighborLoad reports the activity factor currently in effect.
 func (c *Channel) NeighborLoad() float64 { return c.cfg.NeighborLoad }
 
+// SetRSRQNeeded declares whether upcoming samples' RSRQdB field will be
+// read. When not needed the conversion is skipped and RSRQdB reports 0;
+// SINR, RSRP and every random draw are unaffected, so flipping the hint
+// mid-session never perturbs the fading processes. New channels default
+// to needed.
+func (c *Channel) SetRSRQNeeded(needed bool) { c.skipRSRQ = !needed }
+
 // position is Route.Position with the segment lengths precomputed at
 // construction; the arithmetic mirrors Route.Position exactly.
 func (c *Channel) position(tSec float64) Point {
@@ -350,6 +364,17 @@ func (c *Channel) position(tSec float64) Point {
 //
 //detlint:zeroalloc
 func (c *Channel) Step() Sample {
+	var s Sample
+	c.StepInto(&s)
+	return s
+}
+
+// StepInto is Step writing the sample in place — the carrier slot loop
+// threads one Sample through the whole chain instead of copying the
+// struct at every return.
+//
+//detlint:zeroalloc
+func (c *Channel) StepInto(out *Sample) {
 	dt := c.dt
 	tSec := float64(c.slot) * dt
 	pos := c.position(tSec)
@@ -394,22 +419,33 @@ func (c *Channel) Step() Sample {
 		}
 	}
 
-	var noiseDataDBm, noiseRSRQDBm float64
+	var noiseDataDBm float64
 	if c.staticGeo {
-		noiseDataDBm, noiseRSRQDBm = c.geoDataDBm, c.geoRSRQDBm
+		noiseDataDBm = c.geoDataDBm
 	} else {
 		interfData := interfMW*c.cfg.NeighborLoad + c.floorMW
 		noiseDataDBm = 10 * math.Log10(c.noiseMW+interfData)
-		// RSRQ is measured against a busier RSSI than the data SINR
-		// sees (see rsrqLoad).
-		interfRSRQ := interfMW*rsrqLoad + c.floorMW
-		noiseRSRQDBm = 10 * math.Log10(c.noiseMW+interfRSRQ)
 	}
 	sinrDB := rsrp - blockLossDB + c.fastDB + c.slowDB + c.cfg.SINRBiasDB - noiseDataDBm
-	sinrRSRQ := rsrp - blockLossDB + c.slowDB + c.cfg.SINRBiasDB - noiseRSRQDBm
+	rsrqDB := 0.0
+	if !c.skipRSRQ {
+		// RSRQ is measured against a busier RSSI than the data SINR
+		// sees (see rsrqLoad).
+		var noiseRSRQDBm float64
+		if c.staticGeo {
+			noiseRSRQDBm = c.geoRSRQDBm
+		} else {
+			interfRSRQ := interfMW*rsrqLoad + c.floorMW
+			noiseRSRQDBm = 10 * math.Log10(c.noiseMW+interfRSRQ)
+		}
+		sinrRSRQ := rsrp - blockLossDB + c.slowDB + c.cfg.SINRBiasDB - noiseRSRQDBm
+		if outage {
+			sinrRSRQ = math.Inf(-1)
+		}
+		rsrqDB = RSRQFromSINR(sinrRSRQ)
+	}
 	if outage {
 		sinrDB = math.Inf(-1)
-		sinrRSRQ = math.Inf(-1)
 	}
 
 	c.slot++
@@ -423,11 +459,11 @@ func (c *Channel) Step() Sample {
 			obs.Sim.SINRdB.Observe(sinrDB)
 		}
 	}
-	return Sample{
+	*out = Sample{
 		Pos:         pos,
 		ServingCell: cell,
 		RSRPdBm:     rsrp - blockLossDB,
-		RSRQdB:      RSRQFromSINR(sinrRSRQ),
+		RSRQdB:      rsrqDB,
 		SINRdB:      sinrDB,
 		LOS:         los,
 		Outage:      outage,

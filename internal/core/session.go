@@ -120,8 +120,12 @@ func (s *Session) WarmUp() error {
 	}
 	s.rrc.Touch(s.Link.Now())
 	// 20 "seconds" of video in the paper; 1 simulated second of traffic
-	// is ample to settle CSI and OLLA here.
-	if _, err := iperf.Run(s.Link, iperf.Config{Duration: time.Second}); err != nil {
+	// is ample to settle CSI and OLLA here. The warm-up result is
+	// discarded and never traced, so the per-slot RSRQ conversion is
+	// skipped for its duration (no RNG stream is touched; the measurement
+	// run below re-enables it as needed).
+	s.Link.SetRSRQNeeded(false)
+	if _, err := iperf.Run(s.Link, iperf.Config{Duration: time.Second, Discard: true}); err != nil {
 		return fmt.Errorf("core: warm-up: %w", err)
 	}
 	s.rrc.Tick(s.Link.Now())
@@ -142,6 +146,12 @@ func (s *Session) RunIperf(d time.Duration, demand net5g.Demand, w xcal.TraceWri
 	if err := s.WarmUp(); err != nil {
 		return nil, err
 	}
+	// RSRQ reaches an artifact only through the capture's KPI records
+	// (campaign aggregates and the figure pipelines read goodput/SINR/MCS
+	// series, never Result.RSRQdB), so untraced runs skip the per-slot
+	// conversion. The hint draws no randomness: every SINR sample, CQI
+	// report and scheduling decision is bit-identical either way.
+	s.Link.SetRSRQNeeded(w != nil)
 	if w != nil {
 		mib, sibs, err := s.Signaling()
 		if err != nil {

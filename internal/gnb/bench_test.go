@@ -1,6 +1,7 @@
 package gnb
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/midband5g/midband/internal/channel"
@@ -64,27 +65,51 @@ func TestCarrierStepAllocs(t *testing.T) {
 	}
 }
 
-// BenchmarkCellMultiUE is the contention-model slot path with four UEs on
-// one cell under proportional fair: per-UE channel + CSI steps, HARQ
-// queues, integer-RB PF split, TB sizing and delivery.
+// benchUEs lays n UEs on a deterministic grid across the cell so every
+// population size in the BenchmarkCellMultiUE family sees the same mix
+// of near, mid and edge channel geometries.
+func benchUEs(n int) []channel.Point {
+	pts := make([]channel.Point, n)
+	for i := range pts {
+		pts[i] = channel.Point{X: 80 + float64(i%16)*55, Y: float64(i/16) * 45}
+	}
+	return pts
+}
+
+// BenchmarkCellMultiUE is the contention-model slot path under
+// proportional fair — per-UE channel + CSI steps, HARQ queues,
+// integer-RB PF split, TB sizing and delivery — swept over population
+// sizes on the batched SoA engine. Each size reports ns/UE-slot, the
+// per-UE cost of one scheduled slot; the curve should bend DOWN as the
+// population grows (shared per-slot work amortizes), which is what the
+// bench gate watches.
 func BenchmarkCellMultiUE(b *testing.B) {
-	cell, err := NewCell(CellConfig{
-		Carrier: benchCarrierConfig(),
-		UEs:     []channel.Point{{X: 120}, {X: 300}, {X: 480}, {X: 650}},
-		Policy:  SchedulerProportionalFair,
-		Model:   CellModelContention,
-		Seed:    31,
-	})
-	if err != nil {
-		b.Fatal(err)
+	for _, n := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("ues=%d", n), func(b *testing.B) {
+			cell, err := NewCell(CellConfig{
+				Carrier: benchCarrierConfig(),
+				UEs:     benchUEs(n),
+				Policy:  SchedulerProportionalFair,
+				Model:   CellModelContention,
+				Seed:    31,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch, err := NewCellBatch(cell)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sink CellSlot
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink = batch.Step()
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/UE-slot")
+			_ = sink
+		})
 	}
-	var sink CellSlot
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sink = cell.Step()
-	}
-	_ = sink
 }
 
 // TestCellStepAllocs pins the multi-UE scheduler's steady-state slot loop

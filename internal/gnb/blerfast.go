@@ -1,0 +1,73 @@
+package gnb
+
+// Fast ACK decision against the BLER curve. The slot path never needs the
+// block-error probability itself — only the comparison `draw >= p` that
+// decides whether a transport block decoded. p = 1/(1+e^((z)/0.7)) is
+// monotone decreasing in the SINR margin z = sinr − req, so a precomputed
+// table of rigorous [pLo, pHi] bounds per margin bin decides almost every
+// comparison without evaluating math.Exp; only draws that land inside a
+// bin's bounds gap (the margin sits near a decision boundary, well under
+// 1% of transport blocks) fall back to the exact bler expression. The
+// bounds are conservative — bin-edge evaluations of the same bler
+// function widened far beyond its few-ulp rounding envelope — so the
+// returned ACK is bit-identical to computing `draw >= bler(sinr, req)`
+// directly.
+
+const (
+	blerXMin   = -8.4 // margin (dB) below which p is pinned near 1
+	blerXMax   = 8.4  // margin (dB) above which p is pinned near 0
+	blerBins   = 1024
+	blerMargin = 1e-9 // dwarfs bler's ~1e-14 relative rounding error
+)
+
+var (
+	blerInvW   float64
+	blerLo     [blerBins]float64 // lower bound on p for margins in bin i
+	blerHi     [blerBins]float64 // upper bound on p for margins in bin i
+	blerTailHi float64           // upper bound on p for margins ≥ blerXMax
+	blerTailLo float64           // lower bound on p for margins ≤ blerXMin
+)
+
+func init() {
+	w := (blerXMax - blerXMin) / blerBins
+	blerInvW = 1 / w
+	for i := 0; i < blerBins; i++ {
+		z0 := blerXMin + float64(i)*w
+		z1 := blerXMin + float64(i+1)*w
+		blerHi[i] = bler(z0, 0) + blerMargin // p decreases with margin
+		blerLo[i] = bler(z1, 0) - blerMargin
+	}
+	blerTailHi = bler(blerXMax, 0) + blerMargin
+	blerTailLo = bler(blerXMin, 0) - blerMargin
+}
+
+// blerAck reports whether a transport block with SINR margin
+// sinrDB − reqSINRdB decodes given the uniform draw. It is exactly
+// equivalent to `draw >= bler(sinrDB, reqSINRdB)`.
+//
+//detlint:zeroalloc
+func blerAck(draw, sinrDB, reqSINRdB float64) bool {
+	z := sinrDB - reqSINRdB
+	if z > blerXMin && z < blerXMax {
+		i := int((z - blerXMin) * blerInvW)
+		if i >= blerBins { // guard FP rounding at the grid edge
+			i = blerBins - 1
+		}
+		if draw >= blerHi[i] {
+			return true
+		}
+		if draw < blerLo[i] {
+			return false
+		}
+	} else if z >= blerXMax {
+		if draw >= blerTailHi {
+			return true
+		}
+	} else if z <= blerXMin {
+		if draw < blerTailLo {
+			return false
+		}
+	}
+	// Inside the bounds gap (or non-finite margin): exact evaluation.
+	return draw >= bler(sinrDB, reqSINRdB)
+}

@@ -307,6 +307,33 @@ type Carrier struct {
 	csiCfg  ue.CSIConfig // csi.Config(), cached to avoid per-TB copies
 	amc     amcDerived
 	tbs     *phy.TBSCache
+	maxMCS  int // cfg.MCSTable.MaxIndex(), hoisted off the dither path
+
+	// pow memoizes 10^(ollaDB/10) over the outer loop's recent values
+	// (see powCache); misses recompute with the exact expression newTB
+	// used inline, so the memo is bit-identical.
+	pow powCache
+
+	// effByCQI hoists the CSI table's CQI→spectral-efficiency column so
+	// newTB indexes a flat array instead of calling Lookup (with its
+	// error path) once per transport block. Row 0 is 0 ("out of range").
+	effByCQI [phy.MaxCQI + 1]float64
+
+	// dlSymTab/ulSymTab precompute dlSymbols/ulSymbols over one TDD
+	// period (length 1 for FDD) so the per-slot query is a table index
+	// instead of a pattern walk. Values are exactly what the inline
+	// pattern logic produced.
+	dlSymTab []int
+	ulSymTab []int
+
+	// ulEff[cqi][dlRank] precomputes the UL link-adaptation chain (SRS
+	// reconstruction, power derate, layer re-split, backoff) for every
+	// reportable CQI and DL rank; ulRank[dlRank] is the matching UL rank
+	// clamp. The chain is a pure function of (CQI, RI) and the per-session
+	// amc factors, evaluated at construction with the same expressions, so
+	// the table lookup is bit-identical to the inline pow/log sequence.
+	ulEff  [phy.MaxCQI + 1][5]float64
+	ulRank [5]int
 }
 
 // NewCarrier builds a carrier simulator.
@@ -332,7 +359,7 @@ func NewCarrier(cfg CarrierConfig) (*Carrier, error) {
 		return nil, fmt.Errorf("gnb: carrier %q: %w", cfg.Label, err)
 	}
 	csiCfg2 := csi.Config()
-	return &Carrier{
+	c := &Carrier{
 		cfg:     cfg,
 		ch:      ch,
 		csi:     csi,
@@ -342,8 +369,58 @@ func NewCarrier(cfg CarrierConfig) (*Carrier, error) {
 		csiCfg:  csiCfg2,
 		amc:     newAMCDerived(csiCfg2, cfg),
 		tbs:     phy.NewTBSCache(cfg.MCSTable, cfg.DMRSPerPRB, 0),
+		maxMCS:  int(cfg.MCSTable.MaxIndex()),
 		rlf:     fault.NewRLFState(cfg.Fault),
-	}, nil
+	}
+	c.pow = newPowCache(1)
+	for cqi := phy.CQI(1); cqi <= phy.MaxCQI; cqi++ {
+		if row, err := csiCfg2.Table.Lookup(cqi); err == nil {
+			c.effByCQI[cqi] = row.Efficiency
+		}
+	}
+	// Precompute the per-slot symbol budgets over one TDD period (FDD
+	// carriers are phase-invariant) so the slot path never touches the
+	// pattern parser.
+	if cfg.FDD {
+		c.dlSymTab = []int{phy.SymbolsPerSlot - cfg.PDCCHSymbols}
+		c.ulSymTab = []int{phy.SymbolsPerSlot}
+	} else {
+		period := cfg.Pattern.Period()
+		c.dlSymTab = make([]int, period)
+		c.ulSymTab = make([]int, period)
+		for i := 0; i < period; i++ {
+			if d := cfg.Pattern.DLSymbols(int64(i)); d > 0 {
+				if s := d - cfg.PDCCHSymbols; s >= 1 {
+					c.dlSymTab[i] = s
+				}
+			}
+			if cfg.Pattern.Slot(int64(i)) == tdd.Uplink {
+				c.ulSymTab[i] = phy.SymbolsPerSlot
+			}
+		}
+	}
+	// Precompute the UL link-adaptation chain for the reportable CQI and
+	// rank grid (see the field comment; newTB falls back to the inline
+	// expressions outside this grid).
+	exp := csiCfg2.LayerPenaltyExp
+	for cqi := phy.CQI(1); cqi <= phy.MaxCQI; cqi++ {
+		row, err := csiCfg2.Table.Lookup(cqi)
+		if err != nil {
+			continue
+		}
+		for dlRank := 1; dlRank < len(c.ulRank); dlRank++ {
+			rank := dlRank
+			if rank > cfg.ULMaxRank {
+				rank = cfg.ULMaxRank
+			}
+			totalLin := (math.Pow(2, row.Efficiency) - 1) / c.amc.optimismLin * c.amc.rankPowAt(exp, dlRank)
+			perLayerLin := totalLin * c.amc.ulDerateLin /
+				c.amc.rankPowAt(exp, rank)
+			c.ulEff[cqi][dlRank] = math.Log2(1+perLayerLin) * c.amc.ulBackoffLin
+			c.ulRank[dlRank] = rank
+		}
+	}
+	return c, nil
 }
 
 // Config returns the effective configuration.
@@ -362,33 +439,17 @@ func (c *Carrier) InRLF() bool { return c.slot < c.rlfUntil }
 // SlotDuration returns the slot length.
 func (c *Carrier) SlotDuration() time.Duration { return c.cfg.Numerology.SlotDuration() }
 
-// dlSymbols returns the DL data symbols available in the slot.
+// dlSymbols returns the DL data symbols available in the slot, from the
+// per-period table built at construction (slots are never negative).
 func (c *Carrier) dlSymbols(slot int64) int {
-	if c.cfg.FDD {
-		return phy.SymbolsPerSlot - c.cfg.PDCCHSymbols
-	}
-	s := c.cfg.Pattern.DLSymbols(slot)
-	if s == 0 {
-		return 0
-	}
-	s -= c.cfg.PDCCHSymbols
-	if s < 1 {
-		return 0
-	}
-	return s
+	return c.dlSymTab[slot%int64(len(c.dlSymTab))]
 }
 
 // ulSymbols returns the UL data symbols available in the slot. Special-slot
 // UL symbols are too few for PUSCH data and are reserved for control, so
 // only full UL slots count (matching commercial mid-band behaviour).
 func (c *Carrier) ulSymbols(slot int64) int {
-	if c.cfg.FDD {
-		return phy.SymbolsPerSlot
-	}
-	if c.cfg.Pattern.Slot(slot) == tdd.Uplink {
-		return phy.SymbolsPerSlot
-	}
-	return 0
+	return c.ulSymTab[slot%int64(len(c.ulSymTab))]
 }
 
 // bler returns the block error probability for a TB whose MCS requires
@@ -408,27 +469,43 @@ const ulBackoffDB = 1.0
 //
 //detlint:zeroalloc
 func (c *Carrier) Step(dl, ul Demand) SlotResult {
+	var res SlotResult
+	c.StepInto(&res, dl, ul)
+	return res
+}
+
+// SetRSRQNeeded forwards the RSRQ need-hint to the carrier's channel
+// (see channel.Channel.SetRSRQNeeded): callers that never read
+// Sample.RSRQdB — warm-up traffic, uncaptured secondary carriers — skip
+// the per-slot conversion without touching any random stream.
+func (c *Carrier) SetRSRQNeeded(needed bool) { c.ch.SetRSRQNeeded(needed) }
+
+// StepInto is Step writing the result in place: the link's slot loop owns
+// per-carrier result storage, and threading it down here keeps the
+// ~100-byte SlotResult from being copied at every layer boundary. All
+// fields of res are overwritten.
+//
+//detlint:zeroalloc
+func (c *Carrier) StepInto(res *SlotResult, dl, ul Demand) {
 	slot := c.slot
 	c.slot++
-	sample := c.ch.Step()
-	c.csi.Observe(slot, sample.SINRdB)
+	res.Slot = slot
+	res.Time = time.Duration(slot) * c.slotDur
+	res.DL, res.UL = nil, nil
+	c.ch.StepInto(&res.Sample)
+	c.csi.Observe(slot, res.Sample.SINRdB)
 	report, haveCSI := c.csi.Current()
+	res.CQI = report.CQI
 
-	res := SlotResult{
-		Slot:   slot,
-		Time:   time.Duration(slot) * c.slotDur,
-		Sample: sample,
-		CQI:    report.CQI,
-	}
 	// Handover: a serving-cell change interrupts data while the UE
 	// executes the switch (random access on the target cell).
-	if c.serving >= 0 && sample.ServingCell != c.serving && c.cfg.HandoverInterruptionSlots > 0 {
+	if c.serving >= 0 && res.Sample.ServingCell != c.serving && c.cfg.HandoverInterruptionSlots > 0 {
 		c.hoUntil = slot + int64(c.cfg.HandoverInterruptionSlots)
 		if obs.Enabled() {
 			obs.Sim.Handovers.Inc()
 		}
 	}
-	c.serving = sample.ServingCell
+	c.serving = res.Sample.ServingCell
 	// Injected radio-link failure: data stops while the UE re-establishes
 	// the RRC connection, and the CSI loop desyncs — scheduling cannot
 	// resume until a fresh report matures (the recovery ⇒ re-sync
@@ -445,25 +522,24 @@ func (c *Carrier) Step(dl, ul Demand) SlotResult {
 		c.csi.Reset()
 	}
 	if !haveCSI || slot < c.hoUntil || slot < c.rlfUntil {
-		return res
+		return
 	}
 
 	if sym := c.dlSymbols(slot); sym > 0 && dl.Active && dl.Share > 0 {
-		res.DL = c.transmit(&c.dlAlloc, &c.harqDL, slot, sym, dl.Share, report, sample, false)
+		res.DL = c.transmit(&c.dlAlloc, &c.harqDL, slot, sym, dl.Share, report, res.Sample.SINRdB, res.Sample.Outage, false)
 	}
 	if sym := c.ulSymbols(slot); sym > 0 && ul.Active && ul.Share > 0 {
-		res.UL = c.transmit(&c.ulAlloc, &c.harqUL, slot, sym, ul.Share, report, sample, true)
+		res.UL = c.transmit(&c.ulAlloc, &c.harqUL, slot, sym, ul.Share, report, res.Sample.SINRdB, res.Sample.Outage, true)
 	}
-	return res
 }
 
 // transmit schedules one TB (new or HARQ retransmission) in this slot.
 //
 //detlint:zeroalloc
 func (c *Carrier) transmit(store *Alloc, queue *[]harqJob, slot int64, symbols int,
-	share float64, report ue.Report, sample channel.Sample, uplink bool) *Alloc {
+	share float64, report ue.Report, sinrDB float64, outage, uplink bool) *Alloc {
 
-	if sample.Outage {
+	if outage {
 		return nil // nothing schedulable without a link
 	}
 
@@ -479,7 +555,7 @@ func (c *Carrier) transmit(store *Alloc, queue *[]harqJob, slot int64, symbols i
 
 	// Decode at the *current* per-layer SINR (the report that chose the
 	// MCS is stale — that gap is what OLLA and HARQ absorb).
-	sinr := sample.SINRdB
+	sinr := sinrDB
 	if uplink {
 		sinr -= c.cfg.ULSINROffsetDB
 	}
@@ -489,8 +565,7 @@ func (c *Carrier) transmit(store *Alloc, queue *[]harqJob, slot int64, symbols i
 	if err != nil {
 		return nil
 	}
-	p := bler(perLayer, req)
-	ack := c.rng.Float64() >= p
+	ack := blerAck(c.rng.Float64(), perLayer, req)
 
 	if !uplink && !c.cfg.DisableOLLA {
 		// Outer loop: nudge toward the BLER target.
@@ -538,6 +613,13 @@ func (c *Carrier) transmit(store *Alloc, queue *[]harqJob, slot int64, symbols i
 	return store
 }
 
+// ollaPow returns 10^(ollaDB/10), memoized (see powCache).
+//
+//detlint:zeroalloc
+func (c *Carrier) ollaPow() float64 {
+	return c.pow.pow10(c.ollaDB)
+}
+
 // newTB builds a fresh transport block from the CSI in effect.
 //
 //detlint:zeroalloc
@@ -545,39 +627,48 @@ func (c *Carrier) newTB(slot int64, symbols int, share float64, report ue.Report
 	rank := report.RI
 	cqi := report.CQI
 	table := c.cfg.MCSTable
-	csiTable := c.csiCfg.Table
 
-	if cqi == 0 || rank < 1 {
+	if cqi == 0 || rank < 1 || cqi > phy.MaxCQI {
 		return harqJob{}
 	}
 
-	// Vendor CQI→MCS mapping: match the reported spectral efficiency,
-	// shifted by the outer-loop offset.
-	row, err := csiTable.Lookup(cqi)
-	if err != nil {
+	// Vendor CQI→MCS mapping: match the reported spectral efficiency
+	// (hoisted into effByCQI at construction), shifted by the outer-loop
+	// offset. A zero entry means the CSI table's Lookup failed at
+	// construction (every valid row has positive efficiency), matching
+	// the inline lookup's error return.
+	eff := c.effByCQI[cqi]
+	if eff == 0 {
 		return harqJob{}
 	}
-	eff := row.Efficiency
 
 	if uplink {
 		// The gNB estimates UL quality from sounding reference signals:
 		// reconstruct the total-SINR estimate behind the DL report,
 		// derate by the UL power deficit, and re-split across UL layers.
 		// The DL outer-loop offset does not apply; UL link adaptation
-		// carries its own fixed backoff instead.
-		exp := c.csiCfg.LayerPenaltyExp
-		dlRank := rank
-		if rank > c.cfg.ULMaxRank {
-			rank = c.cfg.ULMaxRank
-		}
+		// carries its own fixed backoff instead. The whole chain is a pure
+		// function of (CQI, RI), so the construction-time ulEff table
+		// covers the reportable grid; the inline expressions remain for
+		// anything outside it.
 		share *= c.cfg.ULRBFraction
-		// Deflate the report's optimism (the gNB calibrates for it).
-		totalLin := (math.Pow(2, eff) - 1) / c.amc.optimismLin * c.amc.rankPowAt(exp, dlRank)
-		perLayerLin := totalLin * c.amc.ulDerateLin /
-			c.amc.rankPowAt(exp, rank)
-		eff = math.Log2(1+perLayerLin) * c.amc.ulBackoffLin
+		if cqi <= phy.MaxCQI && rank < len(c.ulRank) {
+			eff = c.ulEff[cqi][rank]
+			rank = c.ulRank[rank]
+		} else {
+			exp := c.csiCfg.LayerPenaltyExp
+			dlRank := rank
+			if rank > c.cfg.ULMaxRank {
+				rank = c.cfg.ULMaxRank
+			}
+			// Deflate the report's optimism (the gNB calibrates for it).
+			totalLin := (math.Pow(2, eff) - 1) / c.amc.optimismLin * c.amc.rankPowAt(exp, dlRank)
+			perLayerLin := totalLin * c.amc.ulDerateLin /
+				c.amc.rankPowAt(exp, rank)
+			eff = math.Log2(1+perLayerLin) * c.amc.ulBackoffLin
+		}
 	} else {
-		eff *= math.Pow(10, c.ollaDB/10)
+		eff *= c.ollaPow()
 	}
 	mcs := table.HighestMCSForEfficiency(eff)
 
@@ -588,8 +679,8 @@ func (c *Carrier) newTB(slot int64, symbols int, share float64, report ue.Report
 		if m < 0 {
 			m = 0
 		}
-		if max := int(table.MaxIndex()); m > max {
-			m = max
+		if m > c.maxMCS {
+			m = c.maxMCS
 		}
 		mcs = uint8(m)
 	}
@@ -631,9 +722,11 @@ func (c *Carrier) newTB(slot int64, symbols int, share float64, report ue.Report
 
 //detlint:zeroalloc
 func popReady(queue *[]harqJob, slot int64) (harqJob, bool) {
-	for i, j := range *queue {
-		if j.readySlot <= slot {
-			*queue = append((*queue)[:i], (*queue)[i+1:]...)
+	q := *queue
+	for i := range q {
+		if q[i].readySlot <= slot {
+			j := q[i]
+			*queue = append(q[:i], q[i+1:]...)
 			return j, true
 		}
 	}

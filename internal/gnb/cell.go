@@ -101,15 +101,16 @@ func (c CellConfig) Validate() error {
 // cellUE is the per-UE state inside a cell. The harq queue and buf are
 // used by the contention model only (see multiue.go); the share model
 // keeps them zero so its behavior — and RNG draw sequence — is
-// bit-identical to before they existed.
+// bit-identical to before they existed. Scalar per-UE quantities that the
+// schedulers scan every slot (OLLA offsets, PF served rates) live in the
+// Cell's structure-of-arrays slices instead, shared with the batch
+// stepper in cellbatch.go.
 type cellUE struct {
-	ch     *channel.Channel
-	csi    *ue.CSI
-	ollaDB float64
-	served float64 // PF-smoothed served rate (bits/slot)
-	rng    *rand.Rand
-	harq   []harqJob
-	buf    ue.Buffer
+	ch   *channel.Channel
+	csi  *ue.CSI
+	rng  *rand.Rand
+	harq []harqJob
+	buf  ue.Buffer
 }
 
 // ueState is one UE's per-slot scheduling input.
@@ -139,11 +140,22 @@ type Cell struct {
 	ues  []*cellUE
 	slot int64
 
+	// Per-UE structure-of-arrays state, index-matched with ues. The
+	// schedulers read these in tight loops over the whole population, so
+	// they live in parallel slices rather than inside cellUE.
+	olla   []float64 // OLLA offsets (dB)
+	served []float64 // PF-smoothed served rates (bits/slot)
+	// pow memoizes 10^(olla/10) (see powCache). The value depends only
+	// on the offset's bits, so one table serves every UE, sized for the
+	// population so the per-UE walks don't evict each other.
+	pow powCache
+
 	// Slot-path constants, shared by all UEs (they differ only in seeds).
-	slotDur time.Duration
-	csiCfg  ue.CSIConfig
-	amc     amcDerived
-	tbs     *phy.TBSCache
+	slotDur  time.Duration
+	csiCfg   ue.CSIConfig
+	amc      amcDerived
+	tbs      *phy.TBSCache
+	dlSymTab []int // dlSymbols per TDD-period phase (length 1 for FDD)
 
 	// Per-slot scratch, reused so the steady-state loop allocates nothing.
 	states    []ueState
@@ -206,17 +218,35 @@ func NewCell(cfg CellConfig) (*Cell, error) {
 			return nil, fmt.Errorf("gnb: cell UE %d: %w", i, err)
 		}
 		cell.ues = append(cell.ues, &cellUE{
-			ch:     ch,
-			csi:    csi,
-			served: 1,
-			rng:    rand.New(rand.NewSource(fleet.SplitSeed(cfg.Seed, "gnb/cell/ue", i))),
+			ch:  ch,
+			csi: csi,
+			rng: rand.New(rand.NewSource(fleet.SplitSeed(cfg.Seed, "gnb/cell/ue", i))),
 		})
 	}
 	n := len(cell.ues)
+	cell.olla = make([]float64, n)
+	cell.served = make([]float64, n)
+	for i := range cell.served {
+		cell.served[i] = 1
+	}
+	cell.pow = newPowCache(n)
 	cell.slotDur = cfg.Carrier.Numerology.SlotDuration()
 	cell.csiCfg = cell.ues[0].csi.Config() // UEs differ only in seed
 	cell.amc = newAMCDerived(cell.csiCfg, cfg.Carrier)
 	cell.tbs = phy.NewTBSCache(cfg.Carrier.MCSTable, cfg.Carrier.DMRSPerPRB, 0)
+	ccfg := cfg.Carrier
+	if ccfg.FDD {
+		cell.dlSymTab = []int{phy.SymbolsPerSlot - ccfg.PDCCHSymbols}
+	} else {
+		cell.dlSymTab = make([]int, ccfg.Pattern.Period())
+		for i := range cell.dlSymTab {
+			if d := ccfg.Pattern.DLSymbols(int64(i)); d > 0 {
+				if s := d - ccfg.PDCCHSymbols; s >= 1 {
+					cell.dlSymTab[i] = s
+				}
+			}
+		}
+	}
 	cell.states = make([]ueState, 0, n)
 	cell.ready = make([]ueState, 0, n)
 	cell.grants = make([]grant, 0, n)
@@ -315,7 +345,7 @@ func (c *Cell) Step() CellSlot {
 		// proportionally to their metrics.
 		ss := c.scores[:0]
 		for _, st := range ready {
-			m := st.instSE / c.ues[st.idx].served
+			m := st.instSE / c.served[st.idx]
 			ss = append(ss, pfScore{st.idx, m})
 		}
 		c.scores = ss
@@ -344,8 +374,7 @@ func (c *Cell) Step() CellSlot {
 	res.Allocs = c.allocs[:0]
 	for _, g := range grants {
 		st := &states[g.idx]
-		u := c.ues[g.idx]
-		alloc, ok := c.transmitUE(u, st.report, st.sample, dlSym, g.frac)
+		alloc, ok := c.transmitUE(g.idx, st.report, st.sample, dlSym, g.frac)
 		if !ok {
 			continue
 		}
@@ -375,27 +404,26 @@ func (c *Cell) updatePFWindow(allocs []UEAlloc) {
 	for _, a := range allocs {
 		servedNow[a.UE] = float64(a.Alloc.DeliveredBits)
 	}
-	for i, u := range c.ues {
-		u.served = (1-1/w)*u.served + servedNow[i]/w
-		if u.served < 1 {
-			u.served = 1
+	served := c.served
+	for i := range served {
+		served[i] = (1-1/w)*served[i] + servedNow[i]/w
+		if served[i] < 1 {
+			served[i] = 1
 		}
 	}
 }
 
+// ollaPow returns 10^(olla[i]/10), memoized (see powCache); misses
+// recompute with the exact expression the schedulers used inline, so the
+// memoized path is bit-identical.
+//
+//detlint:zeroalloc
+func (c *Cell) ollaPow(i int) float64 {
+	return c.pow.pow10(c.olla[i])
+}
+
 func (c *Cell) dlSymbols(slot int64) int {
-	cfg := c.cfg.Carrier
-	if cfg.FDD {
-		return phy.SymbolsPerSlot - cfg.PDCCHSymbols
-	}
-	s := cfg.Pattern.DLSymbols(slot)
-	if s == 0 {
-		return 0
-	}
-	if s -= cfg.PDCCHSymbols; s < 1 {
-		return 0
-	}
-	return s
+	return c.dlSymTab[slot%int64(len(c.dlSymTab))]
 }
 
 // transmitUE schedules one TB for a UE with the given RB fraction,
@@ -403,13 +431,14 @@ func (c *Cell) dlSymbols(slot int64) int {
 // multi-UE HARQ bookkeeping adds little to the Fig. 14 questions).
 //
 //detlint:zeroalloc
-func (c *Cell) transmitUE(u *cellUE, report ue.Report, sample channel.Sample, symbols int, frac float64) (Alloc, bool) {
+func (c *Cell) transmitUE(idx int, report ue.Report, sample channel.Sample, symbols int, frac float64) (Alloc, bool) {
 	cfg := c.cfg.Carrier
+	u := c.ues[idx]
 	row, err := c.csiCfg.Table.Lookup(report.CQI)
 	if err != nil {
 		return Alloc{}, false
 	}
-	eff := row.Efficiency * math.Pow(10, u.ollaDB/10)
+	eff := row.Efficiency * c.ollaPow(idx)
 	mcs := cfg.MCSTable.HighestMCSForEfficiency(eff)
 	rbs := int(float64(cfg.NRB) * frac * (1 - cfg.RBJitterFrac*u.rng.Float64()))
 	if rbs < 1 {
@@ -433,14 +462,13 @@ func (c *Cell) transmitUE(u *cellUE, report ue.Report, sample channel.Sample, sy
 		return Alloc{}, false
 	}
 	perLayer := sample.SINRdB - c.amc.layerPenalty(c.csiCfg.LayerPenaltyExp, report.RI)
-	p := bler(perLayer, req)
-	ack := u.rng.Float64() >= p
+	ack := blerAck(u.rng.Float64(), perLayer, req)
 	if ack {
-		u.ollaDB += 0.05 * cfg.TargetBLER / (1 - cfg.TargetBLER)
+		c.olla[idx] += 0.05 * cfg.TargetBLER / (1 - cfg.TargetBLER)
 	} else {
-		u.ollaDB -= 0.05
+		c.olla[idx] -= 0.05
 	}
-	u.ollaDB = math.Max(-6, math.Min(3, u.ollaDB))
+	c.olla[idx] = math.Max(-6, math.Min(3, c.olla[idx]))
 	delivered := 0
 	if ack {
 		delivered = tbs
@@ -470,5 +498,5 @@ func (c *Cell) NumUEs() int {
 // window update clamps it to ≥ 1 so the metric can never divide by
 // zero; the simtest harness asserts that invariant across policies.
 func (c *Cell) ServedRate(i int) float64 {
-	return c.ues[i].served
+	return c.served[i]
 }

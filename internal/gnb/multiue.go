@@ -134,7 +134,7 @@ func (c *Cell) stepContention() CellSlot {
 		}
 		budget -= job.rbs
 		sched[i] = true
-		if a, ok := c.deliver(slot, u, job, states[i].sample.SINRdB); ok {
+		if a, ok := c.deliver(slot, i, job, states[i].sample.SINRdB); ok {
 			res.Allocs = append(res.Allocs, UEAlloc{
 				UE: i, Alloc: a, SINRdB: states[i].sample.SINRdB, CQI: states[i].report.CQI,
 			})
@@ -199,7 +199,7 @@ func (c *Cell) stepContention() CellSlot {
 			ss := c.scores[:0]
 			total := 0.0
 			for _, st := range ready {
-				m := st.instSE / c.ues[st.idx].served
+				m := st.instSE / c.served[st.idx]
 				ss = append(ss, pfScore{st.idx, m})
 				total += m
 			}
@@ -242,12 +242,11 @@ func (c *Cell) stepContention() CellSlot {
 			if rbs < 1 {
 				continue
 			}
-			u := c.ues[st.idx]
-			job, ok := c.newContentionTB(slot, u, st.report, dlSym, rbs)
+			job, ok := c.newContentionTB(slot, st.idx, st.report, dlSym, rbs)
 			if !ok {
 				continue
 			}
-			if a, ok := c.deliver(slot, u, job, st.sample.SINRdB); ok {
+			if a, ok := c.deliver(slot, st.idx, job, st.sample.SINRdB); ok {
 				res.Allocs = append(res.Allocs, UEAlloc{
 					UE: st.idx, Alloc: a, SINRdB: st.sample.SINRdB, CQI: st.report.CQI,
 				})
@@ -284,13 +283,14 @@ func (c *Cell) stepContention() CellSlot {
 // jitter: the scheduler's split already decides the exact footprint).
 //
 //detlint:zeroalloc
-func (c *Cell) newContentionTB(slot int64, u *cellUE, report ue.Report, symbols, rbs int) (harqJob, bool) {
+func (c *Cell) newContentionTB(slot int64, idx int, report ue.Report, symbols, rbs int) (harqJob, bool) {
 	cfg := c.cfg.Carrier
+	u := c.ues[idx]
 	row, err := c.csiCfg.Table.Lookup(report.CQI)
 	if err != nil {
 		return harqJob{}, false
 	}
-	eff := row.Efficiency * math.Pow(10, u.ollaDB/10)
+	eff := row.Efficiency * c.ollaPow(idx)
 	mcs := cfg.MCSTable.HighestMCSForEfficiency(eff)
 	tbs, err := c.tbs.TBS(symbols, rbs, mcs, report.RI)
 	if err != nil {
@@ -333,23 +333,23 @@ func (c *Cell) newContentionTB(slot int64, u *cellUE, report ue.Report, symbols,
 // channel state, updating its OLLA offset, HARQ queue and RLC buffer.
 //
 //detlint:zeroalloc
-func (c *Cell) deliver(slot int64, u *cellUE, job harqJob, sinrDB float64) (Alloc, bool) {
+func (c *Cell) deliver(slot int64, idx int, job harqJob, sinrDB float64) (Alloc, bool) {
 	cfg := c.cfg.Carrier
+	u := c.ues[idx]
 	perLayer := sinrDB - c.amc.layerPenalty(c.csiCfg.LayerPenaltyExp, job.rank)
 	perLayer += harqCombineGainDB * float64(job.retx)
 	req, err := job.table.RequiredSINRdB(job.mcs)
 	if err != nil {
 		return Alloc{}, false
 	}
-	p := bler(perLayer, req)
-	ack := u.rng.Float64() >= p
+	ack := blerAck(u.rng.Float64(), perLayer, req)
 	if !cfg.DisableOLLA {
 		if ack {
-			u.ollaDB += 0.05 * cfg.TargetBLER / (1 - cfg.TargetBLER)
+			c.olla[idx] += 0.05 * cfg.TargetBLER / (1 - cfg.TargetBLER)
 		} else {
-			u.ollaDB -= 0.05
+			c.olla[idx] -= 0.05
 		}
-		u.ollaDB = math.Max(-6, math.Min(3, u.ollaDB))
+		c.olla[idx] = math.Max(-6, math.Min(3, c.olla[idx]))
 	}
 	delivered := 0
 	if ack {
@@ -390,9 +390,11 @@ func (c *Cell) deliver(slot int64, u *cellUE, job harqJob, sinrDB float64) (Allo
 //
 //detlint:zeroalloc
 func popReadyFit(queue *[]harqJob, slot int64, maxRBs int) (harqJob, bool) {
-	for i, j := range *queue {
-		if j.readySlot <= slot && j.rbs <= maxRBs {
-			*queue = append((*queue)[:i], (*queue)[i+1:]...)
+	q := *queue
+	for i := range q {
+		if q[i].readySlot <= slot && q[i].rbs <= maxRBs {
+			j := q[i]
+			*queue = append(q[:i], q[i+1:]...)
 			return j, true
 		}
 	}

@@ -1,0 +1,61 @@
+package gnb
+
+import "math"
+
+// powCache is a direct-mapped memo for 10^(dB/10) keyed by the argument's
+// exact float bits. The OLLA offset it serves moves by a small ack/nack
+// increment on every transport block, so at the outer loop's equilibrium
+// (ack rate ≈ 1−TargetBLER, zero drift) the walk revisits recent values
+// about half the time but almost never sits still — a single-entry memo
+// misses every probe, while a few hundred direct-mapped slots capture
+// most of the revisits. A collision or first visit recomputes with the
+// exact math.Pow expression the inline code used, so every returned value
+// is bit-identical to an unmemoized evaluation.
+//
+// The table is sized for the number of independent OLLA walks hashing
+// into it: a Carrier owns one walk, a Cell owns one per UE, and the
+// revisit locality that makes the memo pay is per walk. Sizing at 64
+// slots per walk (512 minimum) keeps the effective per-walk capacity
+// roughly constant from a single link up to population-scale cells
+// instead of letting hundreds of interleaved walks thrash a fixed table.
+//
+// The zero key is live: Float64bits(0) == 0, and 10^(0/10) == 1, so the
+// constructor fills every slot with {bits: 0, val: 1} and the cache needs
+// no occupancy bits. Owners are single-threaded, so there is no
+// synchronization.
+type powCache struct {
+	entries []powEntry
+	mask    uint64
+}
+
+type powEntry struct {
+	bits uint64
+	val  float64
+}
+
+// newPowCache builds a cache sized for the given number of independent
+// OLLA walks (see type comment).
+func newPowCache(walks int) powCache {
+	size := 512
+	for size < 64*walks {
+		size *= 2
+	}
+	entries := make([]powEntry, size)
+	for i := range entries {
+		entries[i].val = 1
+	}
+	return powCache{entries: entries, mask: uint64(size - 1)}
+}
+
+// pow10 returns 10^(db/10), memoized.
+//
+//detlint:zeroalloc
+func (p *powCache) pow10(db float64) float64 {
+	bits := math.Float64bits(db)
+	e := &p.entries[(bits^bits>>17^bits>>33)&p.mask]
+	if e.bits != bits {
+		e.bits = bits
+		e.val = math.Pow(10, db/10)
+	}
+	return e.val
+}

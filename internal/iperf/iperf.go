@@ -26,6 +26,12 @@ type Config struct {
 	// KeepRecords retains all KPI records in the result (memory-heavy
 	// for long runs; the per-series arrays are usually enough).
 	KeepRecords bool
+	// Discard skips collecting the per-slot series, leaving only the
+	// session-average throughputs in the result. Warm-up traffic whose
+	// result is thrown away uses this to keep the slot loop free of
+	// series appends; the simulation itself is unaffected — every slot
+	// is stepped identically either way.
+	Discard bool
 }
 
 // Result is the outcome of a session. All per-slot series are sampled at
@@ -62,6 +68,9 @@ func Run(link *net5g.Link, cfg Config) (*Result, error) {
 	if cfg.Duration <= 0 {
 		return nil, fmt.Errorf("iperf: duration %v invalid", cfg.Duration)
 	}
+	if cfg.Discard && (cfg.Trace != nil || cfg.KeepRecords) {
+		return nil, fmt.Errorf("iperf: Discard conflicts with Trace/KeepRecords")
+	}
 	demand := cfg.Demand
 	if !demand.DL && !demand.UL {
 		demand = net5g.Saturate
@@ -72,18 +81,20 @@ func Run(link *net5g.Link, cfg Config) (*Result, error) {
 	}
 
 	res := &Result{SlotDuration: link.SlotDuration()}
-	res.DLBitsPerSlot = make([]float64, 0, steps)
-	res.ULBitsPerSlot = make([]float64, 0, steps)
-	res.MCS = make([]float64, 0, steps)
-	res.Rank = make([]float64, 0, steps)
-	res.RBs = make([]float64, 0, steps)
-	res.REs = make([]float64, 0, steps)
-	res.CQI = make([]float64, 0, steps)
-	res.SINRdB = make([]float64, 0, steps)
-	res.RSRQdB = make([]float64, 0, steps)
-	res.Mod256 = make([]float64, 0, steps)
-	res.ModOrder = make([]float64, 0, steps)
-	res.ACK = make([]float64, 0, steps)
+	if !cfg.Discard {
+		res.DLBitsPerSlot = make([]float64, 0, steps)
+		res.ULBitsPerSlot = make([]float64, 0, steps)
+		res.MCS = make([]float64, 0, steps)
+		res.Rank = make([]float64, 0, steps)
+		res.RBs = make([]float64, 0, steps)
+		res.REs = make([]float64, 0, steps)
+		res.CQI = make([]float64, 0, steps)
+		res.SINRdB = make([]float64, 0, steps)
+		res.RSRQdB = make([]float64, 0, steps)
+		res.Mod256 = make([]float64, 0, steps)
+		res.ModOrder = make([]float64, 0, steps)
+		res.ACK = make([]float64, 0, steps)
+	}
 
 	var recBuf []xcal.SlotKPI
 	if cfg.Trace != nil || cfg.KeepRecords {
@@ -96,12 +107,16 @@ func Run(link *net5g.Link, cfg Config) (*Result, error) {
 		res.Records = make([]xcal.SlotKPI, 0, 2*steps)
 	}
 	var dlBits, ulBits, nrUL, lteUL float64
+	var r net5g.StepResult // reused: the link rewrites every field per step
 	for i := 0; i < steps; i++ {
-		r := link.Step(demand)
+		link.StepInto(&r, demand)
 		dlBits += float64(r.DLBits)
 		ulBits += float64(r.ULBits)
 		nrUL += float64(r.NRULBits)
 		lteUL += float64(r.LTEULBits)
+		if cfg.Discard {
+			continue
+		}
 		res.DLBitsPerSlot = append(res.DLBitsPerSlot, float64(r.DLBits))
 		res.ULBitsPerSlot = append(res.ULBitsPerSlot, float64(r.ULBits))
 

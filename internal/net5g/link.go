@@ -53,6 +53,7 @@ type Link struct {
 
 	lastPcellSINR float64 // previous step's PCell SINR, for UL routing
 	havePcellSINR bool
+	pcellULOffset float64 // PCell ULSINROffsetDB, hoisted off the step path
 
 	results []gnb.SlotResult // reused per-step storage
 	ticked  []bool           // reused StepResult.NRTicked storage
@@ -88,6 +89,7 @@ func NewLink(cfg LinkConfig) (*Link, error) {
 	l.nextTick = make([]time.Duration, len(l.carriers))
 	l.results = make([]gnb.SlotResult, len(l.carriers))
 	l.ticked = make([]bool, len(l.carriers))
+	l.pcellULOffset = l.carriers[0].Config().ULSINROffsetDB
 	return l, nil
 }
 
@@ -106,6 +108,20 @@ func (l *Link) Carriers() []*gnb.Carrier { return l.carriers }
 
 // Anchor returns the LTE anchor carrier (nil if none).
 func (l *Link) Anchor() *gnb.Carrier { return l.anchor }
+
+// SetRSRQNeeded forwards the RSRQ need-hint to every component carrier
+// and the LTE anchor (see channel.Channel.SetRSRQNeeded). Callers that
+// never read the step results' Sample.RSRQdB — warm-up traffic, untraced
+// bulk transfers — skip the per-slot dB conversion on every carrier
+// without touching any random stream.
+func (l *Link) SetRSRQNeeded(needed bool) {
+	for _, c := range l.carriers {
+		c.SetRSRQNeeded(needed)
+	}
+	if l.anchor != nil {
+		l.anchor.SetRSRQNeeded(needed)
+	}
+}
 
 // StepResult aggregates one link step.
 type StepResult struct {
@@ -143,10 +159,26 @@ var Saturate = Demand{DL: true, UL: true, Share: 1}
 //
 //detlint:zeroalloc
 func (l *Link) Step(d Demand) StepResult {
+	var res StepResult
+	l.StepInto(&res, d)
+	return res
+}
+
+// StepInto is Step writing the result in place, so a caller's slot loop
+// can reuse one StepResult instead of copying ~100 bytes per step. All
+// fields of res are overwritten; the slices and the LTE pointer are owned
+// by the Link and valid until the next step.
+//
+//detlint:zeroalloc
+func (l *Link) StepInto(res *StepResult, d Demand) {
 	if d.Share == 0 {
 		d.Share = 1
 	}
-	res := StepResult{Time: l.now, NR: l.results, NRTicked: l.ticked}
+	res.Time = l.now
+	res.DLBits, res.ULBits = 0, 0
+	res.NRULBits, res.LTEULBits = 0, 0
+	res.NR, res.NRTicked = l.results, l.ticked
+	res.LTE = nil
 
 	// Decide the NSA UL route once per step, based on PCell state.
 	nrUL := d.UL
@@ -165,16 +197,20 @@ func (l *Link) Step(d Demand) StepResult {
 	}
 
 	for i, c := range l.carriers {
-		res.NRTicked[i] = false
-		l.results[i] = gnb.SlotResult{}
 		if l.now < l.nextTick[i] {
+			// Carriers that do not tick this step report a zero result;
+			// ticked entries are fully overwritten by StepInto below.
+			res.NRTicked[i] = false
+			l.results[i] = gnb.SlotResult{}
 			continue
 		}
 		l.nextTick[i] += c.SlotDuration()
 		dl := gnb.Demand{Active: d.DL, Share: d.Share}
 		ul := gnb.Demand{Active: nrUL && i == 0, Share: d.Share} // UL rides the PCell
-		r := c.Step(dl, ul)
-		l.results[i] = r //detlint:allow bufown carrier result cached for one step only; overwritten before this carrier re-steps
+		r := &l.results[i]
+		// Carrier result cached for one step only; overwritten before
+		// this carrier re-steps.
+		c.StepInto(r, dl, ul)
 		res.NRTicked[i] = true
 		if i == 0 {
 			l.lastPcellSINR = r.Sample.SINRdB
@@ -198,7 +234,6 @@ func (l *Link) Step(d Demand) StepResult {
 		}
 	}
 	l.now += l.step
-	return res
 }
 
 // pcellULWeak reports whether the NR uplink is currently too weak: the
@@ -209,7 +244,7 @@ func (l *Link) pcellULWeak() bool {
 	if !l.havePcellSINR {
 		return true // no NR measurement yet: stay on the anchor
 	}
-	ulSINR := l.lastPcellSINR - l.carriers[0].Config().ULSINROffsetDB
+	ulSINR := l.lastPcellSINR - l.pcellULOffset
 	return ulSINR < l.cfg.ULDynamicThresholdDB
 }
 

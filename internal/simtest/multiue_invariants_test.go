@@ -32,72 +32,121 @@ func checkContentionAlloc(t *testing.T, slot int64, a gnb.Alloc, nrb int) {
 	}
 }
 
+// contentionStepper is the slice of the cell API the invariant sweep
+// needs; both the scalar *gnb.Cell and the batched *gnb.CellBatch
+// satisfy it, so the same sweep certifies both engines.
+type contentionStepper interface {
+	Step() gnb.CellSlot
+	NumUEs() int
+	ServedRate(i int) float64
+}
+
+// sweepContentionInvariants drives one engine for 20000 slots and
+// asserts per slot: RB conservation summed across the whole UE set, at
+// most one grant per UE (a HARQ retransmission consumes the UE's slot),
+// HARQ retransmission counts within the configured cap, CQI-0 slots
+// carrying retransmissions only (they were sized by an earlier report;
+// fresh grants need a current CQI), the structural per-TB bounds, and
+// the PF window's ≥1 clamp.
+func sweepContentionInvariants(t *testing.T, cell contentionStepper, nrb, maxRetx int) {
+	granted := make([]bool, cell.NumUEs())
+	for s := 0; s < 20000; s++ {
+		slot := cell.Step()
+		sum := 0
+		for i := range granted {
+			granted[i] = false
+		}
+		for _, a := range slot.Allocs {
+			if granted[a.UE] {
+				t.Fatalf("slot %d: UE %d granted twice", slot.Slot, a.UE)
+			}
+			granted[a.UE] = true
+			if int(a.Alloc.HARQRetx) > maxRetx {
+				t.Fatalf("slot %d: UE %d at retx %d, cap %d", slot.Slot, a.UE, a.Alloc.HARQRetx, maxRetx)
+			}
+			if a.CQI == 0 && a.Alloc.HARQRetx == 0 {
+				t.Fatalf("slot %d: UE %d got a fresh grant with CQI 0", slot.Slot, a.UE)
+			}
+			checkContentionAlloc(t, slot.Slot, a.Alloc, nrb)
+			sum += a.Alloc.RBs
+		}
+		if sum > nrb {
+			t.Fatalf("slot %d: %d RBs granted on a %d-RB carrier", slot.Slot, sum, nrb)
+		}
+		for i := 0; i < cell.NumUEs(); i++ {
+			if r := cell.ServedRate(i); r < 1 {
+				t.Fatalf("slot %d: UE %d PF served rate %g below the ≥1 clamp", slot.Slot, i, r)
+			}
+		}
+	}
+}
+
+// contentionSweepConfig is the shared mixed-traffic five-UE scenario the
+// invariant sweeps run on.
+func contentionSweepConfig(pol gnb.SchedulerPolicy, seed int64) gnb.CellConfig {
+	return gnb.CellConfig{
+		Carrier: carrierConfig(seed),
+		UEs: []channel.Point{
+			{X: 120}, {X: 450}, {X: 800, Y: 300}, {X: 1200}, {X: 300, Y: -200},
+		},
+		Traffic: []gnb.UETraffic{
+			{}, {OfferedMbps: 20}, {}, {OfferedMbps: 5}, {},
+		},
+		Policy: pol,
+		Model:  gnb.CellModelContention,
+		Seed:   seed,
+	}
+}
+
+var sweepPolicies = []gnb.SchedulerPolicy{
+	gnb.SchedulerEqualShare,
+	gnb.SchedulerProportionalFair,
+	gnb.SchedulerMaxRate,
+	gnb.SchedulerRoundRobin,
+}
+
 // TestContentionSchedulerInvariants sweeps every policy over the full
 // contention model — five UEs, mixed full-buffer and finite traffic —
-// and asserts per slot: RB conservation summed across the whole UE set,
-// at most one grant per UE (a HARQ retransmission consumes the UE's
-// slot), HARQ retransmission counts within the configured cap, CQI-0
-// slots carrying retransmissions only (they were sized by an earlier
-// report; fresh grants need a current CQI), the structural per-TB
-// bounds, and the PF window's ≥1 clamp.
+// on the scalar engine.
 func TestContentionSchedulerInvariants(t *testing.T) {
-	policies := []gnb.SchedulerPolicy{
-		gnb.SchedulerEqualShare,
-		gnb.SchedulerProportionalFair,
-		gnb.SchedulerMaxRate,
-		gnb.SchedulerRoundRobin,
-	}
-	for _, pol := range policies {
+	for _, pol := range sweepPolicies {
 		pol := pol
 		t.Run(pol.String(), func(t *testing.T) {
 			simtest.Run(t, "contention/"+pol.String(), 3, func(t *testing.T, seed int64) {
-				cfg := gnb.CellConfig{
-					Carrier: carrierConfig(seed),
-					UEs: []channel.Point{
-						{X: 120}, {X: 450}, {X: 800, Y: 300}, {X: 1200}, {X: 300, Y: -200},
-					},
-					Traffic: []gnb.UETraffic{
-						{}, {OfferedMbps: 20}, {}, {OfferedMbps: 5}, {},
-					},
-					Policy: pol,
-					Model:  gnb.CellModelContention,
-					Seed:   seed,
-				}
+				cfg := contentionSweepConfig(pol, seed)
 				cell, err := gnb.NewCell(cfg)
 				if err != nil {
 					t.Fatal(err)
 				}
-				maxRetx := cell.Config().Carrier.MaxHARQRetx
-				granted := make([]bool, cell.NumUEs())
-				for s := 0; s < 20000; s++ {
-					slot := cell.Step()
-					sum := 0
-					for i := range granted {
-						granted[i] = false
-					}
-					for _, a := range slot.Allocs {
-						if granted[a.UE] {
-							t.Fatalf("slot %d: UE %d granted twice", slot.Slot, a.UE)
-						}
-						granted[a.UE] = true
-						if int(a.Alloc.HARQRetx) > maxRetx {
-							t.Fatalf("slot %d: UE %d at retx %d, cap %d", slot.Slot, a.UE, a.Alloc.HARQRetx, maxRetx)
-						}
-						if a.CQI == 0 && a.Alloc.HARQRetx == 0 {
-							t.Fatalf("slot %d: UE %d got a fresh grant with CQI 0", slot.Slot, a.UE)
-						}
-						checkContentionAlloc(t, slot.Slot, a.Alloc, cfg.Carrier.NRB)
-						sum += a.Alloc.RBs
-					}
-					if sum > cfg.Carrier.NRB {
-						t.Fatalf("slot %d: %d RBs granted on a %d-RB carrier", slot.Slot, sum, cfg.Carrier.NRB)
-					}
-					for i := 0; i < cell.NumUEs(); i++ {
-						if r := cell.ServedRate(i); r < 1 {
-							t.Fatalf("slot %d: UE %d PF served rate %g below the ≥1 clamp", slot.Slot, i, r)
-						}
-					}
+				got := cell.Config().Carrier // defaults applied
+				sweepContentionInvariants(t, cell, got.NRB, got.MaxHARQRetx)
+			})
+		})
+	}
+}
+
+// TestBatchContentionSchedulerInvariants runs the identical sweep
+// through the batched SoA engine. Lockstep tests already pin the batch
+// engine to the scalar one draw-for-draw; this sweep asserts the
+// scheduler contracts directly against the batch output, so a future
+// batch-only fast path that drifts from the scalar reference still has
+// the invariants checked at its own boundary.
+func TestBatchContentionSchedulerInvariants(t *testing.T) {
+	for _, pol := range sweepPolicies {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			simtest.Run(t, "batch/"+pol.String(), 3, func(t *testing.T, seed int64) {
+				cfg := contentionSweepConfig(pol, seed)
+				cell, err := gnb.NewCell(cfg)
+				if err != nil {
+					t.Fatal(err)
 				}
+				batch, err := gnb.NewCellBatch(cell)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := cell.Config().Carrier // defaults applied
+				sweepContentionInvariants(t, batch, got.NRB, got.MaxHARQRetx)
 			})
 		})
 	}

@@ -5,15 +5,18 @@
 #   scripts/bench.sh              print bench text to stdout
 #   scripts/bench.sh baseline     rewrite BENCH_baseline.json from a fresh run
 #   scripts/bench.sh check        compare a fresh run against BENCH_baseline.json
-#                                 (fails on >10% ns/op regression)
+#                                 (fails on >10% regression of ns/op or any
+#                                 custom ns/* sub-metric, or any allocs/op
+#                                 increase)
 #
 # The benchmark set is the per-slot hot path: channel fading step, TBS
 # lookup (direct and memoized), the full carrier scheduler step, the
-# multi-UE contention cell step, the aggregated link step, and the
-# columnar trace pipeline (block encode on the write side, projected
-# block decode on the scan side). Use -count via
-# BENCH_COUNT (default 5) — averaging repeated runs is what makes the 10%
-# gate usable on noisy machines.
+# multi-UE population curve (batched engine at 4/16/64/256 UEs,
+# reporting ns/UE-slot), the aggregated link step, and the columnar
+# trace pipeline (block encode on the write side, projected block
+# decode on the scan side, reporting ns/record). Use -count via
+# BENCH_COUNT (default 5) — best-of-N repeated runs is what makes the
+# 10% gate usable on noisy machines.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
