@@ -36,9 +36,21 @@
 // or eq), reporting per-UE goodput shares and Jain fairness. The default
 // (1) is byte-identical to the legacy single-UE campaign, including the
 // manifest's config digest.
+//
+// Scenarios: -scenario runs a declarative scenario instead of the
+// flag-driven bulk campaign — a shipped pack name (see `scenario list`)
+// or a spec file path. The spec owns the workload (traffic, route, band
+// plan, population, faults, sessions), so the workload-shaping flags
+// -ops, -duration, -faults, -ues-per-cell and -cell-policy are rejected
+// alongside it; run-level flags (-seed, -parallel, -out, -obs-listen,
+// -progress, profiles) compose as usual. -quick shrinks the scenario to
+// CI scale first. The manifest records the scenario name and canonical
+// digest, and the report is the scenario's KPI table.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -54,6 +66,7 @@ import (
 	"github.com/midband5g/midband/internal/obs"
 	"github.com/midband5g/midband/internal/operators"
 	"github.com/midband5g/midband/internal/report"
+	"github.com/midband5g/midband/internal/scenario"
 )
 
 // manifestConfig is the digested run configuration: exactly the inputs
@@ -90,9 +103,19 @@ func main() {
 	cellPolicy := flag.String("cell-policy", "pf", "multi-UE scheduler: pf, rr, mt or eq (used with -ues-per-cell > 1)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	scenarioArg := flag.String("scenario", "", "run a declarative scenario: a shipped pack name or a spec file path (conflicts with the workload-shaping flags; see doc)")
+	quick := flag.Bool("quick", false, "shrink the -scenario to CI scale (sessions, durations, probes) before running")
 	flag.Parse()
 	if *traceFormat != "xcal" && *traceFormat != "xcol" {
 		log.Fatalf("unknown -trace-format %q (want xcal or xcol)", *traceFormat)
+	}
+	if *scenarioArg != "" {
+		if conflicts := conflictingFlags(flag.Visit); len(conflicts) > 0 {
+			log.Fatalf("-scenario provides the workload; the spec's traffic/band_plan/population/faults/sessions sections own %s — drop the flag(s) or edit the spec",
+				strings.Join(conflicts, ", "))
+		}
+	} else if *quick {
+		log.Fatal("-quick only applies to -scenario runs")
 	}
 
 	stopProf, err := obs.StartProfiles(*cpuProfile, *memProfile)
@@ -148,6 +171,11 @@ func main() {
 			Slots:    m.SlotsSimulated.Load,
 		})
 		defer stop()
+	}
+
+	if *scenarioArg != "" {
+		runScenario(*scenarioArg, *quick, *out, *traceFormat, *seed, *parallel, &m, t0)
+		return
 	}
 
 	opNames := make([]string, 0, len(selected))
@@ -242,4 +270,131 @@ func main() {
 	report.Table1(os.Stdout, stats)
 	report.MultiUE(os.Stdout, stats.MultiUE)
 	fmt.Printf("\n%d traces written to %s (manifest: %s)\n", stats.TraceFiles, *out, manifestPath)
+}
+
+// scenarioConflictFlags are the workload-shaping flags a -scenario spec
+// owns: each has a spec section that replaces it, so setting both is a
+// contradiction, not an override.
+var scenarioConflictFlags = []string{"ops", "duration", "faults", "ues-per-cell", "cell-policy"}
+
+// conflictingFlags returns the workload-shaping flags the user set, in
+// scenarioConflictFlags order, given a flag.Visit-style iterator over
+// the flags explicitly present on the command line.
+func conflictingFlags(visit func(func(*flag.Flag))) []string {
+	set := map[string]bool{}
+	visit(func(f *flag.Flag) { set[f.Name] = true })
+	var out []string
+	for _, name := range scenarioConflictFlags {
+		if set[name] {
+			out = append(out, "-"+name)
+		}
+	}
+	return out
+}
+
+// loadScenario resolves the -scenario argument: a shipped pack name
+// first, then a spec file path through the same strict decoder.
+func loadScenario(arg string) (*scenario.Spec, error) {
+	if spec, err := scenario.Pack(arg); err == nil {
+		return spec, nil
+	}
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, fmt.Errorf("-scenario %q is neither a shipped pack (%s) nor a readable spec file: %w",
+			arg, strings.Join(scenario.PackNames(), ", "), err)
+	}
+	return scenario.Decode(data)
+}
+
+// scenarioManifestConfig is the digested configuration of a -scenario
+// run: the canonical spec plus the run-level inputs that shape outputs.
+type scenarioManifestConfig struct {
+	Scenario json.RawMessage `json:"scenario"`
+	Seed     int64           `json:"seed"`
+	Quick    bool            `json:"quick,omitempty"`
+}
+
+// runScenario executes the -scenario path: resolve the spec, run it,
+// write the manifest (stamped with the scenario name and digest) and
+// print the scenario report.
+func runScenario(arg string, quick bool, out, traceFormat string, seed int64, parallel int, m *fleet.Metrics, t0 time.Time) {
+	spec, err := loadScenario(arg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if quick {
+		spec = spec.QuickScale()
+	}
+	canonical, err := spec.Canonical()
+	if err != nil {
+		log.Fatal(err)
+	}
+	manifest, err := obs.NewManifest("campaign", scenarioManifestConfig{
+		Scenario: canonical,
+		Seed:     seed,
+		Quick:    quick,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	manifest.Seed = seed
+	manifest.Workers = fleet.EffectiveWorkers(parallel)
+	if err := spec.StampManifest(manifest); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := scenario.Run(context.Background(), spec, scenario.Options{
+		Seed:        seed,
+		Workers:     parallel,
+		Metrics:     m,
+		TraceDir:    out,
+		TraceFormat: traceFormat,
+		Progress: func(done, total int, key string) {
+			fmt.Fprintf(os.Stderr, "campaign: [%d/%d] %s (%.1fs)\n", done, total, key, time.Since(t0).Seconds()) //detlint:allow walltime stderr progress line, not part of campaign output
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(t0).Seconds() //detlint:allow walltime manifest wall-cost field, excluded from the config digest
+
+	manifest.WallSeconds = elapsed
+	manifest.JobsDone = m.JobsDone.Load()
+	manifest.SlotsSimulated = m.SlotsSimulated.Load()
+	manifest.TraceBytes = m.TraceBytes.Load()
+	manifest.Retries = m.Retries.Load()
+	manifest.BackoffSimNs = int64(res.BackoffSim)
+	failures := res.Failures
+	if res.Bulk != nil {
+		failures = res.Bulk.Failures
+	}
+	for _, f := range failures {
+		manifest.Failures = append(manifest.Failures, obs.SessionFailure{
+			Key:      f.Key,
+			Operator: f.Operator,
+			Session:  f.Session,
+			Attempts: f.Attempts,
+			Stage:    f.Stage,
+			Err:      f.Err,
+		})
+		fmt.Fprintf(os.Stderr, "campaign: session %s failed after %d attempt(s): %s (%s)\n",
+			f.Key, f.Attempts, f.Stage, f.Err)
+	}
+	if res.Bulk != nil {
+		for _, s := range res.Bulk.Sessions {
+			if s.TracePath != "" {
+				manifest.Outputs = append(manifest.Outputs, filepath.Base(s.TracePath))
+			}
+		}
+	}
+	manifestPath := filepath.Join(out, "manifest.json")
+	if err := obs.WriteManifest(manifestPath, manifest); err != nil {
+		log.Fatal(err)
+	}
+
+	slots := float64(m.SlotsSimulated.Load())
+	fmt.Fprintf(os.Stderr, "campaign: scenario %s (%d jobs, %.2fM slots, %.1fs wall)\n",
+		res.Name, m.JobsDone.Load(), slots/1e6, elapsed)
+	report.Scenario(os.Stdout, res)
+	fmt.Printf("\nmanifest: %s\n", manifestPath)
 }

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// Paired summarizes a matched-pairs comparison a[i] vs b[i]: the mean
+// and sample standard deviation of the per-pair differences a−b and the
+// paired t statistic mean/(std/√n). It is the statistic behind the
+// scenario MEC grid's EDGE_ON-vs-EDGE_OFF columns, where both arms of
+// every pair share a channel realization and differ only in treatment.
+type Paired struct {
+	// N is the number of pairs.
+	N int
+	// MeanDiff and StdDiff are the mean and sample (n−1) standard
+	// deviation of the differences a−b.
+	MeanDiff, StdDiff float64
+	// T is the paired t statistic (0 when N < 2 or the differences are
+	// constant — a degenerate comparison, not an infinitely strong one).
+	T float64
+}
+
+// PairedStats computes Paired over matched slices (same length, ≥ 1).
+func PairedStats(a, b []float64) (Paired, error) {
+	if len(a) != len(b) {
+		return Paired{}, fmt.Errorf("analysis: paired slices differ in length (%d vs %d)", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return Paired{}, fmt.Errorf("analysis: paired comparison needs at least one pair")
+	}
+	n := len(a)
+	p := Paired{N: n}
+	for i := range a {
+		p.MeanDiff += a[i] - b[i]
+	}
+	p.MeanDiff /= float64(n)
+	if n < 2 {
+		return p, nil
+	}
+	var ss float64
+	for i := range a {
+		d := a[i] - b[i] - p.MeanDiff
+		ss += d * d
+	}
+	p.StdDiff = math.Sqrt(ss / float64(n-1))
+	// A spread that is pure float rounding relative to the effect size is
+	// a constant difference: report the degenerate T=0, not the astronomic
+	// ratio the noise would produce.
+	if p.StdDiff > 1e-9*math.Abs(p.MeanDiff) && p.StdDiff > 0 {
+		p.T = p.MeanDiff / (p.StdDiff / math.Sqrt(float64(n)))
+	}
+	return p, nil
+}

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPairedStats(t *testing.T) {
+	// Hand-checked: diffs {1, 3} → mean 2, sd √2, t = 2/(√2/√2) = 2.
+	p, err := PairedStats([]float64{2, 5}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N != 2 || math.Abs(p.MeanDiff-2) > 1e-12 || math.Abs(p.StdDiff-math.Sqrt2) > 1e-12 {
+		t.Fatalf("stats = %+v", p)
+	}
+	if math.Abs(p.T-2) > 1e-12 {
+		t.Errorf("t = %g, want 2", p.T)
+	}
+
+	if _, err := PairedStats([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PairedStats(nil, nil); err == nil {
+		t.Error("empty comparison accepted")
+	}
+
+	// A single pair has no spread estimate: mean only, t stays 0.
+	p, err = PairedStats([]float64{4}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N != 1 || p.MeanDiff != 3 || p.StdDiff != 0 || p.T != 0 {
+		t.Errorf("single pair stats = %+v", p)
+	}
+}
+
+// Constant differences — exactly constant or constant up to float
+// rounding — are a degenerate comparison: T must report 0, not the
+// astronomic ratio the rounding noise would produce.
+func TestPairedStatsDegenerateSpread(t *testing.T) {
+	p, err := PairedStats([]float64{1.5, 2.5, 3.5}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.StdDiff != 0 || p.T != 0 {
+		t.Errorf("constant diffs: %+v, want sd=0 t=0", p)
+	}
+
+	// Differences identical up to one ulp of noise.
+	a := []float64{0.723, 0.8123}
+	b := []float64{a[0] - 0.018, a[1] - 0.018 + 1e-17}
+	p, err = PairedStats(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.T) > 10 {
+		t.Errorf("rounding-noise spread produced t = %g, want the degenerate 0", p.T)
+	}
+}

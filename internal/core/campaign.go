@@ -243,6 +243,12 @@ func runSession(op operators.Operator, sc operators.Scenario, d time.Duration, f
 	return sess, res, nil
 }
 
+// FailureStage classifies a session error into the provenance category
+// recorded on SessionFailure ("abort", "trace-io", "cancelled", "panic"
+// or "error"). The scenario runner shares it so both campaign paths
+// report identical categories.
+func FailureStage(err error) string { return failureStage(err) }
+
 // failureStage classifies a session error for provenance reporting.
 func failureStage(err error) string {
 	switch {

@@ -3,6 +3,7 @@ package fault
 import (
 	"bytes"
 	"errors"
+	"strings"
 	"testing"
 )
 
@@ -205,5 +206,53 @@ func TestParseSpec(t *testing.T) {
 		if _, err := ParseSpec(bad); err == nil {
 			t.Errorf("ParseSpec(%q) accepted", bad)
 		}
+	}
+}
+
+// Every rejection must say what is wrong with the spec the user typed,
+// not merely that something is: the message is the CLI's only feedback.
+func TestParseSpecErrorMessages(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string
+	}{
+		{"bogus=1", `unknown spec key "bogus"`},
+		{"rlf=0.2,unknownfault=1", `unknown spec key "unknownfault"`},
+		// Negative (and >1) rates must cite the [0,1] range and the
+		// offending class — before the ParseSpec validation reorder they
+		// fell through Active() to a misleading "arms no fault class".
+		{"rlf=-0.1", "rlf probability -0.1 outside [0,1]"},
+		{"abort=-1", "abort probability -1 outside [0,1]"},
+		{"panic=2", "panic probability 2 outside [0,1]"},
+		{"trace=1.01", "trace probability 1.01 outside [0,1]"},
+		// A spec that parses but arms nothing must list what would arm it.
+		{"seed=9", "arms no fault class (set at least one of rlf, blackout, trace, abort, panic)"},
+		{"attempts=4", "arms no fault class"},
+		{"rlf", `entry "rlf" is not key=value`},
+		{"rlf=1e-4,attempts=-2", "max attempts -2 < 1"},
+	}
+	for _, c := range cases {
+		_, err := ParseSpec(c.spec)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) accepted", c.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseSpec(%q) = %q, want it to mention %q", c.spec, err, c.want)
+		}
+	}
+
+	// The empty spec is not an error: it is the documented "no
+	// injection" setting, distinct from a spec that arms nothing. A spec
+	// that is only separators parses to zero entries and is diagnosed as
+	// arming nothing, not silently treated as empty.
+	for _, empty := range []string{"", "  "} {
+		s, err := ParseSpec(empty)
+		if err != nil || s != nil {
+			t.Errorf("ParseSpec(%q) = (%v, %v), want (nil, nil)", empty, s, err)
+		}
+	}
+	if _, err := ParseSpec(" , "); err == nil || !strings.Contains(err.Error(), "arms no fault class") {
+		t.Errorf("ParseSpec(\" , \") = %v, want arms-no-fault-class error", err)
 	}
 }

@@ -77,8 +77,14 @@ func ParseSpec(spec string) (*Schedule, error) {
 			return nil, fmt.Errorf("fault: unknown spec key %q", k)
 		}
 	}
+	// Validate before the Active check: a negative rate must report its
+	// [0,1] violation, not fall through Active (which only sees > 0) to a
+	// misleading "arms no fault class".
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if !cfg.Active() {
-		return nil, fmt.Errorf("fault: spec %q arms no fault class", spec)
+		return nil, fmt.Errorf("fault: spec %q arms no fault class (set at least one of rlf, blackout, trace, abort, panic)", spec)
 	}
 	return NewSchedule(cfg)
 }

@@ -36,6 +36,12 @@ type RunManifest struct {
 	// forensics only.
 	Workers int `json:"workers"`
 
+	// Scenario names the declarative scenario the run executed and
+	// ScenarioDigest is the SHA-256 of its canonical JSON (both omitted
+	// for flag-driven runs, keeping legacy manifests byte-identical).
+	Scenario       string `json:"scenario,omitempty"`
+	ScenarioDigest string `json:"scenario_digest,omitempty"`
+
 	// Toolchain and host provenance.
 	GoVersion   string `json:"go_version"`
 	GitRevision string `json:"git_revision,omitempty"`

@@ -1,0 +1,78 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/midband5g/midband/internal/scenario"
+)
+
+// Scenario renders one scenario run: a header naming the spec and its
+// canonical digest, then the KPI table the app calls for — the
+// conformance suite pins this output byte-for-byte per shipped pack.
+func Scenario(w io.Writer, res *scenario.Result) {
+	Section(w, "Scenario", fmt.Sprintf("%s (app %s)", res.Name, res.App))
+	fmt.Fprintf(w, "spec digest: %s\n", res.Digest)
+
+	switch res.App {
+	case scenario.AppBulk:
+		if res.Bulk != nil {
+			Table1(w, res.Bulk)
+		}
+	case scenario.AppWeb:
+		fmt.Fprintf(w, "%-9s %9s %7s %13s %12s\n", "operator", "sessions", "pages", "load mean", "load P95")
+		for _, r := range res.Reports {
+			fmt.Fprintf(w, "%-9s %9d %7.1f %10.1f ms %9.1f ms\n",
+				r.Operator, r.Sessions, r.Pages, r.PageLoadMeanMs, r.PageLoadP95Ms)
+		}
+	case scenario.AppVoIP:
+		fmt.Fprintf(w, "%-9s %9s %12s %12s %6s\n", "operator", "sessions", "lat mean", "lat P95", "MOS")
+		for _, r := range res.Reports {
+			fmt.Fprintf(w, "%-9s %9d %9.2f ms %9.2f ms %6.2f\n",
+				r.Operator, r.Sessions, r.LatencyMeanMs, r.LatencyP95Ms, r.MOS)
+		}
+	case scenario.AppGaming:
+		fmt.Fprintf(w, "%-9s %9s %12s %12s %7s %10s\n", "operator", "sessions", "lat mean", "lat P95", "late", "DL Mbps")
+		for _, r := range res.Reports {
+			fmt.Fprintf(w, "%-9s %9d %9.2f ms %9.2f ms %6.1f%% %10.1f\n",
+				r.Operator, r.Sessions, r.LatencyMeanMs, r.LatencyP95Ms, 100*r.LateFrac, r.DLMbps)
+		}
+	case scenario.AppUplink:
+		fmt.Fprintf(w, "%-9s %9s %9s %9s %9s\n", "operator", "sessions", "UL Mbps", "NR UL", "LTE UL")
+		for _, r := range res.Reports {
+			fmt.Fprintf(w, "%-9s %9d %9.1f %9.1f %9.1f\n",
+				r.Operator, r.Sessions, r.ULMbps, r.NRULMbps, r.LTEULMbps)
+		}
+	case scenario.AppVideo:
+		scenarioVideo(w, res.Video)
+	}
+
+	MultiUE(w, res.MultiUE)
+	if len(res.Failures) > 0 {
+		fmt.Fprintf(w, "failed sessions: %d\n", len(res.Failures))
+		for _, f := range res.Failures {
+			fmt.Fprintf(w, "  %-28s attempts=%d stage=%s\n", f.Key, f.Attempts, f.Stage)
+		}
+	}
+}
+
+// scenarioVideo renders the MEC grid: per-cell QoE and the paired
+// EDGE_ON-vs-EDGE_OFF comparison with its t statistic.
+func scenarioVideo(w io.Writer, v *scenario.VideoResult) {
+	if v == nil {
+		return
+	}
+	fmt.Fprintf(w, "ladder %s, %g s chunks, edge hit ratio %.2f\n", v.Ladder, v.ChunkSec, v.HitRatio)
+	fmt.Fprintf(w, "%-9s %-11s %-9s %9s %10s %8s %6s %6s\n",
+		"operator", "ABR", "edge", "sessions", "norm rate", "stall %", "QoE", "hit %")
+	for _, c := range v.Cells {
+		fmt.Fprintf(w, "%-9s %-11s %-9s %9d %10.3f %8.2f %6.3f %6.1f\n",
+			c.Operator, c.ABR, c.Edge, c.Sessions, c.NormBitrate, c.StallPct, c.QoE, c.EdgeHitPct)
+	}
+	fmt.Fprintf(w, "paired EDGE_ON − EDGE_OFF (shared channel realizations):\n")
+	fmt.Fprintf(w, "%-9s %-11s %8s %8s %9s %7s %3s\n", "operator", "ABR", "QoE on", "QoE off", "ΔQoE", "t", "n")
+	for _, p := range v.Pairs {
+		fmt.Fprintf(w, "%-9s %-11s %8.3f %8.3f %+9.3f %7.2f %3d\n",
+			p.Operator, p.ABR, p.QoEOn, p.QoEOff, p.Stats.MeanDiff, p.Stats.T, p.Stats.N)
+	}
+}

@@ -1,0 +1,125 @@
+package video
+
+import (
+	"testing"
+	"time"
+)
+
+// Every ABR must be able to recover from the post-stall degenerate
+// state: zero buffer and zero (or collapsed) measured throughput. The
+// safe decision is the lowest rung — anything higher digs the stall
+// deeper — and once throughput returns the quality must climb again.
+func TestABRZeroBandwidthStallRecovery(t *testing.T) {
+	abrs := []ABR{NewBOLA(), &ThroughputABR{}, NewDynamic()}
+	for _, a := range abrs {
+		drained := State{
+			BufferSec: 0, LastThroughputMbps: 0, HarmonicMeanMbps: 0,
+			LastQuality: len(Ladder400) - 1, ChunkIndex: 10,
+			ChunkLengthSec: 4, Ladder: Ladder400,
+		}
+		if q := a.Decide(drained); q != 0 {
+			t.Errorf("%s at zero bandwidth and empty buffer picked level %d, want 0", a.Name(), q)
+		}
+		// Throughput back, buffer refilled: quality must leave the floor.
+		recovered := drained
+		recovered.BufferSec = 20
+		recovered.LastThroughputMbps = 500
+		recovered.HarmonicMeanMbps = 500
+		recovered.LastQuality = 0
+		if q := a.Decide(recovered); q == 0 {
+			t.Errorf("%s stuck at level 0 after throughput recovered", a.Name())
+		}
+	}
+}
+
+// A channel whose capacity sits below the lowest ladder rung stalls
+// perpetually but must still terminate: every chunk downloads slower
+// than it plays, the ABR pins the floor, and the accounting stays
+// consistent. A 5 Gbps floor is above every simulated operator's
+// capacity, so any link is in that regime.
+func TestPlayBandwidthBelowLowestRung(t *testing.T) {
+	res, err := Play(testLink(t, "Att_US", 50), SessionConfig{
+		Ladder: Ladder{5000, 10000}, ChunkLength: 4 * time.Second,
+		VideoDuration: 24 * time.Second, ABR: NewDynamic(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StallPct() <= 0 {
+		t.Error("under-provisioned session reported no stalls")
+	}
+	for i, c := range res.Chunks {
+		if c.Quality != 0 {
+			t.Errorf("chunk %d at level %d; an under-provisioned session must pin the floor", i, c.Quality)
+		}
+	}
+	diff := res.PlayTime - 24*time.Second
+	if diff < -time.Second || diff > time.Second {
+		t.Errorf("play time %v, want ≈ 24 s — all media must eventually play", res.PlayTime)
+	}
+}
+
+// A single-segment session is the smallest legal Play: one decision
+// with no history, one chunk, no switches, and QoE metrics computed
+// from that lone sample.
+func TestPlaySingleSegmentSession(t *testing.T) {
+	res, err := Play(testLink(t, "V_Sp", 51), SessionConfig{
+		Ladder: Ladder400, ChunkLength: 4 * time.Second,
+		VideoDuration: 4 * time.Second, ABR: NewBOLA(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chunks) != 1 {
+		t.Fatalf("chunks = %d, want 1", len(res.Chunks))
+	}
+	if res.Switches != 0 {
+		t.Errorf("switches = %d on a single chunk", res.Switches)
+	}
+	c := res.Chunks[0]
+	if c.Quality != 0 {
+		t.Errorf("first chunk at level %d; with no throughput history the ABR must start at 0", c.Quality)
+	}
+	if res.AvgQuality != float64(c.Quality) {
+		t.Errorf("avg quality %.2f ≠ the lone chunk's %d", res.AvgQuality, c.Quality)
+	}
+	if want := Ladder400[c.Quality] / Ladder400.Top(); res.AvgNormBitrate != want {
+		t.Errorf("norm bitrate %.3f, want %.3f", res.AvgNormBitrate, want)
+	}
+	diff := res.PlayTime - 4*time.Second
+	if diff < -time.Second || diff > time.Second {
+		t.Errorf("play time %v, want ≈ one chunk", res.PlayTime)
+	}
+}
+
+// The buffer cap's boundary: a cap of exactly one chunk is the
+// smallest that can make progress (download a chunk, drain it fully,
+// repeat), while a cap below one chunk would idle forever waiting for
+// room and must be rejected up front.
+func TestPlayBufferCapBoundary(t *testing.T) {
+	base := SessionConfig{
+		Ladder: Ladder400, ChunkLength: 4 * time.Second,
+		VideoDuration: 12 * time.Second, ABR: NewBOLA(),
+	}
+
+	exact := base
+	exact.MaxBufferSec = 4
+	res, err := Play(testLink(t, "V_It", 52), exact)
+	if err != nil {
+		t.Fatalf("cap == one chunk must be playable: %v", err)
+	}
+	if len(res.Chunks) != 3 {
+		t.Fatalf("chunks = %d, want 3", len(res.Chunks))
+	}
+	for _, p := range res.BufferTrace {
+		if p[1] > 4.5 {
+			t.Fatalf("buffer %.1f exceeds the 4 s cap", p[1])
+		}
+	}
+
+	below := base
+	below.MaxBufferSec = 3.9
+	if _, err := Play(testLink(t, "V_It", 53), below); err == nil {
+		t.Fatal("cap below one chunk accepted; Play would never terminate")
+	}
+}

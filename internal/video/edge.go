@@ -1,0 +1,62 @@
+package video
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/midband5g/midband/internal/fleet"
+)
+
+// EdgeConfig models MEC edge caching on the chunk-fetch path. Without
+// it (the default), chunk requests are free — the legacy player, and
+// the §6 figure artifacts, are byte-identical. With it, every chunk
+// request pays a round trip before the first byte arrives: OriginRTT to
+// the origin CDN, or EdgeRTT when the chunk is already resident in the
+// MEC cache. The hit pattern is a pure function of (Seed, chunk index)
+// via fleet.SplitSeed, so EDGE_ON and EDGE_OFF arms of an experiment
+// can share a channel realization and differ only in where chunks are
+// served from — the paired-comparison design of the ABR × caching grid.
+type EdgeConfig struct {
+	// HitRatio is the fraction of chunks resident in the edge cache
+	// (0 = everything at the origin, 1 = everything at the edge).
+	HitRatio float64
+	// OriginRTT is the per-chunk request round trip to the origin CDN;
+	// EdgeRTT the round trip for a cache hit. The player idles the link
+	// for the RTT before the download starts, so deep buffers absorb
+	// it and shallow buffers turn it into stall risk.
+	OriginRTT, EdgeRTT time.Duration
+	// Seed drives the hit pattern.
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (e *EdgeConfig) Validate() error {
+	if e.HitRatio < 0 || e.HitRatio > 1 {
+		return fmt.Errorf("video: edge hit ratio %g outside [0,1]", e.HitRatio)
+	}
+	if e.OriginRTT < 0 || e.EdgeRTT < 0 {
+		return fmt.Errorf("video: negative edge RTTs")
+	}
+	return nil
+}
+
+// hitScale quantizes HitRatio for the integer hit decision. 2^20 steps
+// keep the quantization error (< 1e-6) far below any ratio a spec
+// carries.
+const hitScale = 1 << 20
+
+// Hit reports whether chunk i is served from the edge cache: a
+// deterministic draw from the (Seed, i) sub-stream, independent of
+// every other chunk and of the channel realization.
+func (e *EdgeConfig) Hit(i int) bool {
+	draw := uint64(fleet.SplitSeed(e.Seed, "video/edge", i)) % hitScale
+	return draw < uint64(e.HitRatio*hitScale)
+}
+
+// RTT returns the request round trip chunk i pays.
+func (e *EdgeConfig) RTT(i int) time.Duration {
+	if e.Hit(i) {
+		return e.EdgeRTT
+	}
+	return e.OriginRTT
+}

@@ -26,6 +26,10 @@ type SessionConfig struct {
 	ThroughputWindow int
 	// Share is the UE's share of cell resources (default 1).
 	Share float64
+	// Edge, when non-nil, charges every chunk request an MEC-aware
+	// round trip before its first byte (see EdgeConfig). Nil keeps the
+	// player byte-identical to the pre-edge-caching one.
+	Edge *EdgeConfig
 }
 
 func (c SessionConfig) withDefaults() SessionConfig {
@@ -55,6 +59,16 @@ func (c SessionConfig) Validate() error {
 	if c.ABR == nil {
 		return fmt.Errorf("video: no ABR algorithm")
 	}
+	// The buffer-cap gate waits for room for a whole chunk; a cap
+	// smaller than one chunk would wait forever on an empty buffer.
+	if c.MaxBufferSec < c.ChunkLength.Seconds() {
+		return fmt.Errorf("video: buffer cap %gs smaller than one chunk (%v)", c.MaxBufferSec, c.ChunkLength)
+	}
+	if c.Edge != nil {
+		if err := c.Edge.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -69,6 +83,9 @@ type ChunkRecord struct {
 	ThroughputMbps float64
 	// BufferAtDecision is the buffer level when the ABR decided.
 	BufferAtDecision float64
+	// EdgeHit reports whether the chunk came from the MEC edge cache
+	// (always false without SessionConfig.Edge).
+	EdgeHit bool
 }
 
 // StallEvent is a rebuffering interval.
@@ -217,6 +234,15 @@ func Play(link *net5g.Link, cfg SessionConfig) (*Result, error) {
 			Index: i, Quality: q,
 			RequestTime:      link.Now(),
 			BufferAtDecision: buffer,
+		}
+		if cfg.Edge != nil {
+			// The request round trip: no payload arrives while the GET
+			// travels to the edge cache (hit) or the origin CDN (miss).
+			// Playback continues, so shallow buffers drain into stalls.
+			rec.EdgeHit = cfg.Edge.Hit(i)
+			for wait := cfg.Edge.RTT(i); wait > 0; wait -= link.SlotDuration() {
+				step(false)
+			}
 		}
 		chunkBits := cfg.Ladder[q] * 1e6 * chunkSec
 		got := 0.0

@@ -12,17 +12,18 @@
 # The benchmark set is the per-slot hot path: channel fading step, TBS
 # lookup (direct and memoized), the full carrier scheduler step, the
 # multi-UE population curve (batched engine at 4/16/64/256 UEs,
-# reporting ns/UE-slot), the aggregated link step, and the columnar
+# reporting ns/UE-slot), the aggregated link step, the columnar
 # trace pipeline (block encode on the write side, projected block
-# decode on the scan side, reporting ns/record). Use -count via
+# decode on the scan side, reporting ns/record), and one Quick-scale
+# scenario pack end to end (the scenario-runner smoke). Use -count via
 # BENCH_COUNT (default 5) — best-of-N repeated runs is what makes the
 # 10% gate usable on noisy machines.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${BENCH_COUNT:-5}"
-FILTER='BenchmarkChannelStep|BenchmarkTBS$|BenchmarkTBSCached|BenchmarkCarrierStep|BenchmarkCellMultiUE|BenchmarkLinkStep|BenchmarkBlockScan|BenchmarkBlockWrite'
-PKGS="./internal/channel ./internal/phy ./internal/gnb ./internal/xcol ."
+FILTER='BenchmarkChannelStep|BenchmarkTBS$|BenchmarkTBSCached|BenchmarkCarrierStep|BenchmarkCellMultiUE|BenchmarkLinkStep|BenchmarkBlockScan|BenchmarkBlockWrite|BenchmarkScenarioCampaign'
+PKGS="./internal/channel ./internal/phy ./internal/gnb ./internal/xcol ./internal/scenario ."
 
 run_bench() {
     # -benchtime keeps a 5x run under ~2 minutes while giving stable numbers.
